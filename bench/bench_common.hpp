@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: banner printing, results
+ * directory management, and the quick/full scale switch.
+ */
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "utils/cli.hpp"
+#include "utils/csv.hpp"
+
+namespace lightridge {
+namespace bench {
+
+/** Directory all bench CSV artifacts land in. */
+inline std::string
+resultsDir()
+{
+    const std::string dir = "bench_results";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+/** Standard banner: name, paper anchor, scale mode. */
+inline void
+banner(const char *name, const char *anchor)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s  (%s)\n", name, anchor);
+    std::printf("scale: %s   (set LR_BENCH_FULL=1 for paper-scale runs)\n",
+                benchFullScale() ? "FULL (paper)" : "QUICK (CI)");
+    std::printf("==============================================================\n");
+}
+
+/** Save a CSV and announce where it went. */
+inline void
+saveCsv(const CsvWriter &csv, const std::string &stem)
+{
+    std::string path = resultsDir() + "/" + stem + ".csv";
+    if (csv.save(path))
+        std::printf("[csv] %s\n", path.c_str());
+}
+
+} // namespace bench
+} // namespace lightridge

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Figure 5 reproduction: architectural DSE heatmaps.
+ *
+ * (a)/(b): emulated accuracy over the (unit size, distance) grid at 432 nm
+ * and 632 nm (GBRT training data). (c): analytical-model prediction of the
+ * 532 nm design space. (d): grid-search validation at 532 nm. The star
+ * point is the guided search's best verified design; the DSE speedup is
+ * grid points / emulations actually run.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dse/dse.hpp"
+#include "utils/timer.hpp"
+
+using namespace lightridge;
+
+namespace {
+
+void
+printHeatmap(const char *title, const std::vector<DsePoint> &points,
+             const SweepGrid &grid)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%10s", "unit\\dist");
+    for (std::size_t di = 0; di < grid.dist_steps; ++di) {
+        Real dist = grid.dist_min + (grid.dist_max - grid.dist_min) * di /
+                                        (grid.dist_steps - 1);
+        std::printf(" %6.2fm", dist);
+    }
+    std::printf("\n");
+    for (std::size_t ui = 0; ui < grid.unit_steps; ++ui) {
+        Real mult = grid.unit_min + (grid.unit_max - grid.unit_min) * ui /
+                                        (grid.unit_steps - 1);
+        std::printf("%8.0flam", mult);
+        for (std::size_t di = 0; di < grid.dist_steps; ++di)
+            std::printf(" %6.2f ",
+                        points[ui * grid.dist_steps + di].accuracy);
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 5: DSE heatmaps + analytical model transfer",
+                  "paper Fig. 5: predict 532 nm from 432/632 nm sweeps");
+
+    SweepGrid grid;
+    grid.unit_steps = scaled<std::size_t>(5, 11);
+    grid.dist_steps = scaled<std::size_t>(5, 11);
+    grid.dist_min = 0.02;
+    grid.dist_max = 0.60;
+
+    QuickEvalConfig qe;
+    qe.system_size = scaled<std::size_t>(32, 64);
+    qe.depth = scaled<std::size_t>(2, 5);
+    qe.train_samples = scaled<std::size_t>(240, 600);
+    qe.test_samples = scaled<std::size_t>(120, 300);
+    qe.det_size = qe.system_size / 10;
+    qe.epochs = scaled(2, 3);
+
+    WallTimer timer;
+    std::printf("sweeping training wavelengths (this is the expensive "
+                "grid the analytical model replaces)...\n");
+    auto sweep_432 = sweepDesignSpace(432e-9, grid, qe);
+    auto sweep_632 = sweepDesignSpace(632e-9, grid, qe);
+    double sweep_s = timer.seconds();
+    printHeatmap("(a) emulated accuracy @ 432 nm (training data)",
+                 sweep_432, grid);
+    printHeatmap("(b) emulated accuracy @ 632 nm (training data)",
+                 sweep_632, grid);
+
+    DseEngine engine(GbrtConfig{scaled(200, 1000), 0.2, 3, 1});
+    engine.addTrainingData(sweep_432);
+    engine.addTrainingData(sweep_632);
+    engine.fitModel();
+
+    auto predicted = engine.predictGrid(532e-9, grid);
+    printHeatmap("(c) PREDICTED accuracy @ 532 nm (analytical model)",
+                 predicted, grid);
+
+    timer.reset();
+    auto validated = sweepDesignSpace(532e-9, grid, qe);
+    double validate_s = timer.seconds();
+    printHeatmap("(d) grid-search VALIDATION @ 532 nm", validated, grid);
+
+    // Agreement between prediction and validation.
+    Real mean_pred = 0, mean_true = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        mean_pred += predicted[i].accuracy;
+        mean_true += validated[i].accuracy;
+    }
+    mean_pred /= predicted.size();
+    mean_true /= validated.size();
+    Real cov = 0, vp = 0, vt = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        Real dp = predicted[i].accuracy - mean_pred;
+        Real dt = validated[i].accuracy - mean_true;
+        cov += dp * dt;
+        vp += dp * dp;
+        vt += dt * dt;
+    }
+    Real corr = (vp > 0 && vt > 0) ? cov / std::sqrt(vp * vt) : 0;
+
+    // Guided search: few emulations instead of the whole grid.
+    std::size_t emulations = 0;
+    DsePoint star = engine.guidedSearch(532e-9, grid, qe, 2, &emulations);
+    Real best_grid = 0;
+    for (const DsePoint &p : validated)
+        best_grid = std::max(best_grid, p.accuracy);
+
+    std::printf("\nprediction-vs-validation correlation: %.3f\n", corr);
+    std::printf("star point: unit %.0f um, distance %.2f m -> verified acc "
+                "%.3f (grid best %.3f)\n",
+                star.design.unit_size * 1e6, star.design.distance,
+                star.accuracy, best_grid);
+    std::printf("DSE speedup: %zu grid emulations replaced by %zu guided "
+                "emulations = %.0fx (paper: 60x with 2 of 121)\n",
+                validated.size(), emulations,
+                static_cast<Real>(validated.size()) / emulations);
+    std::printf("(sweep time %.1f s per wavelength grid, validation %.1f "
+                "s)\n", sweep_s / 2, validate_s);
+
+    CsvWriter csv;
+    csv.header({"wavelength_nm", "unit_um", "distance_m", "kind",
+                "accuracy"});
+    auto dump = [&](const std::vector<DsePoint> &pts, const char *kind) {
+        for (const DsePoint &p : pts)
+            csv.row({std::to_string(p.design.wavelength * 1e9),
+                     std::to_string(p.design.unit_size * 1e6),
+                     std::to_string(p.design.distance), kind,
+                     std::to_string(p.accuracy)});
+    };
+    dump(sweep_432, "emulated");
+    dump(sweep_632, "emulated");
+    dump(predicted, "predicted");
+    dump(validated, "validated");
+    bench::saveCsv(csv, "fig5_dse");
+    return 0;
+}

@@ -1,0 +1,257 @@
+#include "baseline/lightpipes_like.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightridge {
+namespace baseline {
+
+LpField
+lpBegin(std::size_t n, Real pitch, Real wavelength)
+{
+    LpField field;
+    field.n = n;
+    field.pitch = pitch;
+    field.wavelength = wavelength;
+    field.re.assign(n * n, 1.0);
+    field.im.assign(n * n, 0.0);
+    return field;
+}
+
+void
+lpSetAmplitude(LpField *field, const RealMap &amplitude)
+{
+    if (amplitude.size() != field->re.size())
+        throw std::invalid_argument("lpSetAmplitude: shape mismatch");
+    for (std::size_t i = 0; i < amplitude.size(); ++i) {
+        field->re[i] = amplitude[i];
+        field->im[i] = 0.0;
+    }
+}
+
+namespace {
+
+/**
+ * Textbook recursive mixed-radix DFT on split arrays. Twiddle factors are
+ * recomputed with std::cos/std::sin at every recursion node (no plan), and
+ * each node allocates fresh child buffers (no scratch reuse).
+ */
+void
+recursiveDft(std::vector<Real> &re, std::vector<Real> &im, int sign)
+{
+    const std::size_t n = re.size();
+    if (n <= 1)
+        return;
+
+    // Smallest factor.
+    std::size_t p = n;
+    for (std::size_t f = 2; f * f <= n; ++f)
+        if (n % f == 0) {
+            p = f;
+            break;
+        }
+    const std::size_t m = n / p;
+
+    if (p == n) {
+        // Prime length: direct O(n^2) DFT.
+        std::vector<Real> out_re(n, 0.0), out_im(n, 0.0);
+        for (std::size_t k = 0; k < n; ++k)
+            for (std::size_t t = 0; t < n; ++t) {
+                Real angle = sign * kTwoPi *
+                             static_cast<Real>((k * t) % n) /
+                             static_cast<Real>(n);
+                Real c = std::cos(angle), s = std::sin(angle);
+                out_re[k] += re[t] * c - im[t] * s;
+                out_im[k] += re[t] * s + im[t] * c;
+            }
+        re = std::move(out_re);
+        im = std::move(out_im);
+        return;
+    }
+
+    // Decimate into p interleaved subsequences (fresh allocations).
+    std::vector<std::vector<Real>> sub_re(p), sub_im(p);
+    for (std::size_t j = 0; j < p; ++j) {
+        sub_re[j].resize(m);
+        sub_im[j].resize(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            sub_re[j][i] = re[j + i * p];
+            sub_im[j][i] = im[j + i * p];
+        }
+        recursiveDft(sub_re[j], sub_im[j], sign);
+    }
+
+    // Combine with per-butterfly sin/cos (the "no planning" cost).
+    for (std::size_t k = 0; k < m; ++k) {
+        for (std::size_t t = 0; t < p; ++t) {
+            Real acc_re = 0, acc_im = 0;
+            for (std::size_t j = 0; j < p; ++j) {
+                Real angle = sign * kTwoPi *
+                             static_cast<Real>((j * (k + t * m)) % n) /
+                             static_cast<Real>(n);
+                Real c = std::cos(angle), s = std::sin(angle);
+                acc_re += sub_re[j][k] * c - sub_im[j][k] * s;
+                acc_im += sub_re[j][k] * s + sub_im[j][k] * c;
+            }
+            re[k + t * m] = acc_re;
+            im[k + t * m] = acc_im;
+        }
+    }
+}
+
+} // namespace
+
+void
+lpFft1d(std::vector<Real> *re, std::vector<Real> *im, int sign)
+{
+    if (re->size() != im->size())
+        throw std::invalid_argument("lpFft1d: split arrays differ");
+    recursiveDft(*re, *im, sign);
+    if (sign > 0) {
+        const Real scale = Real(1) / static_cast<Real>(re->size());
+        for (std::size_t i = 0; i < re->size(); ++i) {
+            (*re)[i] *= scale;
+            (*im)[i] *= scale;
+        }
+    }
+}
+
+void
+lpFft2d(std::size_t n, std::vector<Real> *re, std::vector<Real> *im,
+        int sign)
+{
+    if (re->size() != n * n)
+        throw std::invalid_argument("lpFft2d: shape mismatch");
+    // Rows (fresh buffers per row, LightPipes/numpy style).
+    for (std::size_t r = 0; r < n; ++r) {
+        std::vector<Real> row_re(re->begin() + r * n,
+                                 re->begin() + (r + 1) * n);
+        std::vector<Real> row_im(im->begin() + r * n,
+                                 im->begin() + (r + 1) * n);
+        lpFft1d(&row_re, &row_im, sign);
+        std::copy(row_re.begin(), row_re.end(), re->begin() + r * n);
+        std::copy(row_im.begin(), row_im.end(), im->begin() + r * n);
+    }
+    // Columns.
+    for (std::size_t c = 0; c < n; ++c) {
+        std::vector<Real> col_re(n), col_im(n);
+        for (std::size_t r = 0; r < n; ++r) {
+            col_re[r] = (*re)[r * n + c];
+            col_im[r] = (*im)[r * n + c];
+        }
+        lpFft1d(&col_re, &col_im, sign);
+        for (std::size_t r = 0; r < n; ++r) {
+            (*re)[r * n + c] = col_re[r];
+            (*im)[r * n + c] = col_im[r];
+        }
+    }
+}
+
+void
+lpComplexMultiply(std::vector<Real> *ar, std::vector<Real> *ai,
+                  const std::vector<Real> &br, const std::vector<Real> &bi)
+{
+    const std::size_t n = ar->size();
+    // Four partial products in separate passes with temporaries, the way
+    // split-array frameworks evaluate complex expressions.
+    std::vector<Real> rr(n), ii(n), ri(n), ir(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rr[i] = (*ar)[i] * br[i];
+    for (std::size_t i = 0; i < n; ++i)
+        ii[i] = (*ai)[i] * bi[i];
+    for (std::size_t i = 0; i < n; ++i)
+        ri[i] = (*ar)[i] * bi[i];
+    for (std::size_t i = 0; i < n; ++i)
+        ir[i] = (*ai)[i] * br[i];
+    for (std::size_t i = 0; i < n; ++i)
+        (*ar)[i] = rr[i] - ii[i];
+    for (std::size_t i = 0; i < n; ++i)
+        (*ai)[i] = ri[i] + ir[i];
+}
+
+void
+lpForvard(LpField *field, Real z)
+{
+    const std::size_t n = field->n;
+    const Real lambda = field->wavelength;
+    const Real aperture = static_cast<Real>(n) * field->pitch;
+
+    // Rebuild the angular-spectrum kernel from scratch (no caching).
+    std::vector<Real> h_re(n * n), h_im(n * n);
+    const Real inv_lambda_sq = 1.0 / (lambda * lambda);
+    for (std::size_t r = 0; r < n; ++r) {
+        Real kr = static_cast<Real>(r);
+        if (r >= (n + 1) / 2)
+            kr -= static_cast<Real>(n);
+        Real fy = kr / aperture;
+        for (std::size_t c = 0; c < n; ++c) {
+            Real kc = static_cast<Real>(c);
+            if (c >= (n + 1) / 2)
+                kc -= static_cast<Real>(n);
+            Real fx = kc / aperture;
+            Real arg = inv_lambda_sq - fx * fx - fy * fy;
+            if (arg >= 0) {
+                Real phase = kTwoPi * z * std::sqrt(arg);
+                h_re[r * n + c] = std::cos(phase);
+                h_im[r * n + c] = std::sin(phase);
+            } else {
+                h_re[r * n + c] = std::exp(-kTwoPi * z * std::sqrt(-arg));
+                h_im[r * n + c] = 0.0;
+            }
+        }
+    }
+
+    lpFft2d(n, &field->re, &field->im, -1);
+    lpComplexMultiply(&field->re, &field->im, h_re, h_im);
+    lpFft2d(n, &field->re, &field->im, +1);
+}
+
+void
+lpSubPhase(LpField *field, const RealMap &phase)
+{
+    if (phase.size() != field->re.size())
+        throw std::invalid_argument("lpSubPhase: shape mismatch");
+    // Split-array phase application, again in separate passes.
+    const std::size_t n = phase.size();
+    std::vector<Real> pr(n), pi(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pr[i] = std::cos(phase[i]);
+    for (std::size_t i = 0; i < n; ++i)
+        pi[i] = std::sin(phase[i]);
+    lpComplexMultiply(&field->re, &field->im, pr, pi);
+}
+
+RealMap
+lpIntensity(const LpField &field)
+{
+    RealMap out(field.n, field.n);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = field.re[i] * field.re[i] + field.im[i] * field.im[i];
+    return out;
+}
+
+RealMap
+lpDonnForward(const RealMap &input, const std::vector<RealMap> &phases,
+              Real pitch, Real wavelength, Real z)
+{
+    LpField field = lpBegin(input.rows(), pitch, wavelength);
+    lpSetAmplitude(&field, input);
+    for (const RealMap &phase : phases) {
+        lpForvard(&field, z);
+        lpSubPhase(&field, phase);
+    }
+    lpForvard(&field, z);
+    return lpIntensity(field);
+}
+
+Field
+lpToField(const LpField &field)
+{
+    Field out(field.n, field.n);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = Complex{field.re[i], field.im[i]};
+    return out;
+}
+
+} // namespace baseline
+} // namespace lightridge

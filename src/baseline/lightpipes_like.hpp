@@ -1,0 +1,89 @@
+/**
+ * @file
+ * "LightPipes-like" baseline optical engine (paper Table 1, Figs. 8-9).
+ *
+ * This engine computes the same scalar-diffraction physics as the
+ * LightRidge kernels but reproduces the computational structure of
+ * general-purpose optics packages, which the paper identifies as the
+ * runtime bottleneck for DONN workloads:
+ *
+ *  - no FFT planning: twiddle factors are recomputed with sin/cos on
+ *    every call instead of cached tables;
+ *  - no kernel caching: the free-space transfer function is rebuilt per
+ *    propagation call;
+ *  - no operator fusion: complex arithmetic runs on split real/imaginary
+ *    arrays in multiple passes with temporary allocations (the
+ *    tensor-representation limitation called out in Section 1).
+ *
+ * Comparing it against the planned, cached, fused LightRidge pipeline on
+ * the same machine isolates exactly the optimization deltas the paper's
+ * runtime evaluation measures.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/field.hpp"
+#include "utils/types.hpp"
+
+namespace lightridge {
+namespace baseline {
+
+/** Split-array complex field, LightPipes-style. */
+struct LpField
+{
+    std::size_t n = 0;
+    Real pitch = 0;
+    Real wavelength = 0;
+    std::vector<Real> re; // n*n
+    std::vector<Real> im; // n*n
+};
+
+/** Begin(): uniform-amplitude field on an n-by-n grid. */
+LpField lpBegin(std::size_t n, Real pitch, Real wavelength);
+
+/** Load an intensity image onto the field amplitude (phase = 0). */
+void lpSetAmplitude(LpField *field, const RealMap &amplitude);
+
+/** Unplanned 1-D FFT (twiddles recomputed per call). sign=-1 forward. */
+void lpFft1d(std::vector<Real> *re, std::vector<Real> *im, int sign);
+
+/** Unplanned 2-D FFT over the split arrays. sign=-1 fwd, +1 inverse. */
+void lpFft2d(std::size_t n, std::vector<Real> *re, std::vector<Real> *im,
+             int sign);
+
+/**
+ * Multi-pass split-array complex Hadamard product:
+ * (ar + j ai) *= (br + j bi), computed LightPipes-style with temporary
+ * buffers for each partial product.
+ */
+void lpComplexMultiply(std::vector<Real> *ar, std::vector<Real> *ai,
+                       const std::vector<Real> &br,
+                       const std::vector<Real> &bi);
+
+/**
+ * Forvard(): angular-spectrum free-space propagation over distance z.
+ * Rebuilds the transfer function every call.
+ */
+void lpForvard(LpField *field, Real z);
+
+/** SubPhase(): apply a phase mask. */
+void lpSubPhase(LpField *field, const RealMap &phase);
+
+/** Intensity |E|^2. */
+RealMap lpIntensity(const LpField &field);
+
+/**
+ * Full DONN forward emulation with the baseline engine: encode ->
+ * (propagate, phase-modulate) x depth -> propagate -> intensity.
+ * Used by the end-to-end runtime comparison (Fig. 9).
+ */
+RealMap lpDonnForward(const RealMap &input, const std::vector<RealMap> &phases,
+                      Real pitch, Real wavelength, Real z);
+
+/** Convert to the LightRidge Field type (for correctness cross-checks). */
+Field lpToField(const LpField &field);
+
+} // namespace baseline
+} // namespace lightridge

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dataset containers shared by the trainer and the data generators.
+ *
+ * Images are stored at their native resolution (e.g. 28x28); the model's
+ * encode path resizes them to the system resolution and performs the
+ * paper's data_to_cplex amplitude encoding.
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "tensor/field.hpp"
+
+namespace lightridge {
+
+/** Labeled grayscale image classification dataset. */
+struct ClassDataset
+{
+    std::vector<RealMap> images;
+    std::vector<int> labels;
+    std::size_t num_classes = 0;
+
+    std::size_t size() const { return images.size(); }
+
+    /** Keep only the first n samples (for quick-scale benches). */
+    void
+    truncate(std::size_t n)
+    {
+        if (n < images.size()) {
+            images.resize(n);
+            labels.resize(n);
+        }
+    }
+};
+
+/** RGB classification dataset: three channel planes per sample. */
+struct RgbDataset
+{
+    std::vector<std::array<RealMap, 3>> images;
+    std::vector<int> labels;
+    std::size_t num_classes = 0;
+
+    std::size_t size() const { return images.size(); }
+
+    void
+    truncate(std::size_t n)
+    {
+        if (n < images.size()) {
+            images.resize(n);
+            labels.resize(n);
+        }
+    }
+};
+
+/** Image-to-image dataset (input image, target mask in [0, 1]). */
+struct SegDataset
+{
+    std::vector<RealMap> images;
+    std::vector<RealMap> masks;
+
+    std::size_t size() const { return images.size(); }
+
+    void
+    truncate(std::size_t n)
+    {
+        if (n < images.size()) {
+            images.resize(n);
+            masks.resize(n);
+        }
+    }
+};
+
+} // namespace lightridge

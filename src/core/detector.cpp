@@ -1,0 +1,133 @@
+#include "core/detector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightridge {
+
+DetectorPlane::DetectorPlane(std::vector<DetectorRegion> regions,
+                             Real amp_factor)
+    : regions_(std::move(regions)), amp_factor_(amp_factor)
+{
+    if (regions_.empty())
+        throw std::invalid_argument("DetectorPlane: no regions");
+}
+
+std::vector<Real>
+DetectorPlane::readout(const Field &u) const
+{
+    std::vector<Real> logits(regions_.size(), 0.0);
+    for (std::size_t k = 0; k < regions_.size(); ++k) {
+        const DetectorRegion &reg = regions_[k];
+        Real total = 0;
+        for (std::size_t r = reg.r0; r < reg.r0 + reg.h; ++r)
+            for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
+                total += std::norm(u(r, c));
+        logits[k] = amp_factor_ * total;
+    }
+    return logits;
+}
+
+std::vector<Real>
+DetectorPlane::readoutFromIntensity(const RealMap &intensity) const
+{
+    std::vector<Real> logits(regions_.size(), 0.0);
+    for (std::size_t k = 0; k < regions_.size(); ++k) {
+        const DetectorRegion &reg = regions_[k];
+        Real total = 0;
+        for (std::size_t r = reg.r0; r < reg.r0 + reg.h; ++r)
+            for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
+                total += intensity(r, c);
+        logits[k] = amp_factor_ * total;
+    }
+    return logits;
+}
+
+std::vector<Real>
+DetectorPlane::readoutNoisy(const Field &u, Real noise_frac, Rng *rng) const
+{
+    RealMap intensity = u.intensity();
+    Real bound = noise_frac * intensity.max();
+    std::vector<Real> logits(regions_.size(), 0.0);
+    for (std::size_t k = 0; k < regions_.size(); ++k) {
+        const DetectorRegion &reg = regions_[k];
+        Real total = 0;
+        for (std::size_t r = reg.r0; r < reg.r0 + reg.h; ++r)
+            for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
+                total += intensity(r, c) + rng->uniform(0.0, bound);
+        logits[k] = amp_factor_ * total;
+    }
+    return logits;
+}
+
+std::vector<Real>
+DetectorPlane::forward(const Field &u)
+{
+    cached_u_ = u;
+    return readout(u);
+}
+
+Field
+DetectorPlane::backward(const std::vector<Real> &dlogits) const
+{
+    if (cached_u_.empty())
+        throw std::logic_error("DetectorPlane::backward before forward");
+    return backwardFor(cached_u_, dlogits);
+}
+
+Field
+DetectorPlane::backwardFor(const Field &u,
+                           const std::vector<Real> &dlogits) const
+{
+    if (dlogits.size() != regions_.size())
+        throw std::invalid_argument("DetectorPlane: dlogits size mismatch");
+    Field grad(u.rows(), u.cols(), Complex{0, 0});
+    for (std::size_t k = 0; k < regions_.size(); ++k) {
+        const DetectorRegion &reg = regions_[k];
+        // logit = amp * sum |u|^2  =>  G = 2 * amp * dlogit * u.
+        Real scale = 2 * amp_factor_ * dlogits[k];
+        for (std::size_t r = reg.r0; r < reg.r0 + reg.h; ++r)
+            for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
+                grad(r, c) += scale * u(r, c);
+    }
+    return grad;
+}
+
+std::vector<DetectorRegion>
+DetectorPlane::gridLayout(std::size_t n, std::size_t num_classes,
+                          std::size_t det_size)
+{
+    if (num_classes == 0 || det_size == 0)
+        throw std::invalid_argument("gridLayout: empty layout");
+    // Near-square arrangement: cols = ceil(sqrt(k)).
+    std::size_t cols = 1;
+    while (cols * cols < num_classes)
+        ++cols;
+    std::size_t rows = (num_classes + cols - 1) / cols;
+    if ((rows + 1) * det_size > n || (cols + 1) * det_size > n)
+        throw std::invalid_argument("gridLayout: regions do not fit plane");
+
+    std::vector<DetectorRegion> regions;
+    regions.reserve(num_classes);
+    for (std::size_t k = 0; k < num_classes; ++k) {
+        std::size_t row = k / cols;
+        std::size_t col = k % cols;
+        std::size_t in_row = std::min(cols, num_classes - row * cols);
+        // Even spacing: centers at (i+1)/(count+1) of the plane.
+        Real cy = static_cast<Real>(row + 1) / (rows + 1) * n;
+        Real cx = static_cast<Real>(col + 1) / (in_row + 1) * n;
+        DetectorRegion reg;
+        reg.h = det_size;
+        reg.w = det_size;
+        reg.r0 = static_cast<std::size_t>(
+            std::min<Real>(std::max<Real>(cy - det_size / 2.0, 0),
+                           n - det_size));
+        reg.c0 = static_cast<std::size_t>(
+            std::min<Real>(std::max<Real>(cx - det_size / 2.0, 0),
+                           n - det_size));
+        regions.push_back(reg);
+    }
+    return regions;
+}
+
+} // namespace lightridge

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Optical/photon detector plane (lr.layers.detector).
+ *
+ * The detector is the analog-to-digital interface of a DONN (Section 2):
+ * it captures the light intensity pattern and integrates it over
+ * per-class regions; the region sums act as the pre-softmax logits of the
+ * classifier. Region geometry is configurable exactly like the paper's
+ * x_loc/y_loc/det_size API, with an evenly spaced default layout.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/field.hpp"
+#include "utils/rng.hpp"
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Axis-aligned rectangular detector region (row/col origin + size). */
+struct DetectorRegion
+{
+    std::size_t r0 = 0;
+    std::size_t c0 = 0;
+    std::size_t h = 0;
+    std::size_t w = 0;
+};
+
+/** Per-class intensity-integrating readout plane. */
+class DetectorPlane
+{
+  public:
+    DetectorPlane() = default;
+
+    /**
+     * @param regions one region per class
+     * @param amp_factor scale applied to region sums before the loss
+     *        (the paper's trainable "amplitude factor" calibration knob)
+     */
+    explicit DetectorPlane(std::vector<DetectorRegion> regions,
+                           Real amp_factor = 1.0);
+
+    std::size_t numClasses() const { return regions_.size(); }
+    const std::vector<DetectorRegion> &regions() const { return regions_; }
+
+    Real ampFactor() const { return amp_factor_; }
+    void setAmpFactor(Real a) { amp_factor_ = a; }
+
+    /** Pure readout: region-integrated intensities times amp_factor. */
+    std::vector<Real> readout(const Field &u) const;
+
+    /**
+     * Readout from an already-digitized intensity map (e.g. the CMOS
+     * detector model's ADC output in the hardware deployment path).
+     */
+    std::vector<Real> readoutFromIntensity(const RealMap &intensity) const;
+
+    /**
+     * Readout with uniform random intensity noise injected per pixel with
+     * upper bound noise_frac * max intensity (the Fig. 7 robustness test).
+     */
+    std::vector<Real> readoutNoisy(const Field &u, Real noise_frac,
+                                   Rng *rng) const;
+
+    /** Caching forward for training. */
+    std::vector<Real> forward(const Field &u);
+
+    /** Backprop dL/dlogits to a Wirtinger field gradient. */
+    Field backward(const std::vector<Real> &dlogits) const;
+
+    /**
+     * Same as backward() but against an externally provided field (used by
+     * the multi-channel architecture where several stacks share one
+     * detector).
+     */
+    Field backwardFor(const Field &u,
+                      const std::vector<Real> &dlogits) const;
+
+    /**
+     * Evenly spaced grid layout: num_classes square regions of det_size
+     * pixels arranged in near-square rows across an n-by-n plane, mirroring
+     * the paper's "10 pre-defined detector regions placed evenly".
+     */
+    static std::vector<DetectorRegion>
+    gridLayout(std::size_t n, std::size_t num_classes, std::size_t det_size);
+
+  private:
+    std::vector<DetectorRegion> regions_;
+    Real amp_factor_ = 1.0;
+    Field cached_u_;
+};
+
+} // namespace lightridge

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Device modulation look-up table shared between the codesign layer and
+ * the hardware deployment stack.
+ *
+ * Real optical devices (SLMs, 3-D printed masks) provide a finite set of
+ * realizable complex modulation states; an entry m_k = a_k * exp(j phi_k)
+ * couples the achievable amplitude and phase (paper Section 2.2: twisted
+ * nematic SLMs modulate amplitude alongside phase). The codesign layer
+ * trains directly over these states (Section 3.2).
+ */
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Finite set of realizable complex modulation states of a device. */
+struct DeviceLut
+{
+    std::vector<Complex> levels;
+
+    std::size_t size() const { return levels.size(); }
+
+    /** Ideal phase-only device with K uniform levels covering [0, 2*pi). */
+    static DeviceLut
+    idealPhase(std::size_t k)
+    {
+        if (k == 0)
+            throw std::invalid_argument("DeviceLut: zero levels");
+        DeviceLut lut;
+        lut.levels.resize(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            Real phi = kTwoPi * static_cast<Real>(i) / static_cast<Real>(k);
+            lut.levels[i] = std::polar(Real(1), phi);
+        }
+        return lut;
+    }
+
+    /** Index of the level whose phase is closest to phi (mod 2*pi). */
+    std::size_t
+    nearestPhase(Real phi) const
+    {
+        std::size_t best = 0;
+        Real best_dist = 1e30;
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            Real d = std::arg(levels[i]) - phi;
+            while (d > kPi)
+                d -= kTwoPi;
+            while (d < -kPi)
+                d += kTwoPi;
+            d = std::abs(d);
+            if (d < best_dist) {
+                best_dist = d;
+                best = i;
+            }
+        }
+        return best;
+    }
+};
+
+} // namespace lightridge

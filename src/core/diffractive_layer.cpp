@@ -1,0 +1,89 @@
+#include "core/diffractive_layer.hpp"
+
+#include <cmath>
+
+namespace lightridge {
+
+DiffractiveLayer::DiffractiveLayer(
+    std::shared_ptr<const Propagator> propagator, Real gamma, Rng *rng)
+    : propagator_(std::move(propagator)), gamma_(gamma)
+{
+    const std::size_t n = propagator_->config().grid.n;
+    phase_ = RealMap(n, n, 0.0);
+    phase_grad_ = RealMap(n, n, 0.0);
+    if (rng != nullptr) {
+        // Full-range random phases: the standard DONN initialization
+        // (phase is cyclic, so there is no "small init" advantage, and
+        // full-range masks exercise the device's whole response curve).
+        for (std::size_t i = 0; i < phase_.size(); ++i)
+            phase_[i] = rng->uniform(0.0, kTwoPi);
+    }
+}
+
+Field
+DiffractiveLayer::forward(const Field &in, bool training)
+{
+    Field diffracted = propagator_->forward(in);
+    Field out(diffracted.rows(), diffracted.cols());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = gamma_ * diffracted[i] * std::polar(Real(1), phase_[i]);
+    if (training) {
+        cached_diffracted_ = std::move(diffracted);
+        cached_out_ = out;
+    }
+    return out;
+}
+
+Field
+DiffractiveLayer::backward(const Field &grad_out)
+{
+    // dL/dphi = Re(conj(G_out) * j * U_out): the phase rotates the output
+    // in the complex plane, so its gradient is the tangential component.
+    for (std::size_t i = 0; i < phase_grad_.size(); ++i) {
+        Complex tangent = kJ * cached_out_[i];
+        phase_grad_[i] += std::real(std::conj(grad_out[i]) * tangent);
+    }
+
+    // G before modulation: G_diff = G_out * conj(gamma * e^{j phi}).
+    Field grad_diff(grad_out.rows(), grad_out.cols());
+    for (std::size_t i = 0; i < grad_diff.size(); ++i)
+        grad_diff[i] =
+            grad_out[i] * gamma_ * std::polar(Real(1), -phase_[i]);
+
+    return propagator_->adjoint(grad_diff);
+}
+
+std::vector<ParamView>
+DiffractiveLayer::params()
+{
+    return {ParamView{"phase", &phase_.raw(), &phase_grad_.raw()}};
+}
+
+Json
+DiffractiveLayer::toJson() const
+{
+    Json j;
+    j["kind"] = Json(kind());
+    j["gamma"] = Json(gamma_);
+    Json phases;
+    for (std::size_t i = 0; i < phase_.size(); ++i)
+        phases.push(Json(phase_[i]));
+    j["phase"] = std::move(phases);
+    return j;
+}
+
+std::unique_ptr<DiffractiveLayer>
+DiffractiveLayer::fromJson(const Json &j,
+                           std::shared_ptr<const Propagator> propagator)
+{
+    auto layer = std::make_unique<DiffractiveLayer>(
+        std::move(propagator), j.numberOr("gamma", 1.0));
+    const auto &phases = j.at("phase").asArray();
+    if (phases.size() != layer->phase_.size())
+        throw JsonError("diffractive layer phase size mismatch");
+    for (std::size_t i = 0; i < phases.size(); ++i)
+        layer->phase_[i] = phases[i].asNumber();
+    return layer;
+}
+
+} // namespace lightridge

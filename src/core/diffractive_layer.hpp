@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Raw diffractive layer: free-space hop + trainable phase modulation.
+ *
+ * This is lr.layers.diffractlayer_raw of the paper: the field first
+ * diffracts over the configured distance (Eqs. 5-7), then each diffraction
+ * unit applies its trainable phase phi and the complex-valued
+ * regularization factor gamma (Section 3.2):
+ *
+ *   U_out = gamma * U_diffracted * exp(j * phi)
+ */
+#pragma once
+
+#include <memory>
+
+#include "core/layer.hpp"
+#include "optics/propagator.hpp"
+
+namespace lightridge {
+
+/** Trainable phase-modulation layer preceded by a free-space hop. */
+class DiffractiveLayer : public Layer
+{
+  public:
+    /**
+     * @param propagator shared pre-hop free-space operator
+     * @param gamma amplitude regularization factor (1.0 = off)
+     * @param rng optional source for small random phase init
+     */
+    DiffractiveLayer(std::shared_ptr<const Propagator> propagator,
+                     Real gamma = 1.0, Rng *rng = nullptr);
+
+    std::string kind() const override { return "diffractive"; }
+
+    Field forward(const Field &in, bool training) override;
+    Field backward(const Field &grad_out) override;
+    std::vector<ParamView> params() override;
+    Json toJson() const override;
+
+    /** Trainable per-unit phase values [rad]. */
+    const RealMap &phase() const { return phase_; }
+    RealMap &phase() { return phase_; }
+
+    /** Regularization factor gamma applied to the amplitude. */
+    Real gamma() const { return gamma_; }
+    void setGamma(Real gamma) { gamma_ = gamma; }
+
+    const Propagator &propagator() const { return *propagator_; }
+
+    /** Restore phases from serialized form. */
+    static std::unique_ptr<DiffractiveLayer>
+    fromJson(const Json &j, std::shared_ptr<const Propagator> propagator);
+
+  private:
+    std::shared_ptr<const Propagator> propagator_;
+    Real gamma_;
+    RealMap phase_;
+    RealMap phase_grad_;
+
+    // Activation caches (training only).
+    Field cached_diffracted_;
+    Field cached_out_;
+};
+
+} // namespace lightridge

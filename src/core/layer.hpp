@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Layer abstraction for differentiable DONN graphs.
+ *
+ * Gradients follow the Wirtinger adjoint convention: for a real loss L and
+ * complex field U, the gradient field is G with dL = Re(sum conj(G) * dU).
+ * Each layer caches whatever it needs during forward() and consumes/clears
+ * it in backward(). Parameter gradients accumulate across a batch until
+ * zeroGrad().
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/field.hpp"
+#include "utils/json.hpp"
+#include "utils/rng.hpp"
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Mutable view of one trainable parameter buffer and its gradient. */
+struct ParamView
+{
+    std::string name;
+    std::vector<Real> *value = nullptr;
+    std::vector<Real> *grad = nullptr;
+};
+
+/** Base class of all differentiable DONN building blocks. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Stable type tag used in serialization. */
+    virtual std::string kind() const = 0;
+
+    /**
+     * Propagate a field through the layer.
+     * @param in input wavefield
+     * @param training true during training (enables activation caching,
+     *        Gumbel sampling, LayerNorm); false for pure inference
+     */
+    virtual Field forward(const Field &in, bool training) = 0;
+
+    /**
+     * Backpropagate a Wirtinger gradient through the layer, accumulating
+     * parameter gradients. Must follow a forward(..., true) call.
+     */
+    virtual Field backward(const Field &grad_out) = 0;
+
+    /** Trainable parameter views (empty for stateless layers). */
+    virtual std::vector<ParamView> params() { return {}; }
+
+    /** Reset all parameter gradients to zero. */
+    void
+    zeroGrad()
+    {
+        for (ParamView p : params())
+            if (p.grad)
+                std::fill(p.grad->begin(), p.grad->end(), Real(0));
+    }
+
+    /** Serialize structure + weights. */
+    virtual Json toJson() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace lightridge

@@ -1,0 +1,73 @@
+#include "core/layer_norm.hpp"
+
+#include <cmath>
+
+namespace lightridge {
+
+Field
+LayerNormLayer::forward(const Field &in, bool training)
+{
+    if (!training) {
+        active_ = false;
+        return in;
+    }
+    const std::size_t n = in.size();
+    Complex mean{0, 0};
+    if (subtract_mean_) {
+        for (std::size_t i = 0; i < n; ++i)
+            mean += in[i];
+        mean /= static_cast<Real>(n);
+    }
+
+    Real var = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        var += std::norm(in[i] - mean);
+    var /= static_cast<Real>(n);
+
+    cached_sigma_ = std::sqrt(var + eps_);
+    Field out(in.rows(), in.cols());
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = (in[i] - mean) / cached_sigma_;
+    cached_y_ = out;
+    active_ = true;
+    return out;
+}
+
+Field
+LayerNormLayer::backward(const Field &grad_out)
+{
+    if (!active_)
+        return grad_out;
+    // Wirtinger adjoint. Mean-subtracting mode (y = (x - mu)/sigma):
+    //   G_x = (1/sigma) * (G_y - S/N - rho * y / N),
+    // RMS mode (y = x/sigma, sigma^2 = mean|x|^2):
+    //   G_x = (1/sigma) * (G_y - rho * y / N),
+    // with S = sum(G_y) and rho = Re(sum conj(G_y) * y).
+    const std::size_t n = grad_out.size();
+    Complex s{0, 0};
+    Real rho = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (subtract_mean_)
+            s += grad_out[i];
+        rho += std::real(std::conj(grad_out[i]) * cached_y_[i]);
+    }
+    const Real inv_n = Real(1) / static_cast<Real>(n);
+    Field grad_in(grad_out.rows(), grad_out.cols());
+    for (std::size_t i = 0; i < n; ++i)
+        grad_in[i] = (grad_out[i] - s * inv_n -
+                      rho * cached_y_[i] * inv_n) /
+                     cached_sigma_;
+    return grad_in;
+}
+
+Json
+LayerNormLayer::toJson() const
+{
+    Json j;
+    j["kind"] = Json(kind());
+    j["eps"] = Json(eps_);
+    j["subtract_mean"] = Json(subtract_mean_);
+    return j;
+}
+
+} // namespace lightridge

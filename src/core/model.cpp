@@ -1,0 +1,285 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/layer_norm.hpp"
+#include "core/skip.hpp"
+
+namespace lightridge {
+
+Json
+SystemSpec::toJson() const
+{
+    Json j;
+    j["size"] = Json(size);
+    j["pixel"] = Json(pixel);
+    j["distance"] = Json(distance);
+    j["approx"] = Json(static_cast<int>(approx));
+    j["method"] = Json(static_cast<int>(method));
+    j["pad_factor"] = Json(pad_factor);
+    return j;
+}
+
+SystemSpec
+SystemSpec::fromJson(const Json &j)
+{
+    SystemSpec spec;
+    spec.size = static_cast<std::size_t>(j.at("size").asNumber());
+    spec.pixel = j.at("pixel").asNumber();
+    spec.distance = j.at("distance").asNumber();
+    spec.approx = static_cast<Diffraction>(j.at("approx").asInt());
+    spec.method = static_cast<PropagationMethod>(j.at("method").asInt());
+    spec.pad_factor = static_cast<std::size_t>(j.at("pad_factor").asNumber());
+    return spec;
+}
+
+DonnModel::DonnModel(SystemSpec spec, Laser laser)
+    : spec_(spec), laser_(laser)
+{
+    PropagatorConfig config;
+    config.grid = spec_.grid();
+    config.wavelength = laser_.wavelength;
+    config.distance = spec_.distance;
+    config.approx = spec_.approx;
+    config.method = spec_.method;
+    config.pad_factor = spec_.pad_factor;
+    propagator_ = std::make_shared<Propagator>(config);
+}
+
+void
+DonnModel::addLayer(LayerPtr layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+void
+DonnModel::setDetector(DetectorPlane detector)
+{
+    detector_ = std::move(detector);
+}
+
+Field
+DonnModel::encode(const RealMap &image) const
+{
+    const Grid grid = spec_.grid();
+    if (image.rows() == grid.n && image.cols() == grid.n)
+        return encodeInput(image, laser_, grid);
+    RealMap resized = resizeBilinear(image, grid.n, grid.n);
+    return encodeInput(resized, laser_, grid);
+}
+
+Field
+DonnModel::forwardField(const Field &input, bool training)
+{
+    Field u = input;
+    for (LayerPtr &layer : layers_)
+        u = layer->forward(u, training);
+    return propagator_->forward(u);
+}
+
+std::vector<Real>
+DonnModel::forwardLogits(const Field &input, bool training)
+{
+    Field u = forwardField(input, training);
+    if (detector_.numClasses() == 0)
+        throw std::logic_error("DonnModel: detector not configured");
+    return training ? detector_.forward(u) : detector_.readout(u);
+}
+
+int
+DonnModel::predict(const Field &input)
+{
+    std::vector<Real> logits = forwardLogits(input, false);
+    return static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+void
+DonnModel::backwardFromLogits(const std::vector<Real> &dlogits)
+{
+    backwardField(detector_.backward(dlogits));
+}
+
+void
+DonnModel::backwardField(const Field &grad_at_detector)
+{
+    Field g = propagator_->adjoint(grad_at_detector);
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+}
+
+std::vector<ParamView>
+DonnModel::params()
+{
+    std::vector<ParamView> all;
+    for (LayerPtr &layer : layers_)
+        for (ParamView p : layer->params())
+            all.push_back(p);
+    return all;
+}
+
+void
+DonnModel::zeroGrad()
+{
+    for (LayerPtr &layer : layers_)
+        layer->zeroGrad();
+}
+
+Json
+DonnModel::toJson() const
+{
+    Json j;
+    j["spec"] = spec_.toJson();
+    Json laser;
+    laser["wavelength"] = Json(laser_.wavelength);
+    laser["profile"] = Json(static_cast<int>(laser_.profile));
+    laser["waist"] = Json(laser_.waist);
+    laser["power_watts"] = Json(laser_.power_watts);
+    j["laser"] = std::move(laser);
+
+    Json layers;
+    for (const LayerPtr &layer : layers_)
+        layers.push(layer->toJson());
+    j["layers"] = std::move(layers);
+
+    Json det;
+    det["amp_factor"] = Json(detector_.ampFactor());
+    Json regions;
+    for (const DetectorRegion &reg : detector_.regions()) {
+        Json r;
+        r["r0"] = Json(reg.r0);
+        r["c0"] = Json(reg.c0);
+        r["h"] = Json(reg.h);
+        r["w"] = Json(reg.w);
+        regions.push(std::move(r));
+    }
+    det["regions"] = std::move(regions);
+    j["detector"] = std::move(det);
+    return j;
+}
+
+DonnModel
+DonnModel::fromJson(const Json &j)
+{
+    SystemSpec spec = SystemSpec::fromJson(j.at("spec"));
+    Laser laser;
+    const Json &lj = j.at("laser");
+    laser.wavelength = lj.at("wavelength").asNumber();
+    laser.profile = static_cast<BeamProfile>(lj.at("profile").asInt());
+    laser.waist = lj.numberOr("waist", 0.0);
+    laser.power_watts = lj.numberOr("power_watts", 5e-3);
+
+    DonnModel model(spec, laser);
+    for (const Json &layer_json : j.at("layers").asArray()) {
+        const std::string &kind = layer_json.at("kind").asString();
+        if (kind == "diffractive") {
+            model.addLayer(DiffractiveLayer::fromJson(layer_json,
+                                                      model.propagator_));
+        } else if (kind == "codesign") {
+            model.addLayer(CodesignLayer::fromJson(layer_json,
+                                                   model.propagator_));
+        } else if (kind == "layernorm") {
+            model.addLayer(std::make_unique<LayerNormLayer>(
+                layer_json.numberOr("eps", 1e-12),
+                layer_json.has("subtract_mean") &&
+                    layer_json.at("subtract_mean").asBool()));
+        } else if (kind == "skip") {
+            // Shortcut path spans the inner block's total optical path.
+            std::size_t inner_depth =
+                layer_json.at("inner").asArray().size();
+            PropagatorConfig sc = model.propagator_->config();
+            sc.distance *= static_cast<Real>(inner_depth);
+            model.addLayer(OpticalSkipLayer::fromJson(
+                layer_json, model.propagator_,
+                std::make_shared<Propagator>(sc)));
+        } else {
+            throw JsonError("unknown layer kind: " + kind);
+        }
+    }
+
+    if (j.has("detector")) {
+        const Json &det = j.at("detector");
+        std::vector<DetectorRegion> regions;
+        for (const Json &r : det.at("regions").asArray()) {
+            DetectorRegion reg;
+            reg.r0 = static_cast<std::size_t>(r.at("r0").asNumber());
+            reg.c0 = static_cast<std::size_t>(r.at("c0").asNumber());
+            reg.h = static_cast<std::size_t>(r.at("h").asNumber());
+            reg.w = static_cast<std::size_t>(r.at("w").asNumber());
+            regions.push_back(reg);
+        }
+        if (!regions.empty()) {
+            model.setDetector(DetectorPlane(std::move(regions),
+                                            det.numberOr("amp_factor", 1.0)));
+        }
+    }
+    return model;
+}
+
+bool
+DonnModel::save(const std::string &path) const
+{
+    return toJson().save(path);
+}
+
+DonnModel
+DonnModel::load(const std::string &path)
+{
+    return fromJson(Json::load(path));
+}
+
+ModelBuilder::ModelBuilder(SystemSpec spec, Laser laser)
+    : model_(spec, laser)
+{}
+
+ModelBuilder &
+ModelBuilder::diffractiveLayers(std::size_t d, Real gamma, Rng *rng)
+{
+    for (std::size_t i = 0; i < d; ++i)
+        model_.addLayer(std::make_unique<DiffractiveLayer>(
+            model_.hopPropagator(), gamma, rng));
+    return *this;
+}
+
+ModelBuilder &
+ModelBuilder::codesignLayers(std::size_t d, const DeviceLut &lut, Real tau,
+                             Real gamma, Rng *rng)
+{
+    for (std::size_t i = 0; i < d; ++i)
+        model_.addLayer(std::make_unique<CodesignLayer>(
+            model_.hopPropagator(), lut, tau, gamma, rng));
+    return *this;
+}
+
+ModelBuilder &
+ModelBuilder::layerNorm()
+{
+    model_.addLayer(std::make_unique<LayerNormLayer>());
+    return *this;
+}
+
+ModelBuilder &
+ModelBuilder::detectorGrid(std::size_t num_classes, std::size_t det_size)
+{
+    model_.setDetector(DetectorPlane(
+        DetectorPlane::gridLayout(model_.spec().size, num_classes, det_size)));
+    has_detector_ = true;
+    return *this;
+}
+
+ModelBuilder &
+ModelBuilder::detectorRegions(std::vector<DetectorRegion> regions)
+{
+    model_.setDetector(DetectorPlane(std::move(regions)));
+    has_detector_ = true;
+    return *this;
+}
+
+DonnModel
+ModelBuilder::build()
+{
+    return std::move(model_);
+}
+
+} // namespace lightridge

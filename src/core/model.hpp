@@ -1,0 +1,161 @@
+/**
+ * @file
+ * DONN system container and fluent builder (lr.models of the paper).
+ *
+ * A DonnModel is the sequential stack of Figure 2(a): an input encoding
+ * plane, D diffractive (or codesign) layers each preceded by a free-space
+ * hop, optional auxiliary layers (LayerNorm, optical skip), one final hop,
+ * and a detector plane. It owns the trainable parameters and provides the
+ * differentiable forward/backward passes the trainer drives.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/codesign_layer.hpp"
+#include "core/detector.hpp"
+#include "core/device_lut.hpp"
+#include "core/diffractive_layer.hpp"
+#include "core/layer.hpp"
+#include "optics/laser.hpp"
+#include "optics/propagator.hpp"
+
+namespace lightridge {
+
+/** Architectural parameters of a DONN system (the DSE design space). */
+struct SystemSpec
+{
+    std::size_t size = 200;     ///< system resolution per side
+    Real pixel = 36e-6;         ///< diffraction unit size [m]
+    Real distance = 0.30;       ///< inter-plane distance z [m]
+    Diffraction approx = Diffraction::RayleighSommerfeld;
+    PropagationMethod method = PropagationMethod::TransferFunction;
+    std::size_t pad_factor = 1; ///< 1 = paper's same-size spectral algorithm
+
+    Grid grid() const { return Grid{size, pixel}; }
+
+    Json toJson() const;
+    static SystemSpec fromJson(const Json &j);
+};
+
+/** Sequential DONN system: layers + final hop + detector. */
+class DonnModel
+{
+  public:
+    DonnModel(SystemSpec spec, Laser laser);
+
+    const SystemSpec &spec() const { return spec_; }
+    const Laser &laser() const { return laser_; }
+
+    /** Append a layer (takes ownership). */
+    void addLayer(LayerPtr layer);
+
+    /** Number of stacked layers. */
+    std::size_t depth() const { return layers_.size(); }
+
+    Layer *layer(std::size_t i) { return layers_[i].get(); }
+    const Layer *layer(std::size_t i) const { return layers_[i].get(); }
+
+    /** Configure the detector plane. */
+    void setDetector(DetectorPlane detector);
+    DetectorPlane &detector() { return detector_; }
+    const DetectorPlane &detector() const { return detector_; }
+
+    /** Shared propagator used for every hop (same z everywhere). */
+    std::shared_ptr<const Propagator> hopPropagator() const
+    {
+        return propagator_;
+    }
+
+    /**
+     * Resize a native-resolution image to the system grid and encode it
+     * onto the source beam (data_to_cplex).
+     */
+    Field encode(const RealMap &image) const;
+
+    /** Field at the detector plane (after the final hop). */
+    Field forwardField(const Field &input, bool training = false);
+
+    /** Detector logits; caches activations when training. */
+    std::vector<Real> forwardLogits(const Field &input,
+                                    bool training = false);
+
+    /** Argmax class for an encoded input. */
+    int predict(const Field &input);
+
+    /** Backprop from dL/dlogits through detector, final hop, and layers. */
+    void backwardFromLogits(const std::vector<Real> &dlogits);
+
+    /**
+     * Backprop from a Wirtinger gradient at the detector plane (used by
+     * segmentation losses and the multi-channel container).
+     */
+    void backwardField(const Field &grad_at_detector);
+
+    /** All trainable parameters of all layers. */
+    std::vector<ParamView> params();
+
+    /** Zero every parameter gradient. */
+    void zeroGrad();
+
+    /** Serialize spec + laser + layers + detector. */
+    Json toJson() const;
+
+    /** Reconstruct a model (propagators rebuilt from the spec). */
+    static DonnModel fromJson(const Json &j);
+
+    /** Save/load helpers. */
+    bool save(const std::string &path) const;
+    static DonnModel load(const std::string &path);
+
+  private:
+    SystemSpec spec_;
+    Laser laser_;
+    std::shared_ptr<const Propagator> propagator_;
+    std::vector<LayerPtr> layers_;
+    DetectorPlane detector_;
+};
+
+/**
+ * Fluent DSL-style builder mirroring the paper's front end:
+ *
+ *   auto model = ModelBuilder(spec, laser)
+ *                    .diffractiveLayers(5, 1.0, &rng)
+ *                    .detectorGrid(10, 8)
+ *                    .build();
+ */
+class ModelBuilder
+{
+  public:
+    ModelBuilder(SystemSpec spec, Laser laser);
+
+    /** Append d raw diffractive layers (lr.layers.diffractlayer_raw). */
+    ModelBuilder &diffractiveLayers(std::size_t d, Real gamma = 1.0,
+                                    Rng *rng = nullptr);
+
+    /** Append d hardware-aware codesign layers (lr.layers.diffractlayer). */
+    ModelBuilder &codesignLayers(std::size_t d, const DeviceLut &lut,
+                                 Real tau = 1.0, Real gamma = 1.0,
+                                 Rng *rng = nullptr);
+
+    /** Append a training-only LayerNorm. */
+    ModelBuilder &layerNorm();
+
+    /** Evenly spaced square detector regions for num_classes classes. */
+    ModelBuilder &detectorGrid(std::size_t num_classes,
+                               std::size_t det_size);
+
+    /** Custom detector regions. */
+    ModelBuilder &detectorRegions(std::vector<DetectorRegion> regions);
+
+    /** Finalize into a model. */
+    DonnModel build();
+
+  private:
+    DonnModel model_;
+    bool has_detector_ = false;
+};
+
+} // namespace lightridge

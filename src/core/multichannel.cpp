@@ -1,0 +1,104 @@
+#include "core/multichannel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lightridge {
+
+MultiChannelDonn::MultiChannelDonn(
+    std::vector<std::unique_ptr<DonnModel>> channels)
+    : channels_(std::move(channels))
+{
+    if (channels_.empty())
+        throw std::invalid_argument("MultiChannelDonn: no channels");
+    for (const auto &ch : channels_)
+        if (ch->detector().numClasses() !=
+            channels_[0]->detector().numClasses())
+            throw std::invalid_argument(
+                "MultiChannelDonn: detector class count mismatch");
+}
+
+std::vector<Field>
+MultiChannelDonn::encode(const std::array<RealMap, 3> &rgb) const
+{
+    std::vector<Field> fields;
+    fields.reserve(channels_.size());
+    for (std::size_t ch = 0; ch < channels_.size(); ++ch)
+        fields.push_back(channels_[ch]->encode(rgb[ch % 3]));
+    return fields;
+}
+
+std::vector<Real>
+MultiChannelDonn::forwardLogits(const std::vector<Field> &inputs,
+                                bool training)
+{
+    if (inputs.size() != channels_.size())
+        throw std::invalid_argument("MultiChannelDonn: input count mismatch");
+    std::vector<Real> logits(channels_[0]->detector().numClasses(), 0.0);
+    cached_fields_.clear();
+    for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+        Field u = channels_[ch]->forwardField(inputs[ch], training);
+        std::vector<Real> part = channels_[ch]->detector().readout(u);
+        for (std::size_t k = 0; k < logits.size(); ++k)
+            logits[k] += part[k];
+        if (training)
+            cached_fields_.push_back(std::move(u));
+    }
+    return logits;
+}
+
+int
+MultiChannelDonn::predict(const std::vector<Field> &inputs)
+{
+    std::vector<Real> logits = forwardLogits(inputs, false);
+    return static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+void
+MultiChannelDonn::backwardFromLogits(const std::vector<Real> &dlogits)
+{
+    if (cached_fields_.size() != channels_.size())
+        throw std::logic_error("MultiChannelDonn: backward before forward");
+    for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+        Field g = channels_[ch]->detector().backwardFor(cached_fields_[ch],
+                                                        dlogits);
+        channels_[ch]->backwardField(g);
+    }
+}
+
+std::vector<ParamView>
+MultiChannelDonn::params()
+{
+    std::vector<ParamView> all;
+    for (auto &ch : channels_)
+        for (ParamView p : ch->params())
+            all.push_back(p);
+    return all;
+}
+
+void
+MultiChannelDonn::zeroGrad()
+{
+    for (auto &ch : channels_)
+        ch->zeroGrad();
+}
+
+bool
+topKContains(const std::vector<Real> &logits, int target, std::size_t k)
+{
+    std::vector<std::size_t> order(logits.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::partial_sort(order.begin(),
+                      order.begin() + std::min(k, order.size()), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return logits[a] > logits[b];
+                      });
+    for (std::size_t i = 0; i < std::min(k, order.size()); ++i)
+        if (static_cast<int>(order[i]) == target)
+            return true;
+    return false;
+}
+
+} // namespace lightridge

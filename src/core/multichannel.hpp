@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multi-channel RGB-DONN architecture (Section 5.6.1, Figure 12).
+ *
+ * The input RGB image is split into three grayscale channel images; a
+ * beam splitter feeds three parallel optical stacks; their output beams
+ * project onto one shared detector where intensities merge (incoherent
+ * sum) for the final prediction. All channels train against the same
+ * shared loss.
+ */
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace lightridge {
+
+/** Three parallel DONN stacks merging on one detector. */
+class MultiChannelDonn
+{
+  public:
+    /**
+     * @param channels per-channel stacks (same spec); detector geometry
+     *        is taken from the first channel's detector.
+     */
+    explicit MultiChannelDonn(
+        std::vector<std::unique_ptr<DonnModel>> channels);
+
+    std::size_t numChannels() const { return channels_.size(); }
+    DonnModel &channel(std::size_t i) { return *channels_[i]; }
+
+    /** Encode one RGB sample into per-channel input fields. */
+    std::vector<Field> encode(const std::array<RealMap, 3> &rgb) const;
+
+    /** Merged detector logits. Caches per-channel fields when training. */
+    std::vector<Real> forwardLogits(const std::vector<Field> &inputs,
+                                    bool training = false);
+
+    /** Argmax class. */
+    int predict(const std::vector<Field> &inputs);
+
+    /** Backprop the shared dL/dlogits into every channel. */
+    void backwardFromLogits(const std::vector<Real> &dlogits);
+
+    std::vector<ParamView> params();
+    void zeroGrad();
+
+  private:
+    std::vector<std::unique_ptr<DonnModel>> channels_;
+    std::vector<Field> cached_fields_;
+};
+
+/** Top-k accuracy helper for Table 5 (top-1/3/5). */
+bool topKContains(const std::vector<Real> &logits, int target,
+                  std::size_t k);
+
+} // namespace lightridge

@@ -1,0 +1,77 @@
+#include "core/optimizer.hpp"
+
+#include <cmath>
+
+namespace lightridge {
+
+void
+Optimizer::attach(std::vector<ParamView> params)
+{
+    params_ = std::move(params);
+    onAttach();
+}
+
+void
+Optimizer::zeroGrad()
+{
+    for (ParamView &p : params_)
+        if (p.grad)
+            std::fill(p.grad->begin(), p.grad->end(), Real(0));
+}
+
+void
+Sgd::onAttach()
+{
+    velocity_.clear();
+    for (const ParamView &p : params_)
+        velocity_.emplace_back(p.value->size(), 0.0);
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+        std::vector<Real> &value = *params_[k].value;
+        const std::vector<Real> &grad = *params_[k].grad;
+        std::vector<Real> &vel = velocity_[k];
+        for (std::size_t i = 0; i < value.size(); ++i) {
+            vel[i] = momentum_ * vel[i] - lr_ * grad[i];
+            value[i] += vel[i];
+        }
+    }
+}
+
+void
+Adam::onAttach()
+{
+    t_ = 0;
+    m_.clear();
+    v_.clear();
+    for (const ParamView &p : params_) {
+        m_.emplace_back(p.value->size(), 0.0);
+        v_.emplace_back(p.value->size(), 0.0);
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const Real bias1 = 1 - std::pow(beta1_, static_cast<Real>(t_));
+    const Real bias2 = 1 - std::pow(beta2_, static_cast<Real>(t_));
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+        std::vector<Real> &value = *params_[k].value;
+        const std::vector<Real> &grad = *params_[k].grad;
+        std::vector<Real> &m = m_[k];
+        std::vector<Real> &v = v_[k];
+        for (std::size_t i = 0; i < value.size(); ++i) {
+            m[i] = beta1_ * m[i] + (1 - beta1_) * grad[i];
+            v[i] = beta2_ * v[i] + (1 - beta2_) * grad[i] * grad[i];
+            Real mhat = m[i] / bias1;
+            Real vhat = v[i] / bias2;
+            value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+} // namespace lightridge

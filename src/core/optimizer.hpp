@@ -1,0 +1,74 @@
+/**
+ * @file
+ * First-order optimizers over ParamView buffers (lr.train.utils).
+ *
+ * The paper trains DONNs with Adam (lr = 0.5 on the physical prototype);
+ * plain SGD with momentum is provided for ablations.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/layer.hpp"
+
+namespace lightridge {
+
+/** Base optimizer bound to a set of parameter views. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Bind the parameter set (resets internal state). */
+    void attach(std::vector<ParamView> params);
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Clear all bound gradients. */
+    void zeroGrad();
+
+  protected:
+    virtual void onAttach() {}
+    std::vector<ParamView> params_;
+};
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(Real lr, Real momentum = 0.0)
+        : lr_(lr), momentum_(momentum)
+    {}
+    void step() override;
+
+  private:
+    void onAttach() override;
+    Real lr_;
+    Real momentum_;
+    std::vector<std::vector<Real>> velocity_;
+};
+
+/** Adam optimizer [Kingma & Ba 2014]. */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(Real lr, Real beta1 = 0.9, Real beta2 = 0.999,
+                  Real eps = 1e-8)
+        : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+    {}
+    void step() override;
+
+  private:
+    void onAttach() override;
+    Real lr_;
+    Real beta1_;
+    Real beta2_;
+    Real eps_;
+    long t_ = 0;
+    std::vector<std::vector<Real>> m_;
+    std::vector<std::vector<Real>> v_;
+};
+
+} // namespace lightridge

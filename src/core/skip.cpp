@@ -1,0 +1,96 @@
+#include "core/skip.hpp"
+
+#include <stdexcept>
+
+#include "core/codesign_layer.hpp"
+#include "core/diffractive_layer.hpp"
+
+namespace lightridge {
+
+OpticalSkipLayer::OpticalSkipLayer(std::vector<LayerPtr> inner,
+                                   std::shared_ptr<const Propagator> shortcut,
+                                   Real alpha, Real beta)
+    : inner_(std::move(inner)), shortcut_(std::move(shortcut)),
+      alpha_(alpha), beta_(beta)
+{
+    if (inner_.empty())
+        throw std::invalid_argument("OpticalSkipLayer: empty block");
+}
+
+Field
+OpticalSkipLayer::forward(const Field &in, bool training)
+{
+    Field branch = in;
+    for (LayerPtr &layer : inner_)
+        branch = layer->forward(branch, training);
+    Field shortcut = shortcut_->forward(in);
+
+    Field out(branch.rows(), branch.cols());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = alpha_ * branch[i] + beta_ * shortcut[i];
+    return out;
+}
+
+Field
+OpticalSkipLayer::backward(const Field &grad_out)
+{
+    // Branch path: scale by alpha, then unwind the inner block.
+    Field g_branch = grad_out;
+    g_branch *= alpha_;
+    for (auto it = inner_.rbegin(); it != inner_.rend(); ++it)
+        g_branch = (*it)->backward(g_branch);
+
+    // Shortcut path: adjoint of the bypass propagator.
+    Field g_short = grad_out;
+    g_short *= beta_;
+    g_short = shortcut_->adjoint(g_short);
+
+    g_branch += g_short;
+    return g_branch;
+}
+
+std::vector<ParamView>
+OpticalSkipLayer::params()
+{
+    std::vector<ParamView> all;
+    for (LayerPtr &layer : inner_)
+        for (ParamView p : layer->params())
+            all.push_back(p);
+    return all;
+}
+
+Json
+OpticalSkipLayer::toJson() const
+{
+    Json j;
+    j["kind"] = Json(kind());
+    j["alpha"] = Json(alpha_);
+    j["beta"] = Json(beta_);
+    Json inner;
+    for (const LayerPtr &layer : inner_)
+        inner.push(layer->toJson());
+    j["inner"] = std::move(inner);
+    return j;
+}
+
+std::unique_ptr<OpticalSkipLayer>
+OpticalSkipLayer::fromJson(const Json &j,
+                           std::shared_ptr<const Propagator> hop,
+                           std::shared_ptr<const Propagator> shortcut)
+{
+    std::vector<LayerPtr> inner;
+    for (const Json &layer_json : j.at("inner").asArray()) {
+        const std::string &kind = layer_json.at("kind").asString();
+        if (kind == "diffractive")
+            inner.push_back(DiffractiveLayer::fromJson(layer_json, hop));
+        else if (kind == "codesign")
+            inner.push_back(CodesignLayer::fromJson(layer_json, hop));
+        else
+            throw JsonError("skip: unsupported inner layer " + kind);
+    }
+    return std::make_unique<OpticalSkipLayer>(
+        std::move(inner), std::move(shortcut), j.numberOr("alpha", 1.0),
+        j.numberOr("beta", 0.0));
+}
+
+} // namespace lightridge

@@ -1,0 +1,462 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "utils/log.hpp"
+#include "utils/timer.hpp"
+
+namespace lightridge {
+
+namespace {
+
+/** Shuffled index order for one epoch. */
+std::vector<std::size_t>
+epochOrder(std::size_t n, bool shuffle, Rng *rng)
+{
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (shuffle)
+        std::shuffle(order.begin(), order.end(), rng->engine());
+    return order;
+}
+
+/** Apply gamma to every diffractive/codesign layer of a model. */
+void
+applyGamma(DonnModel &model, Real gamma)
+{
+    for (std::size_t i = 0; i < model.depth(); ++i) {
+        if (auto *d = dynamic_cast<DiffractiveLayer *>(model.layer(i)))
+            d->setGamma(gamma);
+        else if (auto *c = dynamic_cast<CodesignLayer *>(model.layer(i)))
+            c->setGamma(gamma);
+    }
+}
+
+/** Set Gumbel-softmax temperature on every codesign layer. */
+void
+applyTau(DonnModel &model, Real tau)
+{
+    for (std::size_t i = 0; i < model.depth(); ++i)
+        if (auto *c = dynamic_cast<CodesignLayer *>(model.layer(i)))
+            c->setTau(tau);
+}
+
+} // namespace
+
+Trainer::Trainer(DonnModel &model, TrainConfig config)
+    : model_(model), config_(config), optimizer_(config.lr),
+      rng_(config.seed)
+{
+    optimizer_.attach(model_.params());
+}
+
+void
+Trainer::calibrate(const ClassDataset &data, std::size_t probe)
+{
+    if (config_.gamma > 0)
+        applyGamma(model_, config_.gamma);
+
+    probe = std::min(probe, data.size());
+    if (probe == 0)
+        return;
+    Real mean_top = 0;
+    model_.detector().setAmpFactor(1.0);
+    for (std::size_t i = 0; i < probe; ++i) {
+        Field input = model_.encode(data.images[i]);
+        std::vector<Real> logits = model_.forwardLogits(input, false);
+        mean_top += *std::max_element(logits.begin(), logits.end());
+    }
+    mean_top /= static_cast<Real>(probe);
+    if (mean_top > 0)
+        model_.detector().setAmpFactor(config_.calib_target / mean_top);
+    calibrated_ = true;
+    LR_LOG(Debug) << "calibrated amp_factor="
+                  << model_.detector().ampFactor();
+}
+
+void
+Trainer::annealTau(int epoch)
+{
+    if (config_.epochs <= 1) {
+        applyTau(model_, config_.tau_end);
+        return;
+    }
+    Real t = static_cast<Real>(epoch) / (config_.epochs - 1);
+    applyTau(model_, config_.tau_start +
+                         t * (config_.tau_end - config_.tau_start));
+}
+
+EpochStats
+Trainer::trainEpoch(const ClassDataset &train)
+{
+    EpochStats stats;
+    WallTimer timer;
+    std::vector<std::size_t> order =
+        epochOrder(train.size(), config_.shuffle, &rng_);
+
+    std::size_t correct = 0;
+    std::size_t in_batch = 0;
+    model_.zeroGrad();
+    for (std::size_t idx : order) {
+        Field input = model_.encode(train.images[idx]);
+        std::vector<Real> logits = model_.forwardLogits(input, true);
+        LossResult loss =
+            classificationLoss(config_.loss, logits, train.labels[idx]);
+        stats.train_loss += loss.value;
+        int pred = static_cast<int>(
+            std::max_element(logits.begin(), logits.end()) - logits.begin());
+        if (pred == train.labels[idx])
+            ++correct;
+        model_.backwardFromLogits(loss.dlogits);
+        if (++in_batch == config_.batch) {
+            optimizer_.step();
+            model_.zeroGrad();
+            in_batch = 0;
+        }
+    }
+    if (in_batch > 0) {
+        optimizer_.step();
+        model_.zeroGrad();
+    }
+    stats.train_loss /= std::max<std::size_t>(train.size(), 1);
+    stats.train_acc = static_cast<Real>(correct) /
+                      std::max<std::size_t>(train.size(), 1);
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+std::vector<EpochStats>
+Trainer::fit(const ClassDataset &train, const ClassDataset *test)
+{
+    if (config_.calibrate && !calibrated_)
+        calibrate(train);
+    std::vector<EpochStats> history;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        annealTau(epoch);
+        EpochStats stats = trainEpoch(train);
+        stats.epoch = epoch;
+        if (test != nullptr)
+            stats.test_acc = evaluateAccuracy(model_, *test);
+        if (config_.verbose) {
+            LR_LOG(Info) << "epoch " << epoch << " loss=" << stats.train_loss
+                         << " train_acc=" << stats.train_acc
+                         << " test_acc=" << stats.test_acc << " ("
+                         << stats.seconds << "s)";
+        }
+        history.push_back(stats);
+    }
+    return history;
+}
+
+Real
+evaluateAccuracy(DonnModel &model, const ClassDataset &data, Real noise_frac,
+                 Rng *rng)
+{
+    return evaluateWithConfidence(model, data, noise_frac, rng).accuracy;
+}
+
+EvalResult
+evaluateWithConfidence(DonnModel &model, const ClassDataset &data,
+                       Real noise_frac, Rng *rng)
+{
+    EvalResult result;
+    if (data.size() == 0)
+        return result;
+    std::size_t correct = 0;
+    Real confidence = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        Field input = model.encode(data.images[i]);
+        Field u = model.forwardField(input, false);
+        std::vector<Real> logits =
+            (noise_frac > 0 && rng != nullptr)
+                ? model.detector().readoutNoisy(u, noise_frac, rng)
+                : model.detector().readout(u);
+        int pred = static_cast<int>(
+            std::max_element(logits.begin(), logits.end()) - logits.begin());
+        if (pred == data.labels[i])
+            ++correct;
+        confidence += predictionConfidence(logits);
+    }
+    result.accuracy = static_cast<Real>(correct) / data.size();
+    result.confidence = confidence / data.size();
+    return result;
+}
+
+SegTrainer::SegTrainer(DonnModel &model, TrainConfig config)
+    : model_(model), config_(config), optimizer_(config.lr),
+      rng_(config.seed)
+{
+    optimizer_.attach(model_.params());
+}
+
+void
+SegTrainer::calibrate(const SegDataset &data, std::size_t probe)
+{
+    probe = std::min(probe, data.size());
+    if (probe == 0)
+        return;
+    Real mean_intensity = 0;
+    Real mean_mask = 0;
+    for (std::size_t i = 0; i < probe; ++i) {
+        // Training-path statistics (LayerNorm active) so the loss scale
+        // matches what the optimizer will actually see.
+        Field u = model_.forwardField(model_.encode(data.images[i]), true);
+        mean_intensity += u.intensity().mean();
+        mean_mask += data.masks[i].mean();
+    }
+    mean_intensity /= static_cast<Real>(probe);
+    mean_mask /= static_cast<Real>(probe);
+    if (mean_mask > 0)
+        mask_mean_ = mean_mask;
+    // Aim the mean training-path intensity at the mask brightness.
+    if (mean_intensity > 0)
+        intensity_scale_ = mask_mean_ / mean_intensity;
+    calibrated_ = true;
+}
+
+EpochStats
+SegTrainer::trainEpoch(const SegDataset &train)
+{
+    EpochStats stats;
+    WallTimer timer;
+    std::vector<std::size_t> order =
+        epochOrder(train.size(), config_.shuffle, &rng_);
+
+    std::size_t in_batch = 0;
+    model_.zeroGrad();
+    for (std::size_t idx : order) {
+        const Grid grid = model_.spec().grid();
+        Field input = model_.encode(train.images[idx]);
+        Field u = model_.forwardField(input, true);
+        RealMap target = (train.masks[idx].rows() == grid.n)
+                             ? train.masks[idx]
+                             : resizeBilinear(train.masks[idx], grid.n,
+                                              grid.n);
+        FieldLossResult loss = intensityMseLoss(u, target, intensity_scale_);
+        stats.train_loss += loss.value;
+        model_.backwardField(loss.grad);
+        if (++in_batch == config_.batch) {
+            optimizer_.step();
+            model_.zeroGrad();
+            in_batch = 0;
+        }
+    }
+    if (in_batch > 0) {
+        optimizer_.step();
+        model_.zeroGrad();
+    }
+    stats.train_loss /= std::max<std::size_t>(train.size(), 1);
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+std::vector<EpochStats>
+SegTrainer::fit(const SegDataset &train, const SegDataset *test)
+{
+    if (config_.calibrate && !calibrated_)
+        calibrate(train);
+    std::vector<EpochStats> history;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        EpochStats stats = trainEpoch(train);
+        stats.epoch = epoch;
+        if (test != nullptr)
+            stats.test_acc = evaluateIou(*test);
+        if (config_.verbose) {
+            LR_LOG(Info) << "seg epoch " << epoch << " loss="
+                         << stats.train_loss << " iou=" << stats.test_acc
+                         << " (" << stats.seconds << "s)";
+        }
+        history.push_back(stats);
+    }
+    return history;
+}
+
+RealMap
+SegTrainer::predictMask(const RealMap &image)
+{
+    Field u = model_.forwardField(model_.encode(image), false);
+    RealMap intensity = u.intensity();
+    // Auto-exposure: match the mean prediction brightness to the
+    // expected mask brightness (LayerNorm is training-only, so the raw
+    // inference intensity scale is otherwise arbitrary).
+    Real mean = intensity.mean();
+    if (mean > 0)
+        intensity *= mask_mean_ / mean;
+    return intensity;
+}
+
+Real
+SegTrainer::evaluateIou(const SegDataset &data, Real threshold)
+{
+    if (data.size() == 0)
+        return 0;
+    const Grid grid = model_.spec().grid();
+    Real total = 0;
+    std::vector<Real> sorted;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        RealMap pred = predictMask(data.images[i]);
+        RealMap target = (data.masks[i].rows() == grid.n)
+                             ? data.masks[i]
+                             : resizeBilinear(data.masks[i], grid.n, grid.n);
+        // Predictions are uncalibrated analog intensities; binarize at
+        // the quantile matching the target's positive fraction so IoU
+        // scores spatial agreement, not exposure.
+        Real positive_frac =
+            target.sum() / static_cast<Real>(target.size());
+        sorted.assign(pred.raw().begin(), pred.raw().end());
+        std::sort(sorted.begin(), sorted.end());
+        std::size_t cut = static_cast<std::size_t>(
+            std::min<Real>(sorted.size() - 1.0,
+                           (1 - positive_frac) * sorted.size()));
+        Real pred_threshold = sorted[cut];
+
+        std::size_t inter = 0, uni = 0;
+        for (std::size_t p = 0; p < pred.size(); ++p) {
+            bool a = pred[p] >= pred_threshold;
+            bool b = target[p] >= threshold;
+            inter += (a && b) ? 1 : 0;
+            uni += (a || b) ? 1 : 0;
+        }
+        total += uni == 0 ? 1.0 : static_cast<Real>(inter) / uni;
+    }
+    return total / data.size();
+}
+
+Real
+SegTrainer::evaluateMse(const SegDataset &data)
+{
+    if (data.size() == 0)
+        return 0;
+    const Grid grid = model_.spec().grid();
+    Real total = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        RealMap pred = predictMask(data.images[i]);
+        RealMap target = (data.masks[i].rows() == grid.n)
+                             ? data.masks[i]
+                             : resizeBilinear(data.masks[i], grid.n, grid.n);
+        Real err = 0;
+        for (std::size_t p = 0; p < pred.size(); ++p) {
+            Real d = pred[p] - target[p];
+            err += d * d;
+        }
+        total += err / pred.size();
+    }
+    return total / data.size();
+}
+
+RgbTrainer::RgbTrainer(MultiChannelDonn &model, TrainConfig config)
+    : model_(model), config_(config), optimizer_(config.lr),
+      rng_(config.seed)
+{
+    optimizer_.attach(model_.params());
+}
+
+void
+RgbTrainer::calibrate(const RgbDataset &data, std::size_t probe)
+{
+    probe = std::min(probe, data.size());
+    if (probe == 0)
+        return;
+    Real mean_top = 0;
+    for (std::size_t ch = 0; ch < model_.numChannels(); ++ch)
+        model_.channel(ch).detector().setAmpFactor(1.0);
+    for (std::size_t i = 0; i < probe; ++i) {
+        std::vector<Real> logits =
+            model_.forwardLogits(model_.encode(data.images[i]), false);
+        mean_top += *std::max_element(logits.begin(), logits.end());
+    }
+    mean_top /= static_cast<Real>(probe);
+    if (mean_top > 0) {
+        Real amp = config_.calib_target / mean_top;
+        for (std::size_t ch = 0; ch < model_.numChannels(); ++ch)
+            model_.channel(ch).detector().setAmpFactor(amp);
+    }
+    calibrated_ = true;
+}
+
+EpochStats
+RgbTrainer::trainEpoch(const RgbDataset &train)
+{
+    EpochStats stats;
+    WallTimer timer;
+    std::vector<std::size_t> order =
+        epochOrder(train.size(), config_.shuffle, &rng_);
+
+    std::size_t correct = 0;
+    std::size_t in_batch = 0;
+    model_.zeroGrad();
+    for (std::size_t idx : order) {
+        std::vector<Field> inputs = model_.encode(train.images[idx]);
+        std::vector<Real> logits = model_.forwardLogits(inputs, true);
+        LossResult loss =
+            classificationLoss(config_.loss, logits, train.labels[idx]);
+        stats.train_loss += loss.value;
+        int pred = static_cast<int>(
+            std::max_element(logits.begin(), logits.end()) - logits.begin());
+        if (pred == train.labels[idx])
+            ++correct;
+        model_.backwardFromLogits(loss.dlogits);
+        if (++in_batch == config_.batch) {
+            optimizer_.step();
+            model_.zeroGrad();
+            in_batch = 0;
+        }
+    }
+    if (in_batch > 0) {
+        optimizer_.step();
+        model_.zeroGrad();
+    }
+    stats.train_loss /= std::max<std::size_t>(train.size(), 1);
+    stats.train_acc = static_cast<Real>(correct) /
+                      std::max<std::size_t>(train.size(), 1);
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+std::vector<EpochStats>
+RgbTrainer::fit(const RgbDataset &train, const RgbDataset *test)
+{
+    if (config_.calibrate && !calibrated_)
+        calibrate(train);
+    std::vector<EpochStats> history;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        EpochStats stats = trainEpoch(train);
+        stats.epoch = epoch;
+        if (test != nullptr)
+            stats.test_acc = evaluateRgbAccuracy(model_, *test);
+        if (config_.verbose) {
+            LR_LOG(Info) << "rgb epoch " << epoch << " loss="
+                         << stats.train_loss << " train_acc="
+                         << stats.train_acc << " test_acc=" << stats.test_acc
+                         << " (" << stats.seconds << "s)";
+        }
+        history.push_back(stats);
+    }
+    return history;
+}
+
+Real
+evaluateRgbAccuracy(MultiChannelDonn &model, const RgbDataset &data)
+{
+    return evaluateRgbTopK(model, data, 1);
+}
+
+Real
+evaluateRgbTopK(MultiChannelDonn &model, const RgbDataset &data,
+                std::size_t k)
+{
+    if (data.size() == 0)
+        return 0;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        std::vector<Real> logits =
+            model.forwardLogits(model.encode(data.images[i]), false);
+        if (topKContains(logits, data.labels[i], k))
+            ++hits;
+    }
+    return static_cast<Real>(hits) / data.size();
+}
+
+} // namespace lightridge

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Training loops and evaluation utilities (lr.train of the paper).
+ *
+ * Trainer drives classification training of a DonnModel; SegTrainer
+ * drives image-to-image (segmentation) training; RgbTrainer drives the
+ * multi-channel architecture. All three share the same recipe: per-sample
+ * forward/backward with batch-accumulated gradients and an Adam step per
+ * batch, plus the physics-aware calibration pass that implements the
+ * paper's complex-valued regularization (Section 3.2): the detector
+ * amplitude factor and per-layer gamma are set so logits land in a
+ * numerically healthy softmax range regardless of system depth.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/loss.hpp"
+#include "core/model.hpp"
+#include "core/multichannel.hpp"
+#include "core/optimizer.hpp"
+
+namespace lightridge {
+
+/** Hyperparameters shared by all training loops. */
+struct TrainConfig
+{
+    int epochs = 5;
+    std::size_t batch = 32;
+    Real lr = 0.01;
+    LossKind loss = LossKind::SoftmaxMse;
+    uint64_t seed = 7;
+    bool shuffle = true;
+
+    /**
+     * Enable the physics-aware calibration (complex-valued regularization).
+     * Disabled reproduces the [34]/[68] baseline training behaviour.
+     */
+    bool calibrate = true;
+
+    /** Target mean top-logit after calibration. */
+    Real calib_target = 4.0;
+
+    /** Per-layer gamma; <= 0 keeps layer defaults. */
+    Real gamma = 0.0;
+
+    /** Gumbel-softmax temperature annealing (codesign layers only). */
+    Real tau_start = 2.0;
+    Real tau_end = 0.5;
+
+    /** Print per-epoch progress lines. */
+    bool verbose = false;
+};
+
+/** Per-epoch training statistics. */
+struct EpochStats
+{
+    int epoch = 0;
+    Real train_loss = 0;
+    Real train_acc = 0;
+    Real test_acc = 0;
+    double seconds = 0;
+};
+
+/** Classification trainer for a single-stack DONN. */
+class Trainer
+{
+  public:
+    Trainer(DonnModel &model, TrainConfig config);
+
+    /**
+     * Calibrate detector amp_factor (and optionally per-layer gamma) on a
+     * probe of the dataset. Called automatically by fit() when
+     * config.calibrate is set.
+     */
+    void calibrate(const ClassDataset &data, std::size_t probe = 16);
+
+    /** One pass over the training set; returns loss/accuracy. */
+    EpochStats trainEpoch(const ClassDataset &train);
+
+    /** Full run; evaluates on test after each epoch when non-null. */
+    std::vector<EpochStats> fit(const ClassDataset &train,
+                                const ClassDataset *test = nullptr);
+
+  private:
+    void annealTau(int epoch);
+
+    DonnModel &model_;
+    TrainConfig config_;
+    Adam optimizer_;
+    Rng rng_;
+    bool calibrated_ = false;
+};
+
+/** Accuracy of a model over a dataset (optionally with detector noise). */
+Real evaluateAccuracy(DonnModel &model, const ClassDataset &data,
+                      Real noise_frac = 0.0, Rng *rng = nullptr);
+
+/** Accuracy and mean prediction confidence (Fig. 7). */
+struct EvalResult
+{
+    Real accuracy = 0;
+    Real confidence = 0;
+};
+EvalResult evaluateWithConfidence(DonnModel &model, const ClassDataset &data,
+                                  Real noise_frac = 0.0, Rng *rng = nullptr);
+
+/** Image-to-image trainer (all-optical segmentation, Section 5.6.2). */
+class SegTrainer
+{
+  public:
+    SegTrainer(DonnModel &model, TrainConfig config);
+
+    /** Calibrate the intensity scale so outputs can reach mask range. */
+    void calibrate(const SegDataset &data, std::size_t probe = 8);
+
+    EpochStats trainEpoch(const SegDataset &train);
+    std::vector<EpochStats> fit(const SegDataset &train,
+                                const SegDataset *test = nullptr);
+
+    /** Scale applied to |U|^2 before comparing against masks. */
+    Real intensityScale() const { return intensity_scale_; }
+
+    /**
+     * Predicted mask: detector-plane intensity auto-exposed so its mean
+     * matches the expected mask brightness (camera exposure control;
+     * also bridges the training-only LayerNorm scale at inference).
+     */
+    RealMap predictMask(const RealMap &image);
+
+    /**
+     * Mean intersection-over-union of thresholded predictions, the
+     * segmentation quality metric reported for Fig. 13.
+     */
+    Real evaluateIou(const SegDataset &data, Real threshold = 0.5);
+
+    /** Mean per-pixel MSE against the masks. */
+    Real evaluateMse(const SegDataset &data);
+
+  private:
+    DonnModel &model_;
+    TrainConfig config_;
+    Adam optimizer_;
+    Rng rng_;
+    Real intensity_scale_ = 1.0;
+    Real mask_mean_ = 0.25; ///< expected mask brightness (auto-exposure)
+    bool calibrated_ = false;
+};
+
+/** Multi-channel RGB classification trainer (Section 5.6.1). */
+class RgbTrainer
+{
+  public:
+    RgbTrainer(MultiChannelDonn &model, TrainConfig config);
+
+    void calibrate(const RgbDataset &data, std::size_t probe = 8);
+
+    EpochStats trainEpoch(const RgbDataset &train);
+    std::vector<EpochStats> fit(const RgbDataset &train,
+                                const RgbDataset *test = nullptr);
+
+  private:
+    MultiChannelDonn &model_;
+    TrainConfig config_;
+    Adam optimizer_;
+    Rng rng_;
+    bool calibrated_ = false;
+};
+
+/** Top-1 accuracy for an RGB model. */
+Real evaluateRgbAccuracy(MultiChannelDonn &model, const RgbDataset &data);
+
+/** Top-k accuracy for an RGB model (Table 5 reports top-1/3/5). */
+Real evaluateRgbTopK(MultiChannelDonn &model, const RgbDataset &data,
+                     std::size_t k);
+
+} // namespace lightridge

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tiny software rasterizer used by the synthetic dataset generators:
+ * anti-aliased thick lines, filled rectangles/ellipses/triangles on a
+ * RealMap in [0, 1] intensity.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/field.hpp"
+
+namespace lightridge {
+
+/** Saturating additive paint of one pixel. */
+inline void
+paintPixel(RealMap *img, int r, int c, Real value)
+{
+    if (r < 0 || c < 0 || r >= static_cast<int>(img->rows()) ||
+        c >= static_cast<int>(img->cols()))
+        return;
+    Real &p = (*img)(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+    p = std::min<Real>(1.0, p + value);
+}
+
+/** Thick anti-aliased line from (r0,c0) to (r1,c1) in pixel coordinates. */
+inline void
+drawLine(RealMap *img, Real r0, Real c0, Real r1, Real c1, Real thickness,
+         Real intensity = 1.0)
+{
+    const Real dr = r1 - r0, dc = c1 - c0;
+    const Real len_sq = dr * dr + dc * dc;
+    const Real half = thickness / 2;
+    const int rmin = static_cast<int>(std::floor(std::min(r0, r1) - half - 1));
+    const int rmax = static_cast<int>(std::ceil(std::max(r0, r1) + half + 1));
+    const int cmin = static_cast<int>(std::floor(std::min(c0, c1) - half - 1));
+    const int cmax = static_cast<int>(std::ceil(std::max(c0, c1) + half + 1));
+    for (int r = rmin; r <= rmax; ++r) {
+        for (int c = cmin; c <= cmax; ++c) {
+            // Distance from pixel center to the segment.
+            Real t = len_sq > 0
+                         ? std::clamp(((r - r0) * dr + (c - c0) * dc) / len_sq,
+                                      Real(0), Real(1))
+                         : 0;
+            Real pr = r0 + t * dr, pc = c0 + t * dc;
+            Real dist = std::hypot(r - pr, c - pc);
+            Real cover = std::clamp(half + Real(0.5) - dist, Real(0), Real(1));
+            if (cover > 0)
+                paintPixel(img, r, c, cover * intensity);
+        }
+    }
+}
+
+/** Axis-aligned filled rectangle (inclusive pixel bounds, clipped). */
+inline void
+fillRect(RealMap *img, int r0, int c0, int r1, int c1, Real intensity = 1.0)
+{
+    for (int r = std::max(r0, 0);
+         r <= std::min<int>(r1, static_cast<int>(img->rows()) - 1); ++r)
+        for (int c = std::max(c0, 0);
+             c <= std::min<int>(c1, static_cast<int>(img->cols()) - 1); ++c)
+            (*img)(r, c) = std::min<Real>(1.0, (*img)(r, c) + intensity);
+}
+
+/** Filled ellipse centered at (rc, cc) with radii (rr, cr). */
+inline void
+fillEllipse(RealMap *img, Real rc, Real cc, Real rr, Real cr,
+            Real intensity = 1.0)
+{
+    const int r0 = static_cast<int>(std::floor(rc - rr)),
+              r1 = static_cast<int>(std::ceil(rc + rr));
+    const int c0 = static_cast<int>(std::floor(cc - cr)),
+              c1 = static_cast<int>(std::ceil(cc + cr));
+    for (int r = r0; r <= r1; ++r)
+        for (int c = c0; c <= c1; ++c) {
+            Real u = (r - rc) / rr, v = (c - cc) / cr;
+            if (u * u + v * v <= 1.0)
+                paintPixel(img, r, c, intensity);
+        }
+}
+
+/** Ellipse outline with given stroke thickness. */
+inline void
+strokeEllipse(RealMap *img, Real rc, Real cc, Real rr, Real cr,
+              Real thickness, Real intensity = 1.0)
+{
+    const int steps = 64;
+    Real pr = rc + rr * std::sin(0.0), pc = cc + cr * std::cos(0.0);
+    for (int s = 1; s <= steps; ++s) {
+        Real a = kTwoPi * s / steps;
+        Real nr = rc + rr * std::sin(a), nc = cc + cr * std::cos(a);
+        drawLine(img, pr, pc, nr, nc, thickness, intensity);
+        pr = nr;
+        pc = nc;
+    }
+}
+
+/** Filled triangle via barycentric containment. */
+inline void
+fillTriangle(RealMap *img, Real r0, Real c0, Real r1, Real c1, Real r2,
+             Real c2, Real intensity = 1.0)
+{
+    const int rmin = static_cast<int>(std::floor(std::min({r0, r1, r2})));
+    const int rmax = static_cast<int>(std::ceil(std::max({r0, r1, r2})));
+    const int cmin = static_cast<int>(std::floor(std::min({c0, c1, c2})));
+    const int cmax = static_cast<int>(std::ceil(std::max({c0, c1, c2})));
+    const Real det = (r1 - r0) * (c2 - c0) - (r2 - r0) * (c1 - c0);
+    if (std::abs(det) < 1e-12)
+        return;
+    for (int r = rmin; r <= rmax; ++r)
+        for (int c = cmin; c <= cmax; ++c) {
+            Real a = ((r - r0) * (c2 - c0) - (r2 - r0) * (c - c0)) / det;
+            Real b = ((r1 - r0) * (c - c0) - (r - r0) * (c1 - c0)) / det;
+            if (a >= 0 && b >= 0 && a + b <= 1)
+                paintPixel(img, r, c, intensity);
+        }
+}
+
+} // namespace lightridge

@@ -1,0 +1,83 @@
+#include "data/synth_city.hpp"
+
+#include <cmath>
+
+#include "data/raster.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+void
+renderCityScene(const CityConfig &config, Rng *rng, RealMap *image,
+                RealMap *mask)
+{
+    const std::size_t n = config.image_size;
+    *image = RealMap(n, n, 0.0);
+    *mask = RealMap(n, n, 0.0);
+
+    // Sky: soft dark gradient (overcast CityScapes-style scenes; the
+    // bright dominant structures are the building facades).
+    for (std::size_t r = 0; r < n; ++r) {
+        Real v = 0.40 - 0.20 * static_cast<Real>(r) / n;
+        for (std::size_t c = 0; c < n; ++c)
+            (*image)(r, c) = v;
+    }
+
+    // Road band at the bottom.
+    std::size_t road_top = static_cast<std::size_t>(n * rng->uniform(0.8, 0.9));
+    for (std::size_t r = road_top; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            (*image)(r, c) = 0.15;
+
+    // Buildings: rectangles from a ground line up, with window texture.
+    std::size_t count = static_cast<std::size_t>(
+        rng->randint(static_cast<int64_t>(config.min_buildings),
+                     static_cast<int64_t>(config.max_buildings)));
+    for (std::size_t b = 0; b < count; ++b) {
+        int width = static_cast<int>(rng->uniform(0.12, 0.3) * n);
+        int c0 = static_cast<int>(rng->uniform(0.0, 1.0) * n) - width / 2;
+        int top = static_cast<int>(rng->uniform(0.15, 0.55) * n);
+        int bottom = static_cast<int>(road_top) - 1;
+        Real shade = rng->uniform(0.7, 0.95);
+        for (int r = top; r <= bottom; ++r)
+            for (int c = std::max(c0, 0);
+                 c <= std::min<int>(c0 + width, static_cast<int>(n) - 1);
+                 ++c) {
+                (*image)(r, c) = shade;
+                (*mask)(r, c) = 1.0;
+            }
+        // Window grid darkens the facade.
+        for (int r = top + 2; r < bottom - 1; r += 5)
+            for (int c = c0 + 2; c < c0 + width - 1; c += 5) {
+                if (c < 0 || c + 1 >= static_cast<int>(n) ||
+                    r + 1 >= static_cast<int>(n))
+                    continue;
+                (*image)(r, c) = 0.45;
+                (*image)(r, c + 1) = 0.45;
+                (*image)(r + 1, c) = 0.45;
+            }
+    }
+
+    if (config.noise > 0)
+        for (std::size_t i = 0; i < image->size(); ++i)
+            (*image)[i] = std::clamp<Real>(
+                (*image)[i] + rng->uniform(-config.noise, config.noise), 0, 1);
+}
+
+SegDataset
+makeSynthCity(std::size_t count, uint64_t seed, const CityConfig &config)
+{
+    Rng rng(seed);
+    SegDataset data;
+    data.images.reserve(count);
+    data.masks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        RealMap image, mask;
+        renderCityScene(config, &rng, &image, &mask);
+        data.images.push_back(std::move(image));
+        data.masks.push_back(std::move(mask));
+    }
+    return data;
+}
+
+} // namespace lightridge

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Procedural CityScapes-like segmentation dataset ("SynthCity").
+ *
+ * The paper's segmentation case study (Section 5.6.2) converts CityScapes
+ * to grayscale and uses binary building-vs-rest masks. This generator
+ * produces the same kind of supervised pair: a grayscale street scene
+ * (sky, buildings with windows, road) plus the binary building mask.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/dataset.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+/** Generation knobs for the synthetic street-scene dataset. */
+struct CityConfig
+{
+    std::size_t image_size = 64;
+    std::size_t min_buildings = 2;
+    std::size_t max_buildings = 5;
+    Real noise = 0.02;
+};
+
+/** Render one (image, building-mask) pair. */
+void renderCityScene(const CityConfig &config, Rng *rng, RealMap *image,
+                     RealMap *mask);
+
+/** Dataset of `count` pairs, deterministic by seed. */
+SegDataset makeSynthCity(std::size_t count, uint64_t seed,
+                         const CityConfig &config = {});
+
+} // namespace lightridge

@@ -1,0 +1,126 @@
+#include "data/synth_digits.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "data/raster.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+namespace {
+
+/** One stroke in normalized [0,1]^2 template space (row, col). */
+struct Stroke
+{
+    Real r0, c0, r1, c1;
+};
+
+/**
+ * Stroke templates. Digits are drawn in a seven-segment-inspired style
+ * with per-digit modifications (diagonals, half-height bars) so the ten
+ * classes are geometrically distinct.
+ */
+const std::vector<Stroke> &
+digitStrokes(int label)
+{
+    // Segment endpoints in template space.
+    // Corners: TL(0.1,0.2) TR(0.1,0.8) ML(0.5,0.2) MR(0.5,0.8)
+    //          BL(0.9,0.2) BR(0.9,0.8)
+    static const std::array<std::vector<Stroke>, 10> table = {{
+        // 0: rectangle outline + diagonal accent
+        {{0.1, 0.2, 0.1, 0.8}, {0.1, 0.8, 0.9, 0.8}, {0.9, 0.8, 0.9, 0.2},
+         {0.9, 0.2, 0.1, 0.2}, {0.75, 0.3, 0.25, 0.7}},
+        // 1: vertical stroke + flag
+        {{0.1, 0.55, 0.9, 0.55}, {0.1, 0.55, 0.3, 0.3}},
+        // 2: top bar, right upper, middle, left lower, bottom bar
+        {{0.1, 0.2, 0.1, 0.8}, {0.1, 0.8, 0.5, 0.8}, {0.5, 0.8, 0.5, 0.2},
+         {0.5, 0.2, 0.9, 0.2}, {0.9, 0.2, 0.9, 0.8}},
+        // 3: top, middle, bottom bars + right side
+        {{0.1, 0.2, 0.1, 0.8}, {0.5, 0.35, 0.5, 0.8}, {0.9, 0.2, 0.9, 0.8},
+         {0.1, 0.8, 0.9, 0.8}},
+        // 4: left upper, middle bar, full right vertical
+        {{0.1, 0.2, 0.5, 0.2}, {0.5, 0.2, 0.5, 0.8}, {0.1, 0.8, 0.9, 0.8}},
+        // 5: mirror of 2
+        {{0.1, 0.8, 0.1, 0.2}, {0.1, 0.2, 0.5, 0.2}, {0.5, 0.2, 0.5, 0.8},
+         {0.5, 0.8, 0.9, 0.8}, {0.9, 0.8, 0.9, 0.2}},
+        // 6: like 5 plus lower-left vertical
+        {{0.1, 0.8, 0.1, 0.2}, {0.1, 0.2, 0.9, 0.2}, {0.5, 0.2, 0.5, 0.8},
+         {0.5, 0.8, 0.9, 0.8}, {0.9, 0.8, 0.9, 0.2}},
+        // 7: top bar + long diagonal
+        {{0.1, 0.2, 0.1, 0.8}, {0.1, 0.8, 0.9, 0.35}},
+        // 8: full rectangle + middle bar
+        {{0.1, 0.2, 0.1, 0.8}, {0.1, 0.8, 0.9, 0.8}, {0.9, 0.8, 0.9, 0.2},
+         {0.9, 0.2, 0.1, 0.2}, {0.5, 0.2, 0.5, 0.8}},
+        // 9: like 8 without lower-left
+        {{0.1, 0.2, 0.1, 0.8}, {0.1, 0.8, 0.9, 0.8}, {0.5, 0.2, 0.5, 0.8},
+         {0.1, 0.2, 0.5, 0.2}, {0.9, 0.8, 0.9, 0.5}},
+    }};
+    return table[label];
+}
+
+} // namespace
+
+RealMap
+renderDigit(int label, const DigitConfig &config, Rng *rng)
+{
+    const std::size_t n = config.image_size;
+    RealMap img(n, n, 0.0);
+
+    // Per-sample affine jitter.
+    const Real angle = rng->uniform(-config.rotation_deg, config.rotation_deg)
+                       * kPi / 180.0;
+    const Real scale = 1.0 + rng->uniform(-config.scale_jitter,
+                                          config.scale_jitter);
+    const Real dr = rng->uniform(-config.shift_px, config.shift_px);
+    const Real dc = rng->uniform(-config.shift_px, config.shift_px);
+    const Real thickness = rng->uniform(1.4, 2.4) *
+                           (static_cast<Real>(n) / 28.0);
+    const Real cos_a = std::cos(angle), sin_a = std::sin(angle);
+    const Real extent = static_cast<Real>(n) * 0.86; // template -> pixels
+
+    auto map_point = [&](Real tr, Real tc, Real *pr, Real *pc) {
+        // Center template, rotate, scale, translate into pixel space.
+        Real cr = (tr - 0.5) * extent * scale;
+        Real cc = (tc - 0.5) * extent * scale;
+        *pr = cos_a * cr - sin_a * cc + n / 2.0 + dr;
+        *pc = sin_a * cr + cos_a * cc + n / 2.0 + dc;
+    };
+
+    for (const Stroke &s : digitStrokes(label)) {
+        Real r0, c0, r1, c1;
+        map_point(s.r0, s.c0, &r0, &c0);
+        map_point(s.r1, s.c1, &r1, &c1);
+        drawLine(&img, r0, c0, r1, c1, thickness);
+    }
+
+    if (config.noise > 0)
+        for (std::size_t i = 0; i < img.size(); ++i)
+            img[i] = std::clamp<Real>(
+                img[i] + rng->uniform(-config.noise, config.noise), 0, 1);
+
+    if (config.binarize)
+        for (std::size_t i = 0; i < img.size(); ++i)
+            img[i] = img[i] >= 0.5 ? 1.0 : 0.0;
+
+    return img;
+}
+
+ClassDataset
+makeSynthDigits(std::size_t count, uint64_t seed, const DigitConfig &config)
+{
+    Rng rng(seed);
+    ClassDataset data;
+    data.num_classes = 10;
+    data.images.reserve(count);
+    data.labels.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        int label = static_cast<int>(i % 10);
+        data.images.push_back(renderDigit(label, config, &rng));
+        data.labels.push_back(label);
+    }
+    return data;
+}
+
+} // namespace lightridge

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Procedural MNIST-like digit dataset ("SynthMNIST").
+ *
+ * No dataset files exist in this offline environment, so digits 0-9 are
+ * rendered from stroke templates with per-sample random affine jitter
+ * (rotation, scale, translation), stroke-thickness variation, and optional
+ * pixel noise. The result is a deterministic, seed-reproducible 10-class
+ * 28x28 grayscale distribution with intra-class variation - everything the
+ * DONN experiments actually depend on (see DESIGN.md, Substitutions).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/dataset.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+/** Generation knobs for the synthetic digit dataset. */
+struct DigitConfig
+{
+    std::size_t image_size = 28;
+    Real rotation_deg = 10.0;  ///< max |rotation| jitter
+    Real scale_jitter = 0.12;  ///< max relative scale jitter
+    Real shift_px = 1.5;       ///< max |translation| jitter
+    Real noise = 0.02;         ///< additive uniform pixel noise amplitude
+    bool binarize = false;     ///< threshold at 0.5 (Fig. 6 uses binary)
+};
+
+/** Render one digit image (label in 0..9) with jitter drawn from rng. */
+RealMap renderDigit(int label, const DigitConfig &config, Rng *rng);
+
+/** Balanced dataset of `count` samples, deterministic by seed. */
+ClassDataset makeSynthDigits(std::size_t count, uint64_t seed,
+                             const DigitConfig &config = {});
+
+} // namespace lightridge

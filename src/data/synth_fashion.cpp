@@ -1,0 +1,118 @@
+#include "data/synth_fashion.hpp"
+
+#include <cmath>
+
+#include "data/raster.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+namespace {
+
+/** Draw one garment class into a unit-jittered 28-based pixel space. */
+void
+drawGarment(RealMap *img, int label, Real s, Real dr, Real dc, Rng *rng)
+{
+    auto R = [&](Real v) { return v * s + dr; };
+    auto C = [&](Real v) { return v * s + dc; };
+    const Real body = rng->uniform(0.75, 1.0);
+
+    switch (label) {
+      case 0: // t-shirt: torso + short sleeves
+        fillRect(img, R(8), C(9), R(22), C(19), body);
+        fillTriangle(img, R(8), C(9), R(8), C(3), R(13), C(9), body);
+        fillTriangle(img, R(8), C(19), R(8), C(25), R(13), C(19), body);
+        break;
+      case 1: // trouser: two legs
+        fillRect(img, R(4), C(9), R(9), C(19), body);
+        fillRect(img, R(9), C(9), R(24), C(13), body);
+        fillRect(img, R(9), C(15), R(24), C(19), body);
+        break;
+      case 2: // pullover: torso + long sleeves
+        fillRect(img, R(7), C(9), R(23), C(19), body);
+        fillRect(img, R(7), C(3), R(21), C(8), body * 0.9);
+        fillRect(img, R(7), C(20), R(21), C(25), body * 0.9);
+        break;
+      case 3: // dress: narrow top flaring to wide hem
+        fillTriangle(img, R(5), C(11), R(5), C(17), R(24), C(23), body);
+        fillTriangle(img, R(5), C(11), R(24), C(5), R(24), C(23), body);
+        break;
+      case 4: // coat: long torso, long sleeves, collar gap
+        fillRect(img, R(5), C(8), R(25), C(20), body);
+        fillRect(img, R(5), C(3), R(23), C(7), body * 0.9);
+        fillRect(img, R(5), C(21), R(23), C(25), body * 0.9);
+        fillRect(img, R(5), C(13), R(12), C(15), 0.0); // collar notch
+        break;
+      case 5: // sandal: sole + two straps
+        fillRect(img, R(19), C(4), R(23), C(24), body);
+        drawLine(img, R(19), C(7), R(12), C(14), 1.6 * s, body);
+        drawLine(img, R(12), C(14), R(19), C(21), 1.6 * s, body);
+        break;
+      case 6: // shirt: torso + sleeves + button line
+        fillRect(img, R(7), C(9), R(24), C(19), body);
+        fillTriangle(img, R(7), C(9), R(7), C(4), R(14), C(9), body * 0.9);
+        fillTriangle(img, R(7), C(19), R(7), C(24), R(14), C(19),
+                     body * 0.9);
+        drawLine(img, R(8), C(14), R(23), C(14), 0.8 * s, 0.0);
+        break;
+      case 7: // sneaker: low profile with toe rise
+        fillRect(img, R(16), C(4), R(22), C(24), body);
+        fillTriangle(img, R(16), C(4), R(11), C(10), R(16), C(14), body);
+        fillRect(img, R(22), C(4), R(24), C(24), body * 0.6); // sole
+        break;
+      case 8: // bag: box + handle arc
+        fillRect(img, R(11), C(5), R(24), C(23), body);
+        strokeEllipse(img, R(10), C(14), 5.0 * s, 6.0 * s, 1.5 * s, body);
+        break;
+      case 9: // ankle boot: tall shaft + foot
+        fillRect(img, R(6), C(13), R(22), C(21), body);
+        fillRect(img, R(17), C(4), R(22), C(21), body);
+        fillRect(img, R(22), C(4), R(24), C(21), body * 0.6);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+RealMap
+renderFashion(int label, const FashionConfig &config, Rng *rng)
+{
+    const std::size_t n = config.image_size;
+    RealMap img(n, n, 0.0);
+    const Real base_scale = static_cast<Real>(n) / 28.0;
+    const Real s = base_scale *
+                   (1.0 + rng->uniform(-config.scale_jitter,
+                                       config.scale_jitter));
+    const Real dr = rng->uniform(-config.shift_px, config.shift_px) +
+                    (n - 28.0 * s / base_scale * base_scale) / 2.0;
+    const Real dc = rng->uniform(-config.shift_px, config.shift_px) +
+                    (n - 28.0 * s / base_scale * base_scale) / 2.0;
+    drawGarment(&img, label, s, dr, dc, rng);
+
+    if (config.noise > 0)
+        for (std::size_t i = 0; i < img.size(); ++i)
+            img[i] = std::clamp<Real>(
+                img[i] + rng->uniform(-config.noise, config.noise), 0, 1);
+    return img;
+}
+
+ClassDataset
+makeSynthFashion(std::size_t count, uint64_t seed,
+                 const FashionConfig &config)
+{
+    Rng rng(seed);
+    ClassDataset data;
+    data.num_classes = 10;
+    data.images.reserve(count);
+    data.labels.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        int label = static_cast<int>(i % 10);
+        data.images.push_back(renderFashion(label, config, &rng));
+        data.labels.push_back(label);
+    }
+    return data;
+}
+
+} // namespace lightridge

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Procedural FashionMNIST-like dataset ("SynthFashion"): ten garment
+ * silhouette classes rendered as filled shapes with per-sample jitter.
+ * Class list mirrors FashionMNIST: t-shirt, trouser, pullover, dress,
+ * coat, sandal, shirt, sneaker, bag, ankle boot.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/dataset.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+/** Generation knobs for the synthetic fashion dataset. */
+struct FashionConfig
+{
+    std::size_t image_size = 28;
+    Real scale_jitter = 0.12;
+    Real shift_px = 1.5;
+    Real noise = 0.03;
+};
+
+/** Render one garment silhouette (label in 0..9). */
+RealMap renderFashion(int label, const FashionConfig &config, Rng *rng);
+
+/** Balanced dataset of `count` samples, deterministic by seed. */
+ClassDataset makeSynthFashion(std::size_t count, uint64_t seed,
+                              const FashionConfig &config = {});
+
+} // namespace lightridge

@@ -1,0 +1,191 @@
+#include "data/synth_scenes.hpp"
+
+#include <cmath>
+
+#include "data/raster.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+const char *
+sceneClassName(int label)
+{
+    static const char *names[] = {"beach", "forest", "city",
+                                  "mountain", "desert", "night"};
+    return (label >= 0 && label < 6) ? names[label] : "?";
+}
+
+namespace {
+
+/** Vertical gradient fill between two intensities. */
+void
+gradientFill(RealMap *ch, Real top, Real bottom, std::size_t r0,
+             std::size_t r1)
+{
+    for (std::size_t r = r0; r < r1; ++r) {
+        Real t = (r1 == r0) ? 0
+                            : static_cast<Real>(r - r0) / (r1 - r0);
+        Real v = top + t * (bottom - top);
+        for (std::size_t c = 0; c < ch->cols(); ++c)
+            (*ch)(r, c) = std::min<Real>(1.0, (*ch)(r, c) + v);
+    }
+}
+
+} // namespace
+
+std::array<RealMap, 3>
+renderScene(int label, const SceneConfig &config, Rng *rng)
+{
+    const std::size_t n = config.image_size;
+    std::array<RealMap, 3> rgb{RealMap(n, n, 0.0), RealMap(n, n, 0.0),
+                               RealMap(n, n, 0.0)};
+    RealMap &r_ch = rgb[0];
+    RealMap &g_ch = rgb[1];
+    RealMap &b_ch = rgb[2];
+    const std::size_t horizon =
+        static_cast<std::size_t>(n * rng->uniform(0.4, 0.6));
+
+    switch (label) {
+      case 0: { // beach: blue sky/sea + yellow sand + sun
+        gradientFill(&b_ch, 0.9, 0.6, 0, horizon);
+        gradientFill(&b_ch, 0.7, 0.5, horizon, n);
+        gradientFill(&g_ch, 0.3, 0.5, horizon, n);
+        std::size_t sand = horizon + (n - horizon) / 2;
+        gradientFill(&r_ch, 0.8, 0.9, sand, n);
+        gradientFill(&g_ch, 0.7, 0.8, sand, n);
+        Real sun_c = rng->uniform(0.2, 0.8) * n;
+        fillEllipse(&r_ch, n * 0.15, sun_c, n * 0.06, n * 0.06, 0.9);
+        fillEllipse(&g_ch, n * 0.15, sun_c, n * 0.06, n * 0.06, 0.9);
+        break;
+      }
+      case 1: { // forest: green vertical trunks + canopy
+        gradientFill(&g_ch, 0.35, 0.55, 0, n);
+        gradientFill(&b_ch, 0.15, 0.1, 0, n);
+        int trees = static_cast<int>(rng->randint(5, 8));
+        for (int t = 0; t < trees; ++t) {
+            Real c = rng->uniform(0.05, 0.95) * n;
+            Real w = rng->uniform(0.015, 0.03) * n;
+            drawLine(&r_ch, n * 0.35, c, n * 0.95, c, w, 0.35);
+            drawLine(&g_ch, n * 0.35, c, n * 0.95, c, w, 0.2);
+            fillEllipse(&g_ch, n * rng->uniform(0.2, 0.35), c,
+                        n * 0.12, n * 0.10, 0.5);
+        }
+        break;
+      }
+      case 2: { // city: gray building blocks with bright windows
+        gradientFill(&b_ch, 0.45, 0.3, 0, horizon);
+        gradientFill(&r_ch, 0.3, 0.2, 0, horizon);
+        gradientFill(&g_ch, 0.35, 0.25, 0, horizon);
+        int blocks = static_cast<int>(rng->randint(4, 6));
+        for (int bIdx = 0; bIdx < blocks; ++bIdx) {
+            int c0 = static_cast<int>(rng->uniform(0.0, 0.85) * n);
+            int w = static_cast<int>(rng->uniform(0.1, 0.2) * n);
+            int top = static_cast<int>(rng->uniform(0.15, 0.5) * n);
+            for (auto *ch : {&r_ch, &g_ch, &b_ch})
+                fillRect(ch, top, c0, static_cast<int>(n) - 1, c0 + w, 0.35);
+            for (int wr = top + 2; wr < static_cast<int>(n) - 2; wr += 4)
+                for (int wc = c0 + 2; wc < c0 + w - 1; wc += 4) {
+                    fillRect(&r_ch, wr, wc, wr + 1, wc + 1, 0.5);
+                    fillRect(&g_ch, wr, wc, wr + 1, wc + 1, 0.45);
+                }
+        }
+        break;
+      }
+      case 3: { // mountain: blue sky + gray triangles + snow caps
+        gradientFill(&b_ch, 0.8, 0.55, 0, n);
+        gradientFill(&g_ch, 0.3, 0.35, 0, n);
+        int peaks = static_cast<int>(rng->randint(2, 4));
+        for (int p = 0; p < peaks; ++p) {
+            Real apex_c = rng->uniform(0.1, 0.9) * n;
+            Real apex_r = rng->uniform(0.2, 0.45) * n;
+            Real base = rng->uniform(0.25, 0.4) * n;
+            for (auto *ch : {&r_ch, &g_ch, &b_ch})
+                fillTriangle(ch, apex_r, apex_c, n - 1.0, apex_c - base,
+                             n - 1.0, apex_c + base, 0.3);
+            // Snow cap.
+            for (auto *ch : {&r_ch, &g_ch, &b_ch})
+                fillTriangle(ch, apex_r, apex_c, apex_r + n * 0.08,
+                             apex_c - base * 0.2, apex_r + n * 0.08,
+                             apex_c + base * 0.2, 0.5);
+        }
+        break;
+      }
+      case 4: { // desert: warm dunes as sine ridges
+        gradientFill(&r_ch, 0.6, 0.9, 0, n);
+        gradientFill(&g_ch, 0.45, 0.7, 0, n);
+        gradientFill(&b_ch, 0.2, 0.3, 0, n);
+        int ridges = static_cast<int>(rng->randint(2, 4));
+        for (int d = 0; d < ridges; ++d) {
+            Real base_r = rng->uniform(0.5, 0.9) * n;
+            Real amp = rng->uniform(0.03, 0.08) * n;
+            Real phase = rng->uniform(0, kTwoPi);
+            for (std::size_t c = 0; c + 1 < n; ++c) {
+                Real y0 = base_r + amp * std::sin(kTwoPi * c / n * 2 + phase);
+                Real y1 = base_r +
+                          amp * std::sin(kTwoPi * (c + 1) / n * 2 + phase);
+                drawLine(&r_ch, y0, static_cast<Real>(c), y1,
+                         static_cast<Real>(c + 1), 1.5, 0.25);
+            }
+        }
+        break;
+      }
+      case 5: { // night: dark blue + moon + white stars
+        gradientFill(&b_ch, 0.35, 0.15, 0, n);
+        gradientFill(&r_ch, 0.05, 0.02, 0, n);
+        gradientFill(&g_ch, 0.08, 0.05, 0, n);
+        Real moon_c = rng->uniform(0.2, 0.8) * n;
+        Real moon_r = rng->uniform(0.1, 0.3) * n;
+        for (auto *ch : {&r_ch, &g_ch, &b_ch})
+            fillEllipse(ch, moon_r, moon_c, n * 0.07, n * 0.07, 0.8);
+        int stars = static_cast<int>(rng->randint(15, 30));
+        for (int s = 0; s < stars; ++s) {
+            int sr = static_cast<int>(rng->uniform(0, 0.7) * n);
+            int sc = static_cast<int>(rng->uniform(0, 1.0) * n);
+            for (auto *ch : {&r_ch, &g_ch, &b_ch})
+                paintPixel(ch, sr, sc, 0.9);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    // Global illumination jitter breaks naive total-intensity shortcuts
+    // (scene classes must be told apart by spatial/spectral structure).
+    Real gain = rng->uniform(0.6, 1.0);
+    for (auto &ch : rgb)
+        for (std::size_t i = 0; i < ch.size(); ++i) {
+            Real v = ch[i] * gain;
+            if (config.noise > 0)
+                v += rng->uniform(-config.noise, config.noise);
+            ch[i] = std::clamp<Real>(v, 0, 1);
+        }
+    return rgb;
+}
+
+RgbDataset
+makeSynthScenes(std::size_t count, uint64_t seed, const SceneConfig &config)
+{
+    Rng rng(seed);
+    RgbDataset data;
+    data.num_classes = config.num_classes;
+    data.images.reserve(count);
+    data.labels.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        int label = static_cast<int>(i % config.num_classes);
+        data.images.push_back(renderScene(label, config, &rng));
+        data.labels.push_back(label);
+    }
+    return data;
+}
+
+RealMap
+toGrayscale(const std::array<RealMap, 3> &rgb)
+{
+    RealMap out(rgb[0].rows(), rgb[0].cols());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = 0.299 * rgb[0][i] + 0.587 * rgb[1][i] + 0.114 * rgb[2][i];
+    return out;
+}
+
+} // namespace lightridge

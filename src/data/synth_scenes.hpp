@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Procedural Places365-like RGB scene dataset ("SynthPlaces").
+ *
+ * Six environment-type classes (the paper's Table 5 classifies Places365
+ * by type of environment) with class-specific RGB structure: beach,
+ * forest, city, mountain, desert, night. Channels carry genuinely
+ * different information so the multi-channel RGB-DONN (Fig. 12) has
+ * something to exploit over a grayscale baseline.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/dataset.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+/** Generation knobs for the synthetic scene dataset. */
+struct SceneConfig
+{
+    std::size_t image_size = 64;
+    std::size_t num_classes = 6; ///< up to 6
+    Real noise = 0.03;
+};
+
+/** Names of the scene classes in label order. */
+const char *sceneClassName(int label);
+
+/** Render one RGB scene (channels ordered R, G, B). */
+std::array<RealMap, 3> renderScene(int label, const SceneConfig &config,
+                                   Rng *rng);
+
+/** Balanced RGB dataset of `count` samples, deterministic by seed. */
+RgbDataset makeSynthScenes(std::size_t count, uint64_t seed,
+                           const SceneConfig &config = {});
+
+/** Grayscale collapse of an RGB sample (baseline input). */
+RealMap toGrayscale(const std::array<RealMap, 3> &rgb);
+
+} // namespace lightridge

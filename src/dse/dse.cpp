@@ -1,0 +1,234 @@
+#include "dse/dse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/trainer.hpp"
+#include "data/synth_digits.hpp"
+#include "utils/log.hpp"
+
+namespace lightridge {
+
+namespace {
+
+/** Build the emulation model for one design point. */
+DonnModel
+buildModel(const DesignPoint &point, const QuickEvalConfig &config,
+           Rng *rng)
+{
+    SystemSpec spec;
+    spec.size = config.system_size;
+    spec.pixel = point.unit_size;
+    spec.distance = point.distance;
+    spec.pad_factor = config.pad_factor;
+    Laser laser;
+    laser.wavelength = point.wavelength;
+    return ModelBuilder(spec, laser)
+        .diffractiveLayers(config.depth, 1.0, rng)
+        .detectorGrid(10, config.det_size)
+        .build();
+}
+
+/** Shared quick-eval dataset pair (identical across design points). */
+void
+makeData(const QuickEvalConfig &config, ClassDataset *train,
+         ClassDataset *test)
+{
+    *train = makeSynthDigits(config.train_samples, config.seed);
+    *test = makeSynthDigits(config.test_samples, config.seed + 1);
+}
+
+} // namespace
+
+Real
+evaluateDesign(const DesignPoint &point, const QuickEvalConfig &config)
+{
+    ClassDataset train, test;
+    makeData(config, &train, &test);
+
+    Rng rng(config.seed + 2);
+    DonnModel model = buildModel(point, config, &rng);
+
+    TrainConfig tc;
+    tc.epochs = config.epochs;
+    tc.batch = 32;
+    tc.lr = config.lr;
+    tc.seed = config.seed + 3;
+    Trainer trainer(model, tc);
+    trainer.fit(train);
+    return evaluateAccuracy(model, test);
+}
+
+std::vector<DsePoint>
+sweepDesignSpace(Real wavelength, const SweepGrid &grid,
+                 const QuickEvalConfig &config)
+{
+    std::vector<DsePoint> points;
+    points.reserve(grid.unit_steps * grid.dist_steps);
+    for (std::size_t ui = 0; ui < grid.unit_steps; ++ui) {
+        Real unit_mult =
+            grid.unit_steps == 1
+                ? grid.unit_min
+                : grid.unit_min + (grid.unit_max - grid.unit_min) * ui /
+                                      (grid.unit_steps - 1);
+        for (std::size_t di = 0; di < grid.dist_steps; ++di) {
+            Real dist =
+                grid.dist_steps == 1
+                    ? grid.dist_min
+                    : grid.dist_min + (grid.dist_max - grid.dist_min) * di /
+                                          (grid.dist_steps - 1);
+            DsePoint p;
+            p.design = DesignPoint{wavelength, unit_mult * wavelength, dist};
+            p.accuracy = evaluateDesign(p.design, config);
+            LR_LOG(Debug) << "sweep " << unit_mult << " lambda, D=" << dist
+                          << " -> acc " << p.accuracy;
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+std::vector<Real>
+DseEngine::featurize(const DesignPoint &p)
+{
+    // Physics-informed features help the trees transfer across nearby
+    // wavelengths: unit size in wavelengths (sets the half-cone angle)
+    // and the lateral cone spread D*lambda/d at the next plane.
+    return {p.wavelength * 1e9, p.unit_size * 1e6, p.distance,
+            p.unit_size / p.wavelength,
+            p.distance * p.wavelength / p.unit_size};
+}
+
+void
+DseEngine::addTrainingData(const std::vector<DsePoint> &points)
+{
+    for (const DsePoint &p : points) {
+        features_.push_back(featurize(p.design));
+        targets_.push_back(p.accuracy);
+    }
+}
+
+void
+DseEngine::fitModel()
+{
+    model_.fit(features_, targets_);
+}
+
+Real
+DseEngine::predict(const DesignPoint &point) const
+{
+    return model_.predict(featurize(point));
+}
+
+std::vector<DsePoint>
+DseEngine::predictGrid(Real wavelength, const SweepGrid &grid) const
+{
+    std::vector<DsePoint> points;
+    points.reserve(grid.unit_steps * grid.dist_steps);
+    for (std::size_t ui = 0; ui < grid.unit_steps; ++ui) {
+        Real unit_mult =
+            grid.unit_steps == 1
+                ? grid.unit_min
+                : grid.unit_min + (grid.unit_max - grid.unit_min) * ui /
+                                      (grid.unit_steps - 1);
+        for (std::size_t di = 0; di < grid.dist_steps; ++di) {
+            Real dist =
+                grid.dist_steps == 1
+                    ? grid.dist_min
+                    : grid.dist_min + (grid.dist_max - grid.dist_min) * di /
+                                          (grid.dist_steps - 1);
+            DsePoint p;
+            p.design = DesignPoint{wavelength, unit_mult * wavelength, dist};
+            p.accuracy = predict(p.design);
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+DsePoint
+DseEngine::guidedSearch(Real wavelength, const SweepGrid &grid,
+                        const QuickEvalConfig &config, std::size_t top_k,
+                        std::size_t *emulations_used) const
+{
+    std::vector<DsePoint> predicted = predictGrid(wavelength, grid);
+    std::sort(predicted.begin(), predicted.end(),
+              [](const DsePoint &a, const DsePoint &b) {
+                  return a.accuracy > b.accuracy;
+              });
+    top_k = std::min(top_k, predicted.size());
+
+    DsePoint best;
+    best.accuracy = -1;
+    for (std::size_t i = 0; i < top_k; ++i) {
+        Real measured = evaluateDesign(predicted[i].design, config);
+        if (measured > best.accuracy) {
+            best.design = predicted[i].design;
+            best.accuracy = measured;
+        }
+    }
+    if (emulations_used != nullptr)
+        *emulations_used = top_k;
+    return best;
+}
+
+std::vector<SensitivityRow>
+sensitivityAnalysis(const DesignPoint &base, const QuickEvalConfig &config,
+                    const std::vector<Real> &shifts)
+{
+    ClassDataset train, test;
+    makeData(config, &train, &test);
+
+    // Train once at the base design; the trained phases stay fixed while
+    // the physical parameters drift (Table 3's control-variable test).
+    Rng rng(config.seed + 2);
+    DonnModel base_model = buildModel(base, config, &rng);
+    TrainConfig tc;
+    tc.epochs = config.epochs;
+    tc.batch = 32;
+    tc.lr = config.lr;
+    tc.seed = config.seed + 3;
+    Trainer trainer(base_model, tc);
+    trainer.fit(train);
+
+    // Capture trained phases + detector calibration.
+    std::vector<RealMap> phases;
+    for (std::size_t i = 0; i < base_model.depth(); ++i)
+        phases.push_back(
+            static_cast<DiffractiveLayer *>(base_model.layer(i))->phase());
+    Real amp = base_model.detector().ampFactor();
+
+    auto eval_at = [&](const DesignPoint &point) -> Real {
+        Rng dummy(1);
+        DonnModel shifted = buildModel(point, config, nullptr);
+        for (std::size_t i = 0; i < shifted.depth(); ++i)
+            static_cast<DiffractiveLayer *>(shifted.layer(i))->phase() =
+                phases[i];
+        shifted.detector().setAmpFactor(amp);
+        return evaluateAccuracy(shifted, test);
+    };
+
+    std::vector<SensitivityRow> rows(3);
+    rows[0].parameter = "wavelength";
+    rows[1].parameter = "distance";
+    rows[2].parameter = "unit size";
+    for (Real s : shifts) {
+        DesignPoint p = base;
+        p.wavelength = base.wavelength * (1 + s);
+        rows[0].shifts.push_back(s);
+        rows[0].accuracies.push_back(eval_at(p));
+
+        p = base;
+        p.distance = base.distance * (1 + s);
+        rows[1].shifts.push_back(s);
+        rows[1].accuracies.push_back(eval_at(p));
+
+        p = base;
+        p.unit_size = base.unit_size * (1 + s);
+        rows[2].shifts.push_back(s);
+        rows[2].accuracies.push_back(eval_at(p));
+    }
+    return rows;
+}
+
+} // namespace lightridge

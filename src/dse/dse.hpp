@@ -1,0 +1,145 @@
+/**
+ * @file
+ * LightRidge-DSE: architectural design space exploration (Section 4).
+ *
+ * The design space is spanned by the diffraction unit size d and the
+ * inter-plane distance D under a laser wavelength lambda. The engine:
+ *
+ *  1. collects training data by sweeping (d, D) grids at source
+ *     wavelengths and quick-training an emulated DONN at each point;
+ *  2. fits the gradient-boosted analytical model accuracy = f(lambda, d, D);
+ *  3. predicts the design space at a new nearby wavelength; and
+ *  4. runs a guided search - a handful of real emulations at the
+ *     top-predicted points instead of a full grid (the paper's "two
+ *     emulations instead of 121" = 60x DSE speedup).
+ *
+ * The half-cone diffraction-angle theory [Chen et al. 2021] provides the
+ * analytic sanity check: good designs cluster where D roughly matches
+ * idealDistanceHalfCone(d, lambda).
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+#include "dse/gbrt.hpp"
+
+namespace lightridge {
+
+/** One candidate architecture in the physical design space. */
+struct DesignPoint
+{
+    Real wavelength = 532e-9; ///< [m]
+    Real unit_size = 36e-6;   ///< diffraction unit size d [m]
+    Real distance = 0.3;      ///< inter-plane distance D [m]
+};
+
+/** Emulation budget for evaluating one design point. */
+struct QuickEvalConfig
+{
+    std::size_t system_size = 48;  ///< emulation resolution
+    std::size_t depth = 3;         ///< diffractive layers
+    std::size_t train_samples = 240;
+    std::size_t test_samples = 160;
+    int epochs = 1;
+    Real lr = 0.05;
+    std::size_t det_size = 5;      ///< detector region side [pixels]
+    uint64_t seed = 17;
+    /**
+     * Zero-padding factor for the emulation. 2 (default) models light
+     * leaving the finite aperture, which is what makes the distance/unit
+     * trade-off of Fig. 5 physical: over-long hops lose energy past the
+     * aperture, under-short hops never connect distant units.
+     */
+    std::size_t pad_factor = 2;
+};
+
+/** Grid specification for a (d, D) sweep. */
+struct SweepGrid
+{
+    Real unit_min = 10.0;   ///< in multiples of lambda (paper: 10..110)
+    Real unit_max = 110.0;
+    std::size_t unit_steps = 5;
+    Real dist_min = 0.02;   ///< [m]
+    Real dist_max = 0.60;
+    std::size_t dist_steps = 5;
+};
+
+/** A labeled design-space sample. */
+struct DsePoint
+{
+    DesignPoint design;
+    Real accuracy = 0;
+};
+
+/**
+ * Train + evaluate an emulated DONN at one design point; returns test
+ * accuracy. The dataset is generated internally (SynthMNIST) from
+ * config.seed so that every point sees identical data.
+ */
+Real evaluateDesign(const DesignPoint &point, const QuickEvalConfig &config);
+
+/** Sweep a (d, D) grid at a fixed wavelength. */
+std::vector<DsePoint> sweepDesignSpace(Real wavelength, const SweepGrid &grid,
+                                       const QuickEvalConfig &config);
+
+/** Analytical-model-based DSE engine. */
+class DseEngine
+{
+  public:
+    explicit DseEngine(GbrtConfig model_config = {})
+        : model_(model_config)
+    {}
+
+    /** Add labeled sweep data (any wavelengths). */
+    void addTrainingData(const std::vector<DsePoint> &points);
+
+    /** Fit the analytical model on everything added so far. */
+    void fitModel();
+
+    /** Predicted accuracy at one design point. */
+    Real predict(const DesignPoint &point) const;
+
+    /** Predicted accuracy over a (d, D) grid at a target wavelength. */
+    std::vector<DsePoint> predictGrid(Real wavelength,
+                                      const SweepGrid &grid) const;
+
+    /**
+     * Guided search: run real emulations only at the top-k predicted
+     * points of the grid and return the best verified design (the "star
+     * point" of Fig. 5d). emulations_used reports the cost.
+     */
+    DsePoint guidedSearch(Real wavelength, const SweepGrid &grid,
+                          const QuickEvalConfig &config, std::size_t top_k,
+                          std::size_t *emulations_used = nullptr) const;
+
+    std::size_t trainingSize() const { return features_.size(); }
+
+  private:
+    static std::vector<Real> featurize(const DesignPoint &p);
+
+    GradientBoostedTrees model_;
+    std::vector<std::vector<Real>> features_;
+    std::vector<Real> targets_;
+};
+
+/** One row of the Table 3 sensitivity analysis. */
+struct SensitivityRow
+{
+    std::string parameter; ///< "wavelength" | "distance" | "unit size"
+    std::vector<Real> shifts;     ///< relative shifts applied (e.g. -0.10)
+    std::vector<Real> accuracies; ///< accuracy at each shift
+};
+
+/**
+ * Single-parameter control-variable sensitivity analysis around a base
+ * design (Table 3): shift one of {wavelength, distance, unit size} by the
+ * given relative amounts while holding the others fixed, re-evaluating
+ * the emulated accuracy each time with weights trained at the base point.
+ */
+std::vector<SensitivityRow>
+sensitivityAnalysis(const DesignPoint &base, const QuickEvalConfig &config,
+                    const std::vector<Real> &shifts);
+
+} // namespace lightridge

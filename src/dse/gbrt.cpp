@@ -1,0 +1,72 @@
+#include "dse/gbrt.hpp"
+
+#include <stdexcept>
+
+namespace lightridge {
+
+void
+GradientBoostedTrees::fit(const std::vector<std::vector<Real>> &x,
+                          const std::vector<Real> &y)
+{
+    if (x.empty() || x.size() != y.size())
+        throw std::invalid_argument("GradientBoostedTrees::fit: bad inputs");
+    trees_.clear();
+
+    // Base learner: global mean.
+    base_prediction_ = 0;
+    for (Real v : y)
+        base_prediction_ += v;
+    base_prediction_ /= static_cast<Real>(y.size());
+
+    std::vector<Real> residual(y.size());
+    std::vector<Real> current(y.size(), base_prediction_);
+
+    Real initial_sq = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        Real d = y[i] - base_prediction_;
+        initial_sq += d * d;
+    }
+
+    for (int t = 0; t < config_.n_estimators; ++t) {
+        Real total_sq = 0;
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            residual[i] = y[i] - current[i];
+            total_sq += residual[i] * residual[i];
+        }
+        // Converged: residual energy is negligible relative to the start
+        // (also guards against spinning once trees stop splitting).
+        if (total_sq < 1e-12 * std::max<Real>(1.0, initial_sq))
+            break;
+
+        RegressionTree tree(config_.max_depth, config_.min_samples_leaf);
+        tree.fit(x, residual);
+        for (std::size_t i = 0; i < y.size(); ++i)
+            current[i] += config_.learning_rate * tree.predict(x[i]);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+Real
+GradientBoostedTrees::predict(const std::vector<Real> &row) const
+{
+    Real value = base_prediction_;
+    for (const RegressionTree &tree : trees_)
+        value += config_.learning_rate * tree.predict(row);
+    return value;
+}
+
+Real
+GradientBoostedTrees::mse(const std::vector<std::vector<Real>> &x,
+                          const std::vector<Real> &y) const
+{
+    if (x.empty())
+        return 0;
+    Real total = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        Real d = predict(x[i]) - y[i];
+        total += d * d;
+    }
+    return total / static_cast<Real>(x.size());
+}
+
+} // namespace lightridge

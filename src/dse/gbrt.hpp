@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Gradient-boosted regression trees: the analytical DSE model of Section 4
+ * (the paper fits one with n_estimators=3500, learning_rate=0.2,
+ * max_depth=3 to transfer design-space knowledge across wavelengths).
+ */
+#pragma once
+
+#include <vector>
+
+#include "dse/regression_tree.hpp"
+
+namespace lightridge {
+
+/** Hyperparameters of the boosted ensemble. */
+struct GbrtConfig
+{
+    int n_estimators = 400;
+    Real learning_rate = 0.2;
+    int max_depth = 3;
+    std::size_t min_samples_leaf = 1;
+
+    /** The exact configuration reported in the paper. */
+    static GbrtConfig
+    paper()
+    {
+        return GbrtConfig{3500, 0.2, 3, 1};
+    }
+};
+
+/** Least-squares gradient boosting over regression trees. */
+class GradientBoostedTrees
+{
+  public:
+    explicit GradientBoostedTrees(GbrtConfig config = {})
+        : config_(config)
+    {}
+
+    /** Fit to feature rows and targets. */
+    void fit(const std::vector<std::vector<Real>> &x,
+             const std::vector<Real> &y);
+
+    /** Predicted value for one row. */
+    Real predict(const std::vector<Real> &row) const;
+
+    /** Mean squared error over a labeled set. */
+    Real mse(const std::vector<std::vector<Real>> &x,
+             const std::vector<Real> &y) const;
+
+    std::size_t treeCount() const { return trees_.size(); }
+
+  private:
+    GbrtConfig config_;
+    Real base_prediction_ = 0;
+    std::vector<RegressionTree> trees_;
+};
+
+} // namespace lightridge

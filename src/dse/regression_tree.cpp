@@ -1,0 +1,129 @@
+#include "dse/regression_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lightridge {
+
+namespace {
+
+Real
+meanOf(const std::vector<Real> &y, const std::vector<std::size_t> &idx)
+{
+    Real total = 0;
+    for (std::size_t i : idx)
+        total += y[i];
+    return idx.empty() ? 0 : total / static_cast<Real>(idx.size());
+}
+
+} // namespace
+
+int
+RegressionTree::build(const std::vector<std::vector<Real>> &x,
+                      const std::vector<Real> &y,
+                      std::vector<std::size_t> &idx, int depth)
+{
+    Node node;
+    node.value = meanOf(y, idx);
+    int node_id = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+
+    if (depth >= max_depth_ || idx.size() < 2 * min_samples_leaf_)
+        return node_id;
+
+    // Greedy best split: minimize weighted child SSE == maximize
+    // between-group variance. O(features * n log n).
+    const std::size_t n_features = x[idx[0]].size();
+    Real best_gain = 0;
+    int best_feature = -1;
+    Real best_threshold = 0;
+
+    Real total_sum = 0, total_sq = 0;
+    for (std::size_t i : idx) {
+        total_sum += y[i];
+        total_sq += y[i] * y[i];
+    }
+    const Real parent_sse =
+        total_sq - total_sum * total_sum / static_cast<Real>(idx.size());
+
+    std::vector<std::size_t> order = idx;
+    for (std::size_t f = 0; f < n_features; ++f) {
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return x[a][f] < x[b][f];
+                  });
+        Real left_sum = 0, left_sq = 0;
+        for (std::size_t pos = 0; pos + 1 < order.size(); ++pos) {
+            Real yi = y[order[pos]];
+            left_sum += yi;
+            left_sq += yi * yi;
+            // Candidate split between pos and pos+1; skip ties.
+            if (x[order[pos]][f] == x[order[pos + 1]][f])
+                continue;
+            std::size_t nl = pos + 1;
+            std::size_t nr = order.size() - nl;
+            if (nl < min_samples_leaf_ || nr < min_samples_leaf_)
+                continue;
+            Real right_sum = total_sum - left_sum;
+            Real right_sq = total_sq - left_sq;
+            Real sse = (left_sq - left_sum * left_sum / nl) +
+                       (right_sq - right_sum * right_sum / nr);
+            Real gain = parent_sse - sse;
+            if (gain > best_gain + 1e-15) {
+                best_gain = gain;
+                best_feature = static_cast<int>(f);
+                best_threshold =
+                    (x[order[pos]][f] + x[order[pos + 1]][f]) / 2;
+            }
+        }
+    }
+
+    if (best_feature < 0)
+        return node_id;
+
+    std::vector<std::size_t> left_idx, right_idx;
+    for (std::size_t i : idx) {
+        if (x[i][best_feature] <= best_threshold)
+            left_idx.push_back(i);
+        else
+            right_idx.push_back(i);
+    }
+    if (left_idx.empty() || right_idx.empty())
+        return node_id;
+
+    nodes_[node_id].feature = best_feature;
+    nodes_[node_id].threshold = best_threshold;
+    nodes_[node_id].left = build(x, y, left_idx, depth + 1);
+    nodes_[node_id].right = build(x, y, right_idx, depth + 1);
+    return node_id;
+}
+
+void
+RegressionTree::fit(const std::vector<std::vector<Real>> &x,
+                    const std::vector<Real> &y)
+{
+    if (x.empty() || x.size() != y.size())
+        throw std::invalid_argument("RegressionTree::fit: bad inputs");
+    nodes_.clear();
+    std::vector<std::size_t> idx(x.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    build(x, y, idx, 0);
+}
+
+Real
+RegressionTree::predict(const std::vector<Real> &row) const
+{
+    if (nodes_.empty())
+        return 0;
+    int cur = 0;
+    while (nodes_[cur].feature >= 0) {
+        cur = row[nodes_[cur].feature] <= nodes_[cur].threshold
+                  ? nodes_[cur].left
+                  : nodes_[cur].right;
+    }
+    return nodes_[cur].value;
+}
+
+} // namespace lightridge

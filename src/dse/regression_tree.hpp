@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Depth-limited CART regression tree: the weak learner of the gradient
+ * boosting DSE model (paper Section 4 uses scikit-learn-style gradient
+ * boosted regression trees with max_depth = 3).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Binary regression tree fit by greedy variance-reduction splits. */
+class RegressionTree
+{
+  public:
+    /**
+     * @param max_depth maximum tree depth (root at depth 0)
+     * @param min_samples_leaf minimum samples per leaf
+     */
+    explicit RegressionTree(int max_depth = 3,
+                            std::size_t min_samples_leaf = 1)
+        : max_depth_(max_depth), min_samples_leaf_(min_samples_leaf)
+    {}
+
+    /**
+     * Fit to rows x[i] (all the same length) and targets y[i] using MSE
+     * splitting on axis-aligned thresholds.
+     */
+    void fit(const std::vector<std::vector<Real>> &x,
+             const std::vector<Real> &y);
+
+    /** Predicted value for one feature row. */
+    Real predict(const std::vector<Real> &row) const;
+
+    /** Number of nodes (for tests / introspection). */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        int feature = -1;    ///< -1 marks a leaf
+        Real threshold = 0;
+        Real value = 0;      ///< leaf prediction
+        int left = -1;
+        int right = -1;
+    };
+
+    int build(const std::vector<std::vector<Real>> &x,
+              const std::vector<Real> &y, std::vector<std::size_t> &idx,
+              int depth);
+
+    int max_depth_;
+    std::size_t min_samples_leaf_;
+    std::vector<Node> nodes_;
+};
+
+} // namespace lightridge

@@ -1,0 +1,356 @@
+#include "fft/fft.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace lightridge {
+
+namespace {
+
+/** Largest prime factor handled by the direct mixed-radix path. */
+constexpr std::size_t kMaxDirectRadix = 31;
+
+/** Factorize n into primes in ascending order (2 repeated, etc.). */
+std::vector<std::size_t>
+factorize(std::size_t n)
+{
+    std::vector<std::size_t> factors;
+    for (std::size_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+        while (n % p == 0) {
+            factors.push_back(p);
+            n /= p;
+        }
+    }
+    if (n > 1)
+        factors.push_back(n);
+    return factors;
+}
+
+/** Thread-local scratch buffer, grown on demand. */
+Complex *
+tlsScratch(std::size_t n)
+{
+    static thread_local std::vector<Complex> buffer;
+    if (buffer.size() < n)
+        buffer.resize(n);
+    return buffer.data();
+}
+
+} // namespace
+
+/**
+ * Plan internals. Two strategies:
+ *  - Mixed radix: recursion over 'factors', with a per-level twiddle table
+ *    tw[level][i] = exp(-j*2*pi*i / n_level).
+ *  - Bluestein: chirp-z over an internal power-of-two mixed-radix plan.
+ */
+struct FftPlan::Impl
+{
+    std::size_t n = 0;
+    bool bluestein = false;
+
+    // Mixed-radix state.
+    std::vector<std::size_t> factors;
+    std::vector<std::size_t> level_sizes;
+    std::vector<std::vector<Complex>> twiddles; // per level, length n_level
+
+    // Bluestein state.
+    std::size_t m = 0;                    // power-of-two conv length
+    std::vector<Complex> chirp;           // a_k = exp(-j*pi*k^2/n)
+    std::vector<Complex> chirp_spectrum;  // FFT_m of conj-chirp kernel
+    std::unique_ptr<FftPlan> inner;       // power-of-two plan of length m
+
+    void buildMixedRadix();
+    void buildBluestein();
+    void executeMixed(Complex *data) const;
+    void recurse(const Complex *in, std::size_t in_stride, Complex *out,
+                 std::size_t n_cur, std::size_t level) const;
+    void combine(Complex *out, std::size_t n_cur, std::size_t p,
+                 std::size_t level) const;
+    void executeBluestein(Complex *data) const;
+};
+
+void
+FftPlan::Impl::buildMixedRadix()
+{
+    factors = factorize(n);
+    std::size_t cur = n;
+    for (std::size_t p : factors) {
+        level_sizes.push_back(cur);
+        std::vector<Complex> table(cur);
+        for (std::size_t i = 0; i < cur; ++i) {
+            Real angle = -kTwoPi * static_cast<Real>(i) /
+                         static_cast<Real>(cur);
+            table[i] = Complex{std::cos(angle), std::sin(angle)};
+        }
+        twiddles.push_back(std::move(table));
+        cur /= p;
+    }
+}
+
+void
+FftPlan::Impl::buildBluestein()
+{
+    bluestein = true;
+    m = 1;
+    while (m < 2 * n - 1)
+        m <<= 1;
+    inner = std::make_unique<FftPlan>(m);
+
+    chirp.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        // k^2 mod 2n keeps the argument small for precision.
+        std::size_t k2 = (k * k) % (2 * n);
+        Real angle = -kPi * static_cast<Real>(k2) / static_cast<Real>(n);
+        chirp[k] = Complex{std::cos(angle), std::sin(angle)};
+    }
+
+    std::vector<Complex> kernel(m, Complex{0, 0});
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex b = std::conj(chirp[k]);
+        kernel[k] = b;
+        if (k != 0)
+            kernel[m - k] = b;
+    }
+    inner->forward(kernel.data());
+    chirp_spectrum = std::move(kernel);
+}
+
+void
+FftPlan::Impl::combine(Complex *out, std::size_t n_cur, std::size_t p,
+                       std::size_t level) const
+{
+    const std::size_t m_cur = n_cur / p;
+    const std::vector<Complex> &tw = twiddles[level];
+
+    if (p == 2) {
+        for (std::size_t k = 0; k < m_cur; ++k) {
+            Complex a0 = out[k];
+            Complex a1 = out[m_cur + k] * tw[k];
+            out[k] = a0 + a1;
+            out[m_cur + k] = a0 - a1;
+        }
+        return;
+    }
+
+    // Generic radix: gather p strided values, apply the p-point DFT with
+    // twiddles folded in, scatter back to the same positions.
+    Complex a[kMaxDirectRadix];
+    std::size_t cursor[kMaxDirectRadix];
+    std::size_t step[kMaxDirectRadix];
+    for (std::size_t j = 1; j < p; ++j)
+        step[j] = (j * m_cur) % n_cur;
+
+    for (std::size_t k = 0; k < m_cur; ++k) {
+        for (std::size_t j = 0; j < p; ++j)
+            a[j] = out[j * m_cur + k];
+        for (std::size_t j = 1; j < p; ++j)
+            cursor[j] = (j * k) % n_cur;
+        for (std::size_t t = 0; t < p; ++t) {
+            Complex acc = a[0];
+            for (std::size_t j = 1; j < p; ++j) {
+                acc += a[j] * tw[cursor[j]];
+                cursor[j] += step[j];
+                if (cursor[j] >= n_cur)
+                    cursor[j] -= n_cur;
+            }
+            out[t * m_cur + k] = acc;
+        }
+    }
+}
+
+void
+FftPlan::Impl::recurse(const Complex *in, std::size_t in_stride, Complex *out,
+                       std::size_t n_cur, std::size_t level) const
+{
+    if (n_cur == 1) {
+        out[0] = in[0];
+        return;
+    }
+    const std::size_t p = factors[level];
+    const std::size_t m_cur = n_cur / p;
+    for (std::size_t j = 0; j < p; ++j)
+        recurse(in + j * in_stride, in_stride * p, out + j * m_cur, m_cur,
+                level + 1);
+    combine(out, n_cur, p, level);
+}
+
+void
+FftPlan::Impl::executeMixed(Complex *data) const
+{
+    Complex *work = tlsScratch(n);
+    recurse(data, 1, work, n, 0);
+    std::copy(work, work + n, data);
+}
+
+void
+FftPlan::Impl::executeBluestein(Complex *data) const
+{
+    // Scratch must not collide with the inner plan's own thread-local use,
+    // so the convolution buffer is allocated past the inner plan's needs.
+    std::vector<Complex> buffer(m, Complex{0, 0});
+    for (std::size_t k = 0; k < n; ++k)
+        buffer[k] = data[k] * chirp[k];
+    inner->forward(buffer.data());
+    for (std::size_t k = 0; k < m; ++k)
+        buffer[k] *= chirp_spectrum[k];
+    inner->inverse(buffer.data());
+    for (std::size_t k = 0; k < n; ++k)
+        data[k] = buffer[k] * chirp[k];
+}
+
+FftPlan::FftPlan(std::size_t n) : impl_(std::make_unique<Impl>())
+{
+    if (n == 0)
+        throw std::invalid_argument("FftPlan: zero length");
+    impl_->n = n;
+    auto factors = factorize(n);
+    bool smooth = factors.empty() ||
+                  factors.back() <= kMaxDirectRadix;
+    if (smooth)
+        impl_->buildMixedRadix();
+    else
+        impl_->buildBluestein();
+}
+
+FftPlan::~FftPlan() = default;
+FftPlan::FftPlan(FftPlan &&) noexcept = default;
+FftPlan &FftPlan::operator=(FftPlan &&) noexcept = default;
+
+std::size_t
+FftPlan::size() const
+{
+    return impl_->n;
+}
+
+void
+FftPlan::forward(Complex *data) const
+{
+    if (impl_->n == 1)
+        return;
+    if (impl_->bluestein)
+        impl_->executeBluestein(data);
+    else
+        impl_->executeMixed(data);
+}
+
+void
+FftPlan::inverse(Complex *data) const
+{
+    const std::size_t n = impl_->n;
+    if (n == 1)
+        return;
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = std::conj(data[i]);
+    forward(data);
+    const Real scale = Real(1) / static_cast<Real>(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = std::conj(data[i]) * scale;
+}
+
+Fft2d::Fft2d(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols),
+      row_plan_(std::make_shared<FftPlan>(cols)),
+      col_plan_(rows == cols ? row_plan_ : std::make_shared<FftPlan>(rows))
+{}
+
+void
+Fft2d::transformColumns(Field *field, bool inverse) const
+{
+    std::vector<Complex> column(rows_);
+    for (std::size_t c = 0; c < cols_; ++c) {
+        for (std::size_t r = 0; r < rows_; ++r)
+            column[r] = (*field)(r, c);
+        if (inverse)
+            col_plan_->inverse(column.data());
+        else
+            col_plan_->forward(column.data());
+        for (std::size_t r = 0; r < rows_; ++r)
+            (*field)(r, c) = column[r];
+    }
+}
+
+void
+Fft2d::forward(Field *field) const
+{
+    assert(field->rows() == rows_ && field->cols() == cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        row_plan_->forward(field->data() + r * cols_);
+    transformColumns(field, false);
+}
+
+void
+Fft2d::inverse(Field *field) const
+{
+    assert(field->rows() == rows_ && field->cols() == cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        row_plan_->inverse(field->data() + r * cols_);
+    transformColumns(field, true);
+}
+
+std::vector<Complex>
+naiveDft(const std::vector<Complex> &input, int sign)
+{
+    const std::size_t n = input.size();
+    std::vector<Complex> output(n, Complex{0, 0});
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex acc{0, 0};
+        for (std::size_t t = 0; t < n; ++t) {
+            Real angle = sign * kTwoPi * static_cast<Real>((k * t) % n) /
+                         static_cast<Real>(n);
+            acc += input[t] * Complex{std::cos(angle), std::sin(angle)};
+        }
+        output[k] = acc;
+    }
+    return output;
+}
+
+namespace {
+
+Field
+circularShift(const Field &in, std::size_t dr, std::size_t dc)
+{
+    Field out(in.rows(), in.cols());
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+        std::size_t rr = (r + dr) % in.rows();
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+            std::size_t cc = (c + dc) % in.cols();
+            out(rr, cc) = in(r, c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Field
+fftshift(const Field &in)
+{
+    return circularShift(in, in.rows() / 2, in.cols() / 2);
+}
+
+Field
+ifftshift(const Field &in)
+{
+    return circularShift(in, in.rows() - in.rows() / 2,
+                         in.cols() - in.cols() / 2);
+}
+
+std::size_t
+nextFastLength(std::size_t n)
+{
+    if (n == 0)
+        return 1;
+    for (;; ++n) {
+        std::size_t rem = n;
+        for (std::size_t p : {2, 3, 5, 7})
+            while (rem % p == 0)
+                rem /= p;
+        if (rem == 1)
+            return n;
+    }
+}
+
+} // namespace lightridge

@@ -1,0 +1,40 @@
+#include "hardware/cmos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightridge {
+
+RealMap
+CmosDetector::measure(const RealMap &intensity, Rng *rng) const
+{
+    RealMap out(intensity.rows(), intensity.cols());
+    // Auto-exposure: map the peak intensity near full well.
+    Real peak = intensity.max();
+    Real photons_per_unit =
+        peak > 0 ? exposure_gain * full_well * 0.8 / peak : 0.0;
+    const Real max_code = std::pow(2.0, adc_bits) - 1;
+    const Real photons_per_code = full_well / max_code;
+
+    for (std::size_t i = 0; i < intensity.size(); ++i) {
+        Real photons = intensity[i] * photons_per_unit;
+        if (rng != nullptr) {
+            // Shot noise: Poisson for small counts, Gaussian approx above.
+            if (photons > 0 && photons < 1e6) {
+                photons = photons < 1000
+                              ? static_cast<Real>(rng->poisson(photons))
+                              : photons + rng->normal(0, std::sqrt(photons));
+            }
+            photons += rng->normal(0, read_noise);
+        }
+        Real code = std::clamp(std::round(photons / photons_per_code),
+                               Real(0), max_code);
+        // Back to intensity units so readout stays comparable.
+        out[i] = photons_per_unit > 0
+                     ? code * photons_per_code / photons_per_unit
+                     : 0.0;
+    }
+    return out;
+}
+
+} // namespace lightridge

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * CMOS camera model (the paper's CS165MU1 analog-to-digital interface).
+ *
+ * The detector converts the analog light intensity pattern into digital
+ * counts: photon shot noise (Poisson), additive Gaussian read noise, and
+ * ADC quantization with saturation. This is the component that bounds the
+ * practical computation efficiency of a DONN (Section 2).
+ */
+#pragma once
+
+#include "tensor/field.hpp"
+#include "utils/rng.hpp"
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Parameterized CMOS sensor + ADC model. */
+struct CmosDetector
+{
+    Real full_well = 10000.0; ///< photons mapping to ADC full scale
+    Real read_noise = 5.0;    ///< RMS read noise [photons]
+    int adc_bits = 8;         ///< quantizer resolution
+    Real exposure_gain = 1.0; ///< photons per unit optical intensity
+
+    /** Noise-free reference sensor (for ablations). */
+    static CmosDetector
+    ideal()
+    {
+        CmosDetector d;
+        d.read_noise = 0;
+        d.adc_bits = 16;
+        return d;
+    }
+
+    /** The prototype-grade camera used in the deployment experiments. */
+    static CmosDetector
+    cs165mu1()
+    {
+        return CmosDetector{};
+    }
+
+    /**
+     * Digitize an intensity pattern: exposure scaling, shot noise, read
+     * noise, then ADC quantization to [0, 2^bits - 1], returned rescaled
+     * back to intensity units. Pass rng = nullptr for noiseless
+     * quantization-only behaviour.
+     */
+    RealMap measure(const RealMap &intensity, Rng *rng) const;
+};
+
+} // namespace lightridge

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Energy-efficiency model for Table 4 (fps/Watt comparisons).
+ *
+ * DONN inference is all-optical: the diffractive layers are passive, so
+ * the only electrical consumers are the CW laser source and the camera.
+ * fps/Watt = frame rate / (laser + detector power). Digital platform
+ * rows use the published figures from the paper for context plus
+ * locally measured CPU numbers from the NN baseline.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Power/throughput of one inference platform. */
+struct PlatformPoint
+{
+    std::string name;
+    Real fps = 0;
+    Real watts = 0;
+
+    Real fpsPerWatt() const { return watts > 0 ? fps / watts : 0; }
+};
+
+/** All-optical DONN prototype energy model. */
+struct DonnEnergyModel
+{
+    Real laser_watts = 5e-3;   ///< CW 532 nm source (~5 mW)
+    Real detector_watts = 1.0; ///< CMOS @ 1000 fps (max)
+    Real fps = 1000.0;         ///< camera-limited frame rate
+
+    Real
+    fpsPerWatt() const
+    {
+        return fps / (laser_watts + detector_watts);
+    }
+};
+
+/**
+ * Published digital-platform reference points from the paper's Table 4
+ * (fps/Watt for MLP and CNN on each platform). Quoted, not measured:
+ * those devices are not available in this environment (see DESIGN.md).
+ */
+inline std::vector<PlatformPoint>
+paperDigitalReference()
+{
+    // fps/Watt values from Table 4 expressed with watts = 1 so that
+    // fpsPerWatt() reproduces the published numbers directly.
+    return {
+        {"GPU 2080 Ti (MLP)", 3.3, 1.0},
+        {"GPU 2080 Ti (CNN)", 3.8, 1.0},
+        {"GPU 3090 Ti (MLP)", 2.4, 1.0},
+        {"GPU 3090 Ti (CNN)", 1.7, 1.0},
+        {"CPU Xeon (MLP)", 1.5, 1.0},
+        {"CPU Xeon (CNN)", 2.0, 1.0},
+        {"EdgeTPU (MLP)", 23.0, 1.0},
+        {"EdgeTPU (CNN)", 26.0, 1.0},
+    };
+}
+
+} // namespace lightridge

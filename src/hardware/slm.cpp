@@ -1,0 +1,79 @@
+#include "hardware/slm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightridge {
+
+SlmDevice::SlmDevice(std::size_t levels, Real phase_span, Real gamma_curve,
+                     Real amp_coupling)
+{
+    if (levels == 0)
+        throw std::invalid_argument("SlmDevice: zero levels");
+    lut_.levels.resize(levels);
+    for (std::size_t k = 0; k < levels; ++k) {
+        Real x = static_cast<Real>(k) / static_cast<Real>(levels - 1 == 0
+                                                              ? 1
+                                                              : levels - 1);
+        // Nonlinear measured-style response curve.
+        Real phi = phase_span * std::pow(x, gamma_curve);
+        // Twisted-nematic amplitude coupling: transmission dips midway
+        // through the retardation range.
+        Real amp = 1.0 - amp_coupling * std::sin(phi / 2) * std::sin(phi / 2);
+        lut_.levels[k] = std::polar(amp, phi);
+    }
+}
+
+SlmDevice
+SlmDevice::holoeyeLc2012(std::size_t levels)
+{
+    // Measured LC 2012 campaigns report a slightly compressed span close
+    // to [0, 2*pi], a super-linear response knee, and ~20% amplitude dip.
+    return SlmDevice(levels, 0.95 * kTwoPi, 1.5, 0.2);
+}
+
+SlmDevice
+SlmDevice::idealPhaseOnly(std::size_t levels)
+{
+    // Spread levels over [0, 2*pi) without duplicating the wrap point:
+    // the top level sits one step short of 2*pi.
+    Real span = kTwoPi * static_cast<Real>(levels - 1) /
+                static_cast<Real>(levels);
+    return SlmDevice(levels, span, 1.0, 0.0);
+}
+
+Real
+SlmDevice::phaseOfLevel(std::size_t k) const
+{
+    return std::arg(lut_.levels.at(k));
+}
+
+std::size_t
+SlmDevice::levelForPhase(Real phi) const
+{
+    return lut_.nearestPhase(phi);
+}
+
+std::size_t
+SlmDevice::levelAssumingLinear(Real phi) const
+{
+    Real wrapped = std::fmod(phi, kTwoPi);
+    if (wrapped < 0)
+        wrapped += kTwoPi;
+    auto level = static_cast<std::size_t>(
+        std::round(wrapped / kTwoPi * static_cast<Real>(lut_.size() - 1)));
+    return std::min(level, lut_.size() - 1);
+}
+
+Real
+SlmDevice::thicknessForPhase(Real phi, Real wavelength,
+                             Real refractive_index)
+{
+    // Wrap into [0, 2*pi) first: printed masks realize modulo-2*pi phase.
+    Real wrapped = std::fmod(phi, kTwoPi);
+    if (wrapped < 0)
+        wrapped += kTwoPi;
+    return wrapped * wavelength / (kTwoPi * (refractive_index - 1));
+}
+
+} // namespace lightridge

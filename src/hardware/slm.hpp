@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Spatial light modulator device model (paper Section 2.2).
+ *
+ * A twisted-nematic SLM (e.g. HOLOEYE LC 2012, the device used for the
+ * paper's visible-range prototype) maps a discrete control level to a
+ * phase retardation, with three non-idealities the codesign algorithm
+ * must absorb:
+ *
+ *  1. a nonlinear (measured) phase-vs-level response curve,
+ *  2. coupled amplitude modulation (phase and transmission are not
+ *     independent in twisted-nematic cells), and
+ *  3. per-pixel fabrication variation ("optical devices hardly have
+ *     unified optical response ... due to fabrication errors").
+ *
+ * The model also covers 3-D printed THz phase masks: phase converts to
+ * printed material thickness t = phi * lambda / (2*pi*(n_index - 1)).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/device_lut.hpp"
+#include "tensor/field.hpp"
+#include "utils/rng.hpp"
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Discrete-level optical modulator description. */
+class SlmDevice
+{
+  public:
+    /**
+     * @param levels number of control levels (8-bit SLM: 256)
+     * @param phase_span total phase range covered [rad]
+     * @param gamma_curve response nonlinearity exponent (1 = linear)
+     * @param amp_coupling depth of the coupled amplitude modulation
+     *        (0 = ideal phase-only device)
+     */
+    SlmDevice(std::size_t levels, Real phase_span, Real gamma_curve,
+              Real amp_coupling);
+
+    /** The LC 2012-like visible-range device of the paper's prototype. */
+    static SlmDevice holoeyeLc2012(std::size_t levels = 256);
+
+    /** Idealized phase-only device (for ablations). */
+    static SlmDevice idealPhaseOnly(std::size_t levels = 256);
+
+    std::size_t levels() const { return lut_.size(); }
+
+    /** Realizable complex modulation per control level. */
+    const DeviceLut &lut() const { return lut_; }
+
+    /** Phase of control level k. */
+    Real phaseOfLevel(std::size_t k) const;
+
+    /** Control level whose phase is nearest to phi (naive quantization). */
+    std::size_t levelForPhase(Real phi) const;
+
+    /**
+     * Control level an uncalibrated user would pick: assumes the device
+     * response is linear over [0, 2*pi), i.e. level = phi/2pi * K. On a
+     * real (nonlinear, compressed-span) device this produces systematic
+     * phase errors - the out-of-box deployment gap of Figure 1 that
+     * manual hardware calibration (or codesign training) removes.
+     */
+    std::size_t levelAssumingLinear(Real phi) const;
+
+    /**
+     * Printed-mask thickness realizing phase phi at the given wavelength
+     * for a material of the given refractive index (THz deployments).
+     */
+    static Real thicknessForPhase(Real phi, Real wavelength,
+                                  Real refractive_index = 1.7);
+
+  private:
+    DeviceLut lut_;
+};
+
+/** Per-pixel fabrication variation amplitudes. */
+struct FabricationVariation
+{
+    Real phase_sigma = 0.0;     ///< Gaussian phase error [rad]
+    Real amplitude_sigma = 0.0; ///< Gaussian relative amplitude error
+
+    /** Typical prototype-grade variation. */
+    static FabricationVariation
+    typical()
+    {
+        return FabricationVariation{0.08, 0.03};
+    }
+
+    /** Perfect fabrication (for ablations). */
+    static FabricationVariation
+    none()
+    {
+        return FabricationVariation{0.0, 0.0};
+    }
+};
+
+} // namespace lightridge

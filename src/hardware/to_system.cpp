@@ -1,0 +1,97 @@
+#include "hardware/to_system.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "utils/image_io.hpp"
+
+namespace lightridge {
+
+bool
+writePhaseView(const RealMap &phase, const std::string &path)
+{
+    GrayImage img = toGray(phase.raw(), phase.rows(), phase.cols());
+    return writePgm(path, img);
+}
+
+namespace {
+
+/** Phase map of one layer regardless of its kind. */
+bool
+layerPhase(const Layer *layer, const SlmDevice &device, RealMap *phase,
+           std::vector<std::size_t> *levels)
+{
+    if (const auto *raw = dynamic_cast<const DiffractiveLayer *>(layer)) {
+        *phase = raw->phase();
+        levels->resize(phase->size());
+        for (std::size_t i = 0; i < phase->size(); ++i)
+            (*levels)[i] = device.levelForPhase((*phase)[i]);
+        return true;
+    }
+    if (const auto *cd = dynamic_cast<const CodesignLayer *>(layer)) {
+        *levels = cd->levelIndices();
+        std::size_t n = cd->sideLength();
+        *phase = RealMap(n, n);
+        for (std::size_t i = 0; i < levels->size(); ++i)
+            (*phase)[i] = std::arg(cd->lut().levels[(*levels)[i]]);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+toSystem(const DonnModel &model, const SlmDevice &device,
+         const std::string &dir, const ToSystemOptions &options)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+
+    Json manifest;
+    manifest["spec"] = model.spec().toJson();
+    manifest["wavelength"] = Json(model.laser().wavelength);
+    manifest["levels"] = Json(device.levels());
+    manifest["target"] = Json(options.target == DeployTarget::SlmVoltages
+                                  ? "slm_voltages"
+                                  : "thz_mask_thickness");
+    Json layer_files;
+
+    for (std::size_t li = 0; li < model.depth(); ++li) {
+        RealMap phase;
+        std::vector<std::size_t> levels;
+        if (!layerPhase(model.layer(li), device, &phase, &levels))
+            return false;
+
+        const std::string base = dir + "/layer" + std::to_string(li);
+        std::ofstream csv(base + ".csv");
+        if (!csv)
+            return false;
+        const std::size_t n = phase.rows();
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c) {
+                if (c)
+                    csv << ',';
+                if (options.target == DeployTarget::SlmVoltages) {
+                    csv << levels[r * n + c];
+                } else {
+                    csv << SlmDevice::thicknessForPhase(
+                        phase(r, c), model.laser().wavelength,
+                        options.refractive_index);
+                }
+            }
+            csv << '\n';
+        }
+        if (!csv)
+            return false;
+
+        if (options.write_views &&
+            !writePhaseView(phase, base + ".pgm"))
+            return false;
+        layer_files.push(Json(base + ".csv"));
+    }
+    manifest["layers"] = std::move(layer_files);
+    return manifest.save(dir + "/manifest.json");
+}
+
+} // namespace lightridge

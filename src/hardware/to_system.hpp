@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fabrication/deployment file generation (lr.model.to_system).
+ *
+ * For SLM systems the export is the per-layer control-level array (the
+ * voltages applied to the panel); for THz systems it is the 3-D printed
+ * mask thickness array. Each layer additionally gets a PGM visualization
+ * (lr.layers.view()) and the bundle carries a JSON manifest with the
+ * system/fabrication specification.
+ */
+#pragma once
+
+#include <string>
+
+#include "core/model.hpp"
+#include "hardware/slm.hpp"
+
+namespace lightridge {
+
+/** Export targets supported by toSystem(). */
+enum class DeployTarget { SlmVoltages, ThzMaskThickness };
+
+/** Options for the fabrication dump. */
+struct ToSystemOptions
+{
+    DeployTarget target = DeployTarget::SlmVoltages;
+    Real refractive_index = 1.7; ///< printed material (THz masks)
+    bool write_views = true;     ///< also dump PGM phase visualizations
+};
+
+/**
+ * Write the fabrication bundle for a trained model into `dir`:
+ * manifest.json plus per-layer layer<k>.csv (+ layer<k>.pgm).
+ * Works for raw-diffractive and codesign layers.
+ * @return false on I/O failure or unsupported layer kinds.
+ */
+bool toSystem(const DonnModel &model, const SlmDevice &device,
+              const std::string &dir, const ToSystemOptions &options = {});
+
+/** Dump one phase map as a normalized PGM (lr.layers.view()). */
+bool writePhaseView(const RealMap &phase, const std::string &path);
+
+} // namespace lightridge

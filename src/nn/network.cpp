@@ -1,0 +1,160 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "utils/timer.hpp"
+
+namespace lightridge {
+namespace nn {
+
+std::vector<Real>
+Network::forward(const std::vector<Real> &in)
+{
+    std::vector<Real> x = in;
+    for (auto &layer : layers_)
+        x = layer->forward(x);
+    return x;
+}
+
+void
+Network::backward(const std::vector<Real> &dlogits)
+{
+    std::vector<Real> g = dlogits;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+}
+
+std::vector<ParamView>
+Network::params()
+{
+    std::vector<ParamView> all;
+    for (auto &layer : layers_)
+        for (ParamView p : layer->params())
+            all.push_back(p);
+    return all;
+}
+
+void
+Network::zeroGrad()
+{
+    for (ParamView p : params())
+        if (p.grad)
+            std::fill(p.grad->begin(), p.grad->end(), Real(0));
+}
+
+int
+Network::predict(const std::vector<Real> &in)
+{
+    std::vector<Real> logits = forward(in);
+    return static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+std::size_t
+Network::parameterCount()
+{
+    std::size_t total = 0;
+    for (ParamView p : params())
+        total += p.value->size();
+    return total;
+}
+
+Network
+makePaperMlp(std::size_t input_pixels, std::size_t num_classes, Rng *rng)
+{
+    Network net;
+    net.add(std::make_unique<Dense>(input_pixels, 128, rng));
+    net.add(std::make_unique<Relu>(Shape{128, 1, 1}));
+    net.add(std::make_unique<Dense>(128, num_classes, rng));
+    return net;
+}
+
+Network
+makePaperCnn(std::size_t image_side, std::size_t num_classes, Rng *rng)
+{
+    Network net;
+    Shape s{1, image_side, image_side};
+    auto conv1 = std::make_unique<Conv2d>(s, 32, 5, 2, 2, rng);
+    s = conv1->outputShape();
+    net.add(std::move(conv1));
+    net.add(std::make_unique<Relu>(s));
+    auto pool1 = std::make_unique<MaxPool2d>(s, 3, 2);
+    s = pool1->outputShape();
+    net.add(std::move(pool1));
+
+    auto conv2 = std::make_unique<Conv2d>(s, 64, 5, 2, 2, rng);
+    s = conv2->outputShape();
+    net.add(std::move(conv2));
+    net.add(std::make_unique<Relu>(s));
+    auto pool2 = std::make_unique<MaxPool2d>(s, 3, 2);
+    s = pool2->outputShape();
+    net.add(std::move(pool2));
+
+    net.add(std::make_unique<Dense>(s.size(), 128, rng));
+    net.add(std::make_unique<Relu>(Shape{128, 1, 1}));
+    net.add(std::make_unique<Dense>(128, num_classes, rng));
+    return net;
+}
+
+NnTrainer::NnTrainer(Network &net, NnTrainConfig config)
+    : net_(net), config_(config), optimizer_(config.lr), rng_(config.seed)
+{
+    optimizer_.attach(net_.params());
+}
+
+Real
+NnTrainer::trainEpoch(const ClassDataset &train)
+{
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+
+    Real total_loss = 0;
+    std::size_t in_batch = 0;
+    net_.zeroGrad();
+    for (std::size_t idx : order) {
+        std::vector<Real> logits = net_.forward(train.images[idx].raw());
+        LossResult loss = crossEntropyLoss(logits, train.labels[idx]);
+        total_loss += loss.value;
+        net_.backward(loss.dlogits);
+        if (++in_batch == config_.batch) {
+            optimizer_.step();
+            net_.zeroGrad();
+            in_batch = 0;
+        }
+    }
+    if (in_batch > 0) {
+        optimizer_.step();
+        net_.zeroGrad();
+    }
+    return total_loss / std::max<std::size_t>(train.size(), 1);
+}
+
+Real
+NnTrainer::evaluate(const ClassDataset &test)
+{
+    if (test.size() == 0)
+        return 0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i)
+        if (net_.predict(test.images[i].raw()) == test.labels[i])
+            ++correct;
+    return static_cast<Real>(correct) / test.size();
+}
+
+Real
+NnTrainer::measureFps(const ClassDataset &data, std::size_t samples)
+{
+    samples = std::min(samples, data.size());
+    if (samples == 0)
+        return 0;
+    WallTimer timer;
+    for (std::size_t i = 0; i < samples; ++i)
+        net_.predict(data.images[i].raw());
+    double elapsed = timer.seconds();
+    return elapsed > 0 ? static_cast<Real>(samples) / elapsed : 0;
+}
+
+} // namespace nn
+} // namespace lightridge

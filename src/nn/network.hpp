@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sequential real-valued network + trainer for the Table 4 baselines.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/loss.hpp"
+#include "core/optimizer.hpp"
+#include "nn/nn_layers.hpp"
+
+namespace lightridge {
+namespace nn {
+
+/** Sequential container over NnLayers. */
+class Network
+{
+  public:
+    Network() = default;
+
+    void
+    add(std::unique_ptr<NnLayer> layer)
+    {
+        layers_.push_back(std::move(layer));
+    }
+
+    std::size_t depth() const { return layers_.size(); }
+
+    std::vector<Real> forward(const std::vector<Real> &in);
+    void backward(const std::vector<Real> &dlogits);
+    std::vector<ParamView> params();
+    void zeroGrad();
+
+    int predict(const std::vector<Real> &in);
+
+    /** Total trainable parameter count. */
+    std::size_t parameterCount();
+
+  private:
+    std::vector<std::unique_ptr<NnLayer>> layers_;
+};
+
+/**
+ * The paper's MLP baseline: input -> 128 -> num_classes (two linear
+ * layers, hidden size 128, flattened input).
+ */
+Network makePaperMlp(std::size_t input_pixels, std::size_t num_classes,
+                     Rng *rng);
+
+/**
+ * The paper's CNN baseline: Conv(5x5, 32, s2, p2) -> MaxPool(3, s2) ->
+ * Conv(5x5, 64, s2, p2) -> MaxPool(3, s2) -> Dense(128) -> Dense(classes).
+ */
+Network makePaperCnn(std::size_t image_side, std::size_t num_classes,
+                     Rng *rng);
+
+/** Training configuration for the digital baselines. */
+struct NnTrainConfig
+{
+    int epochs = 3;
+    std::size_t batch = 32;
+    Real lr = 1e-3;
+    uint64_t seed = 11;
+};
+
+/** Minibatch Adam trainer over a ClassDataset (images flattened). */
+class NnTrainer
+{
+  public:
+    NnTrainer(Network &net, NnTrainConfig config);
+
+    Real trainEpoch(const ClassDataset &train);
+
+    /** Top-1 accuracy. */
+    Real evaluate(const ClassDataset &test);
+
+    /** Measured single-sample inference throughput [frames/s]. */
+    Real measureFps(const ClassDataset &data, std::size_t samples = 64);
+
+  private:
+    Network &net_;
+    NnTrainConfig config_;
+    Adam optimizer_;
+    Rng rng_;
+};
+
+} // namespace nn
+} // namespace lightridge

@@ -1,0 +1,222 @@
+#include "nn/nn_layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lightridge {
+namespace nn {
+
+Dense::Dense(std::size_t in, std::size_t out, Rng *rng)
+    : in_(in), out_(out), w_(in * out), b_(out, 0.0), dw_(in * out, 0.0),
+      db_(out, 0.0)
+{
+    // He-style initialization.
+    Real scale = std::sqrt(2.0 / static_cast<Real>(in));
+    for (Real &v : w_)
+        v = rng->normal(0, scale);
+}
+
+std::vector<Real>
+Dense::forward(const std::vector<Real> &in)
+{
+    if (in.size() != in_)
+        throw std::invalid_argument("Dense: input size mismatch");
+    cached_in_ = in;
+    std::vector<Real> out(out_);
+    for (std::size_t o = 0; o < out_; ++o) {
+        Real acc = b_[o];
+        const Real *row = w_.data() + o * in_;
+        for (std::size_t i = 0; i < in_; ++i)
+            acc += row[i] * in[i];
+        out[o] = acc;
+    }
+    return out;
+}
+
+std::vector<Real>
+Dense::backward(const std::vector<Real> &grad)
+{
+    std::vector<Real> grad_in(in_, 0.0);
+    for (std::size_t o = 0; o < out_; ++o) {
+        db_[o] += grad[o];
+        Real *drow = dw_.data() + o * in_;
+        const Real *row = w_.data() + o * in_;
+        for (std::size_t i = 0; i < in_; ++i) {
+            drow[i] += grad[o] * cached_in_[i];
+            grad_in[i] += grad[o] * row[i];
+        }
+    }
+    return grad_in;
+}
+
+std::vector<ParamView>
+Dense::params()
+{
+    return {ParamView{"w", &w_, &dw_}, ParamView{"b", &b_, &db_}};
+}
+
+Conv2d::Conv2d(Shape in, std::size_t out_ch, std::size_t kernel,
+               std::size_t stride, std::size_t pad, Rng *rng)
+    : in_shape_(in), kernel_(kernel), stride_(stride), pad_(pad)
+{
+    out_shape_.c = out_ch;
+    out_shape_.h = (in.h + 2 * pad - kernel) / stride + 1;
+    out_shape_.w = (in.w + 2 * pad - kernel) / stride + 1;
+    w_.resize(out_ch * in.c * kernel * kernel);
+    b_.assign(out_ch, 0.0);
+    dw_.assign(w_.size(), 0.0);
+    db_.assign(out_ch, 0.0);
+    Real scale = std::sqrt(2.0 / static_cast<Real>(in.c * kernel * kernel));
+    for (Real &v : w_)
+        v = rng->normal(0, scale);
+}
+
+std::vector<Real>
+Conv2d::forward(const std::vector<Real> &in)
+{
+    if (in.size() != in_shape_.size())
+        throw std::invalid_argument("Conv2d: input size mismatch");
+    cached_in_ = in;
+    std::vector<Real> out(out_shape_.size(), 0.0);
+    const std::size_t ih = in_shape_.h, iw = in_shape_.w;
+    for (std::size_t oc = 0; oc < out_shape_.c; ++oc) {
+        for (std::size_t oy = 0; oy < out_shape_.h; ++oy) {
+            for (std::size_t ox = 0; ox < out_shape_.w; ++ox) {
+                Real acc = b_[oc];
+                for (std::size_t ic = 0; ic < in_shape_.c; ++ic) {
+                    const Real *wk = w_.data() +
+                        ((oc * in_shape_.c + ic) * kernel_) * kernel_;
+                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                        long iy = static_cast<long>(oy * stride_ + ky) -
+                                  static_cast<long>(pad_);
+                        if (iy < 0 || iy >= static_cast<long>(ih))
+                            continue;
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            long ix = static_cast<long>(ox * stride_ + kx) -
+                                      static_cast<long>(pad_);
+                            if (ix < 0 || ix >= static_cast<long>(iw))
+                                continue;
+                            acc += wk[ky * kernel_ + kx] *
+                                   in[(ic * ih + iy) * iw + ix];
+                        }
+                    }
+                }
+                out[(oc * out_shape_.h + oy) * out_shape_.w + ox] = acc;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Real>
+Conv2d::backward(const std::vector<Real> &grad)
+{
+    std::vector<Real> grad_in(in_shape_.size(), 0.0);
+    const std::size_t ih = in_shape_.h, iw = in_shape_.w;
+    for (std::size_t oc = 0; oc < out_shape_.c; ++oc) {
+        for (std::size_t oy = 0; oy < out_shape_.h; ++oy) {
+            for (std::size_t ox = 0; ox < out_shape_.w; ++ox) {
+                Real g = grad[(oc * out_shape_.h + oy) * out_shape_.w + ox];
+                db_[oc] += g;
+                for (std::size_t ic = 0; ic < in_shape_.c; ++ic) {
+                    Real *dwk = dw_.data() +
+                        ((oc * in_shape_.c + ic) * kernel_) * kernel_;
+                    const Real *wk = w_.data() +
+                        ((oc * in_shape_.c + ic) * kernel_) * kernel_;
+                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                        long iy = static_cast<long>(oy * stride_ + ky) -
+                                  static_cast<long>(pad_);
+                        if (iy < 0 || iy >= static_cast<long>(ih))
+                            continue;
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            long ix = static_cast<long>(ox * stride_ + kx) -
+                                      static_cast<long>(pad_);
+                            if (ix < 0 || ix >= static_cast<long>(iw))
+                                continue;
+                            std::size_t ii = (ic * ih + iy) * iw + ix;
+                            dwk[ky * kernel_ + kx] += g * cached_in_[ii];
+                            grad_in[ii] += g * wk[ky * kernel_ + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+std::vector<ParamView>
+Conv2d::params()
+{
+    return {ParamView{"w", &w_, &dw_}, ParamView{"b", &b_, &db_}};
+}
+
+MaxPool2d::MaxPool2d(Shape in, std::size_t kernel, std::size_t stride)
+    : in_shape_(in), kernel_(kernel), stride_(stride)
+{
+    out_shape_.c = in.c;
+    out_shape_.h = (in.h - kernel) / stride + 1;
+    out_shape_.w = (in.w - kernel) / stride + 1;
+}
+
+std::vector<Real>
+MaxPool2d::forward(const std::vector<Real> &in)
+{
+    if (in.size() != in_shape_.size())
+        throw std::invalid_argument("MaxPool2d: input size mismatch");
+    std::vector<Real> out(out_shape_.size());
+    argmax_.assign(out_shape_.size(), 0);
+    for (std::size_t c = 0; c < out_shape_.c; ++c)
+        for (std::size_t oy = 0; oy < out_shape_.h; ++oy)
+            for (std::size_t ox = 0; ox < out_shape_.w; ++ox) {
+                Real best = -1e300;
+                std::size_t best_idx = 0;
+                for (std::size_t ky = 0; ky < kernel_; ++ky)
+                    for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                        std::size_t iy = oy * stride_ + ky;
+                        std::size_t ix = ox * stride_ + kx;
+                        std::size_t ii =
+                            (c * in_shape_.h + iy) * in_shape_.w + ix;
+                        if (in[ii] > best) {
+                            best = in[ii];
+                            best_idx = ii;
+                        }
+                    }
+                std::size_t oi = (c * out_shape_.h + oy) * out_shape_.w + ox;
+                out[oi] = best;
+                argmax_[oi] = best_idx;
+            }
+    return out;
+}
+
+std::vector<Real>
+MaxPool2d::backward(const std::vector<Real> &grad)
+{
+    std::vector<Real> grad_in(in_shape_.size(), 0.0);
+    for (std::size_t oi = 0; oi < grad.size(); ++oi)
+        grad_in[argmax_[oi]] += grad[oi];
+    return grad_in;
+}
+
+std::vector<Real>
+Relu::forward(const std::vector<Real> &in)
+{
+    cached_in_ = in;
+    std::vector<Real> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = in[i] > 0 ? in[i] : 0;
+    return out;
+}
+
+std::vector<Real>
+Relu::backward(const std::vector<Real> &grad)
+{
+    std::vector<Real> grad_in(grad.size());
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        grad_in[i] = cached_in_[i] > 0 ? grad[i] : 0;
+    return grad_in;
+}
+
+} // namespace nn
+} // namespace lightridge

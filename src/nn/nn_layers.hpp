@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Real-valued neural-network layers for the paper's digital baselines.
+ *
+ * Table 4 compares DONNs against a 2-layer MLP and a small CNN (two
+ * Conv2D + MaxPool stages followed by linear layers). These layers
+ * implement exactly those architectures with standard backprop, reusing
+ * the ParamView/optimizer machinery of the DONN core so both model
+ * families train through the same Adam implementation.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/layer.hpp" // ParamView
+#include "utils/rng.hpp"
+#include "utils/types.hpp"
+
+namespace lightridge {
+namespace nn {
+
+/** Shape of an activation: channels x height x width (dense: c=len). */
+struct Shape
+{
+    std::size_t c = 1, h = 1, w = 1;
+    std::size_t size() const { return c * h * w; }
+};
+
+/** Base class for real-valued layers (flat activation buffers). */
+class NnLayer
+{
+  public:
+    virtual ~NnLayer() = default;
+    virtual std::string kind() const = 0;
+
+    /** Output shape for this layer's configured input. */
+    virtual Shape outputShape() const = 0;
+
+    virtual std::vector<Real> forward(const std::vector<Real> &in) = 0;
+    virtual std::vector<Real> backward(const std::vector<Real> &grad) = 0;
+    virtual std::vector<ParamView> params() { return {}; }
+};
+
+/** Fully connected layer with bias. */
+class Dense : public NnLayer
+{
+  public:
+    Dense(std::size_t in, std::size_t out, Rng *rng);
+    std::string kind() const override { return "dense"; }
+    Shape outputShape() const override { return Shape{out_, 1, 1}; }
+    std::vector<Real> forward(const std::vector<Real> &in) override;
+    std::vector<Real> backward(const std::vector<Real> &grad) override;
+    std::vector<ParamView> params() override;
+
+  private:
+    std::size_t in_, out_;
+    std::vector<Real> w_, b_, dw_, db_, cached_in_;
+};
+
+/** 2-D convolution (square kernel, configurable stride/padding). */
+class Conv2d : public NnLayer
+{
+  public:
+    Conv2d(Shape in, std::size_t out_ch, std::size_t kernel,
+           std::size_t stride, std::size_t pad, Rng *rng);
+    std::string kind() const override { return "conv2d"; }
+    Shape outputShape() const override { return out_shape_; }
+    std::vector<Real> forward(const std::vector<Real> &in) override;
+    std::vector<Real> backward(const std::vector<Real> &grad) override;
+    std::vector<ParamView> params() override;
+
+  private:
+    Shape in_shape_, out_shape_;
+    std::size_t kernel_, stride_, pad_;
+    std::vector<Real> w_, b_, dw_, db_, cached_in_;
+};
+
+/** Max pooling (square window). */
+class MaxPool2d : public NnLayer
+{
+  public:
+    MaxPool2d(Shape in, std::size_t kernel, std::size_t stride);
+    std::string kind() const override { return "maxpool"; }
+    Shape outputShape() const override { return out_shape_; }
+    std::vector<Real> forward(const std::vector<Real> &in) override;
+    std::vector<Real> backward(const std::vector<Real> &grad) override;
+
+  private:
+    Shape in_shape_, out_shape_;
+    std::size_t kernel_, stride_;
+    std::vector<std::size_t> argmax_;
+};
+
+/** Elementwise rectified linear unit. */
+class Relu : public NnLayer
+{
+  public:
+    explicit Relu(Shape in) : shape_(in) {}
+    std::string kind() const override { return "relu"; }
+    Shape outputShape() const override { return shape_; }
+    std::vector<Real> forward(const std::vector<Real> &in) override;
+    std::vector<Real> backward(const std::vector<Real> &grad) override;
+
+  private:
+    Shape shape_;
+    std::vector<Real> cached_in_;
+};
+
+} // namespace nn
+} // namespace lightridge

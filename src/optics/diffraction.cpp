@@ -1,0 +1,181 @@
+#include "optics/diffraction.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "fft/fft.hpp"
+
+namespace lightridge {
+
+const char *
+diffractionName(Diffraction d)
+{
+    switch (d) {
+      case Diffraction::RayleighSommerfeld: return "rayleigh-sommerfeld";
+      case Diffraction::Fresnel: return "fresnel";
+      case Diffraction::Fraunhofer: return "fraunhofer";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Exact angular-spectrum transfer function (Helmholtz propagator). */
+Field
+angularSpectrumTf(const Grid &grid, Real wavelength, Real z)
+{
+    Field h(grid.n, grid.n);
+    const Real inv_lambda_sq = Real(1) / (wavelength * wavelength);
+    const Real k = waveNumber(wavelength);
+    for (std::size_t r = 0; r < grid.n; ++r) {
+        Real fy = grid.freq(r);
+        for (std::size_t c = 0; c < grid.n; ++c) {
+            Real fx = grid.freq(c);
+            Real arg = inv_lambda_sq - fx * fx - fy * fy;
+            if (arg >= 0) {
+                Real phase = kTwoPi * z * std::sqrt(arg);
+                h(r, c) = Complex{std::cos(phase), std::sin(phase)};
+            } else {
+                // Evanescent components decay exponentially.
+                Real decay = std::exp(-kTwoPi * z * std::sqrt(-arg));
+                (void)k;
+                h(r, c) = Complex{decay, 0};
+            }
+        }
+    }
+    return h;
+}
+
+/** Analytic Fresnel transfer function (Eq. 3 in frequency space). */
+Field
+fresnelTf(const Grid &grid, Real wavelength, Real z)
+{
+    Field h(grid.n, grid.n);
+    const Real k = waveNumber(wavelength);
+    const Real kz = k * z;
+    for (std::size_t r = 0; r < grid.n; ++r) {
+        Real fy = grid.freq(r);
+        for (std::size_t c = 0; c < grid.n; ++c) {
+            Real fx = grid.freq(c);
+            Real phase = kz - kPi * wavelength * z * (fx * fx + fy * fy);
+            h(r, c) = Complex{std::cos(phase), std::sin(phase)};
+        }
+    }
+    return h;
+}
+
+/**
+ * Sampled spatial impulse response, FFT'd to frequency space. This is the
+ * paper's spectral algorithm (Eqs. 5-7) applied to the chosen kernel.
+ */
+Field
+impulseResponseTf(Diffraction approx, const Grid &grid, Real wavelength,
+                  Real z)
+{
+    const Real k = waveNumber(wavelength);
+    Field h(grid.n, grid.n);
+    const Real measure = grid.pitch * grid.pitch;
+
+    // Valid-support window: beyond radius z*tan(theta_max) the sampled
+    // kernel's local spatial frequency x/(lambda*r) exceeds the grid's
+    // Nyquist limit 1/(2*pitch) and samples alias. theta_max is exactly
+    // the maximum half-cone diffraction angle of a unit of size 2*pitch,
+    // so windowing removes only physically unrepresentable components.
+    const Real sin_max = std::min(Real(1), wavelength / (2 * grid.pitch));
+    const Real r_window =
+        sin_max >= 1 ? std::numeric_limits<Real>::infinity()
+                     : z * sin_max / std::sqrt(1 - sin_max * sin_max);
+
+    for (std::size_t r = 0; r < grid.n; ++r) {
+        // Kernel is sampled in unshifted order: displacement wraps so the
+        // origin sits at sample (0, 0) as the circular convolution expects.
+        Real y = grid.freq(r) * grid.aperture() * grid.pitch;
+        for (std::size_t c = 0; c < grid.n; ++c) {
+            Real x = grid.freq(c) * grid.aperture() * grid.pitch;
+            Complex value{0, 0};
+            if (x * x + y * y > r_window * r_window) {
+                h(r, c) = value;
+                continue;
+            }
+            if (approx == Diffraction::RayleighSommerfeld) {
+                // Paper Eq. 1 kernel: h = z * exp(jkr) / (j lambda r^2).
+                Real r01 = std::sqrt(z * z + x * x + y * y);
+                Complex num = std::polar(Real(1), k * r01);
+                value = z * num /
+                        (kJ * wavelength * r01 * r01);
+            } else if (approx == Diffraction::Fresnel) {
+                // Eq. 3 kernel: exp(jkz)/(j lambda z) exp(jk/(2z)(x^2+y^2)).
+                Real quad = k / (2 * z) * (x * x + y * y);
+                value = std::polar(Real(1), k * z + quad) /
+                        (kJ * wavelength * z);
+            } else {
+                throw std::invalid_argument(
+                    "impulse response undefined for fraunhofer");
+            }
+            h(r, c) = value * measure;
+        }
+    }
+    Fft2d fft(grid.n, grid.n);
+    fft.forward(&h);
+    return h;
+}
+
+} // namespace
+
+Field
+transferFunction(Diffraction approx, PropagationMethod method,
+                 const Grid &grid, Real wavelength, Real z)
+{
+    if (grid.n == 0 || grid.pitch <= 0)
+        throw std::invalid_argument("transferFunction: bad grid");
+    if (wavelength <= 0 || z <= 0)
+        throw std::invalid_argument("transferFunction: bad lambda/z");
+
+    switch (approx) {
+      case Diffraction::RayleighSommerfeld:
+        return method == PropagationMethod::TransferFunction
+                   ? angularSpectrumTf(grid, wavelength, z)
+                   : impulseResponseTf(approx, grid, wavelength, z);
+      case Diffraction::Fresnel:
+        return method == PropagationMethod::TransferFunction
+                   ? fresnelTf(grid, wavelength, z)
+                   : impulseResponseTf(approx, grid, wavelength, z);
+      case Diffraction::Fraunhofer:
+        throw std::invalid_argument(
+            "fraunhofer propagation is not a transfer function; "
+            "use Propagator with Diffraction::Fraunhofer");
+    }
+    throw std::invalid_argument("unknown approximation");
+}
+
+bool
+fresnelValid(const Grid &grid, Real wavelength, Real z)
+{
+    Real half = grid.aperture() / 2;
+    Real rmax_sq = 2 * half * half; // corner-to-corner worst case
+    Real bound = kPi / (4 * wavelength) * rmax_sq * rmax_sq;
+    return z * z * z > bound; // ">>": we accept > as the usable boundary
+}
+
+bool
+fraunhoferValid(const Grid &grid, Real wavelength, Real z)
+{
+    Real half = grid.aperture() / 2;
+    Real rmax_sq = 2 * half * half;
+    Real bound = waveNumber(wavelength) * rmax_sq / 2;
+    return z > bound;
+}
+
+Real
+idealDistanceHalfCone(const Grid &grid, Real wavelength)
+{
+    Real sin_theta = wavelength / (2 * grid.pitch);
+    if (sin_theta >= 1)
+        return 0; // sub-wavelength units diffract into the full hemisphere
+    Real tan_theta = sin_theta / std::sqrt(1 - sin_theta * sin_theta);
+    // Cover half the aperture of the next layer from a center unit.
+    return (grid.aperture() / 2) / tan_theta;
+}
+
+} // namespace lightridge

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scalar-diffraction approximations (paper Section 3.1.1, Equations 1-4).
+ *
+ * Three approximation families are provided, selectable per layer exactly
+ * as in the paper's lr.layers API:
+ *
+ *  - Rayleigh-Sommerfeld (Eq. 1): handles near and far field. Two numeric
+ *    routes: the analytic angular-spectrum transfer function (the exact
+ *    solution of the Helmholtz equation), and the sampled impulse-response
+ *    kernel h = z*exp(jkr)/(j*lambda*r^2) FFT'd once and cached (the
+ *    paper's Eqs. 5-7 spectral algorithm).
+ *  - Fresnel (Eq. 3): parabolic-wavefront transfer function
+ *    H = exp(jkz) * exp(-j*pi*lambda*z*(fx^2+fy^2)).
+ *  - Fraunhofer (Eq. 4): far-field single-FFT propagation with quadratic
+ *    output phase and rescaled output pitch lambda*z/(n*pitch).
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "optics/grid.hpp"
+#include "tensor/field.hpp"
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Diffraction approximation selector (paper Table 2). */
+enum class Diffraction { RayleighSommerfeld, Fresnel, Fraunhofer };
+
+/** Numerical route for convolution-type approximations. */
+enum class PropagationMethod { TransferFunction, ImpulseResponse };
+
+/** Human-readable name of a diffraction approximation. */
+const char *diffractionName(Diffraction d);
+
+/**
+ * Frequency-domain transfer function H for one free-space hop of length z,
+ * laid out in unshifted FFT order on the given grid.
+ *
+ * For RayleighSommerfeld with TransferFunction this is the angular
+ * spectrum kernel; with ImpulseResponse it is FFT2 of the sampled Eq. 1
+ * kernel (times pitch^2 for the integral measure). Fresnel supports both
+ * routes analogously. Fraunhofer has no shift-invariant transfer function;
+ * requesting one throws std::invalid_argument.
+ */
+Field transferFunction(Diffraction approx, PropagationMethod method,
+                       const Grid &grid, Real wavelength, Real z);
+
+/**
+ * Validity heuristics from Goodman used by the DSE engine to prune the
+ * search space: Fresnel requires z^3 >> pi/(4*lambda) * max(r^2)^2;
+ * Fraunhofer requires z >> k * max(xi^2+eta^2) / 2.
+ */
+bool fresnelValid(const Grid &grid, Real wavelength, Real z);
+bool fraunhoferValid(const Grid &grid, Real wavelength, Real z);
+
+/**
+ * Maximum half-cone diffraction angle theory [Chen et al. 2021], used by
+ * LightRidge-DSE for analytic guidance: a diffraction unit of size p at
+ * wavelength lambda spreads light into half-angle asin(lambda / (2 p)).
+ * Returns the ideal inter-layer distance for full connectivity of an
+ * n-by-n layer: the cone from one unit should cover the next layer's
+ * half-aperture.
+ */
+Real idealDistanceHalfCone(const Grid &grid, Real wavelength);
+
+} // namespace lightridge

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Spatial sampling grid shared by all optics kernels.
+ *
+ * A grid is n-by-n diffraction units of physical pitch p (the paper's
+ * "diffraction unit size", one of the two key DSE parameters). Coordinates
+ * are centered: x_i = (i - n/2) * p. Spatial frequencies follow FFT
+ * (unshifted) ordering so transfer functions can be applied without
+ * fftshift round trips.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Square sampling grid: size in units and physical pitch in meters. */
+struct Grid
+{
+    std::size_t n = 0;  ///< samples per side (system resolution)
+    Real pitch = 0.0;   ///< diffraction unit size [m]
+
+    /** Physical side length of the plane [m]. */
+    Real aperture() const { return static_cast<Real>(n) * pitch; }
+
+    /** Centered spatial coordinate of sample i [m]. */
+    Real
+    coord(std::size_t i) const
+    {
+        return (static_cast<Real>(i) - static_cast<Real>(n) / 2) * pitch;
+    }
+
+    /** Spatial frequency of FFT bin i in cycles/m (unshifted order). */
+    Real
+    freq(std::size_t i) const
+    {
+        Real k = static_cast<Real>(i);
+        if (i >= (n + 1) / 2)
+            k -= static_cast<Real>(n);
+        return k / aperture();
+    }
+
+    /** Frequency-domain sample spacing (1 / aperture). */
+    Real freqStep() const { return Real(1) / aperture(); }
+
+    bool operator==(const Grid &other) const = default;
+};
+
+} // namespace lightridge

@@ -1,0 +1,92 @@
+#include "optics/laser.hpp"
+
+#include <cmath>
+
+namespace lightridge {
+
+namespace {
+
+/** Series evaluation of the Bessel function J0 (Abramowitz & Stegun 9.4). */
+Real
+besselJ0(Real x)
+{
+    Real ax = std::abs(x);
+    if (ax < 8.0) {
+        // Rational minimax approximation (Numerical-Recipes-style).
+        Real y = x * x;
+        Real p1 = 57568490574.0 + y * (-13362590354.0 + y * (651619640.7 +
+                  y * (-11214424.18 + y * (77392.33017 +
+                  y * (-184.9052456)))));
+        Real p2 = 57568490411.0 + y * (1029532985.0 + y * (9494680.718 +
+                  y * (59272.64853 + y * (267.8532712 + y))));
+        return p1 / p2;
+    }
+    Real z = 8.0 / ax;
+    Real y = z * z;
+    Real xx = ax - 0.785398164;
+    Real p1 = 1.0 + y * (-0.1098628627e-2 + y * (0.2734510407e-4 +
+              y * (-0.2073370639e-5 + y * 0.2093887211e-6)));
+    Real p2 = -0.1562499995e-1 + y * (0.1430488765e-3 +
+              y * (-0.6911147651e-5 + y * (0.7621095161e-6 -
+              y * 0.934935152e-7)));
+    return std::sqrt(0.636619772 / ax) *
+           (std::cos(xx) * p1 - z * std::sin(xx) * p2);
+}
+
+} // namespace
+
+Field
+sourceProfile(const Laser &laser, const Grid &grid)
+{
+    Field out(grid.n, grid.n, Complex{1, 0});
+    switch (laser.profile) {
+      case BeamProfile::Plane:
+        return out;
+      case BeamProfile::Gaussian: {
+        Real w0 = laser.waist > 0 ? laser.waist : grid.aperture() / 4;
+        for (std::size_t r = 0; r < grid.n; ++r) {
+            Real y = grid.coord(r);
+            for (std::size_t c = 0; c < grid.n; ++c) {
+                Real x = grid.coord(c);
+                Real a = std::exp(-(x * x + y * y) / (w0 * w0));
+                out(r, c) = Complex{a, 0};
+            }
+        }
+        return out;
+      }
+      case BeamProfile::Bessel: {
+        // Transverse wave number chosen so the central lobe spans a
+        // configurable fraction of the aperture.
+        Real kr = 2.405 / (laser.bessel_cone * grid.aperture() / 2);
+        for (std::size_t r = 0; r < grid.n; ++r) {
+            Real y = grid.coord(r);
+            for (std::size_t c = 0; c < grid.n; ++c) {
+                Real x = grid.coord(c);
+                Real rho = std::sqrt(x * x + y * y);
+                out(r, c) = Complex{besselJ0(kr * rho), 0};
+            }
+        }
+        return out;
+      }
+    }
+    return out;
+}
+
+Real
+gaussianBeamRadius(Real w0, Real wavelength, Real z)
+{
+    Real zr = kPi * w0 * w0 / wavelength;
+    return w0 * std::sqrt(1.0 + (z / zr) * (z / zr));
+}
+
+Field
+encodeInput(const RealMap &image, const Laser &laser, const Grid &grid)
+{
+    Field profile = sourceProfile(laser, grid);
+    Field out(grid.n, grid.n);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = profile[i] * Complex{image[i], 0};
+    return out;
+}
+
+} // namespace lightridge

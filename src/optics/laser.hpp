@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Coherent laser source models (paper Table 2, "Laser source & profiles").
+ *
+ * The source defines the illumination wavefield onto which input images are
+ * encoded (lr.laser in the DSL). Plane, Gaussian, and Bessel beam profiles
+ * are provided with configurable wavelength and power.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "optics/grid.hpp"
+#include "tensor/field.hpp"
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Supported transverse beam profiles. */
+enum class BeamProfile { Plane, Gaussian, Bessel };
+
+/** Continuous-wave laser source description. */
+struct Laser
+{
+    Real wavelength = 532e-9;              ///< [m]; 532 nm green by default
+    BeamProfile profile = BeamProfile::Plane;
+    Real waist = 0.0;       ///< Gaussian 1/e^2 amplitude waist [m]; 0 = auto
+    Real bessel_cone = 0.5; ///< Bessel transverse scale as fraction of plane
+    Real power_watts = 5e-3; ///< CW optical power (prototype: ~5 mW)
+
+    /** Wave number 2*pi/lambda. */
+    Real k() const { return waveNumber(wavelength); }
+};
+
+/**
+ * Illumination amplitude profile of the source across a grid, normalized
+ * to unit peak amplitude. Input images multiply this profile.
+ */
+Field sourceProfile(const Laser &laser, const Grid &grid);
+
+/**
+ * Analytic Gaussian beam radius after free-space distance z:
+ * w(z) = w0 * sqrt(1 + (z/zR)^2), zR = pi*w0^2/lambda.
+ * Used to validate the diffraction kernels against known physics.
+ */
+Real gaussianBeamRadius(Real w0, Real wavelength, Real z);
+
+/**
+ * Encode an intensity image onto the source beam as the paper prescribes
+ * (Section 3.1: theta = 0, A = I): amplitude = image, phase = 0, windowed
+ * by the source profile. This is the data_to_cplex training utility.
+ */
+Field encodeInput(const RealMap &image, const Laser &laser, const Grid &grid);
+
+} // namespace lightridge

@@ -1,0 +1,149 @@
+#include "optics/propagator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightridge {
+
+Propagator::Propagator(const PropagatorConfig &config) : config_(config)
+{
+    const std::size_t n = config_.grid.n;
+    if (n == 0)
+        throw std::invalid_argument("Propagator: empty grid");
+    if (config_.pad_factor == 0)
+        throw std::invalid_argument("Propagator: pad_factor must be >= 1");
+
+    if (config_.approx == Diffraction::Fraunhofer) {
+        padded_n_ = n;
+        fft_ = std::make_shared<Fft2d>(n, n);
+        // Output-plane quadratic phase and scale of Eq. 4, folded together
+        // with the centered-DFT sign factors (-1)^(a+b) and the constant
+        // exp(-j*pi*n) from the half-sample shifts.
+        const Real lambda = config_.wavelength;
+        const Real z = config_.distance;
+        const Real k = waveNumber(lambda);
+        const Real out_pitch = outputPitch();
+        quad_phase_ = Field(n, n);
+        const Complex scale =
+            std::polar(Real(1), k * z) / (kJ * lambda * z) *
+            config_.grid.pitch * config_.grid.pitch *
+            std::polar(Real(1), -kPi * static_cast<Real>(n));
+        for (std::size_t a = 0; a < n; ++a) {
+            Real v = (static_cast<Real>(a) - static_cast<Real>(n) / 2) *
+                     out_pitch;
+            for (std::size_t b = 0; b < n; ++b) {
+                Real u = (static_cast<Real>(b) - static_cast<Real>(n) / 2) *
+                         out_pitch;
+                Real sign = ((a + b) % 2 == 0) ? Real(1) : Real(-1);
+                quad_phase_(a, b) =
+                    scale * sign *
+                    std::polar(Real(1), k * (u * u + v * v) / (2 * z));
+            }
+        }
+        return;
+    }
+
+    padded_n_ = config_.pad_factor == 1
+                    ? n
+                    : nextFastLength(config_.pad_factor * n);
+    Grid padded{padded_n_, config_.grid.pitch};
+    kernel_ = transferFunction(config_.approx, config_.method, padded,
+                               config_.wavelength, config_.distance);
+    fft_ = std::make_shared<Fft2d>(padded_n_, padded_n_);
+}
+
+Real
+Propagator::outputPitch() const
+{
+    if (config_.approx == Diffraction::Fraunhofer) {
+        return config_.wavelength * config_.distance /
+               (static_cast<Real>(config_.grid.n) * config_.grid.pitch);
+    }
+    return config_.grid.pitch;
+}
+
+Field
+Propagator::convolve(const Field &in, bool conjugate_kernel) const
+{
+    const std::size_t n = config_.grid.n;
+    if (in.rows() != n || in.cols() != n)
+        throw std::invalid_argument("Propagator: field shape mismatch");
+
+    Field work;
+    if (padded_n_ == n) {
+        work = in;
+    } else {
+        work = Field(padded_n_, padded_n_);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                work(r, c) = in(r, c);
+    }
+
+    fft_->forward(&work);
+    if (conjugate_kernel)
+        work.hadamardConj(kernel_);
+    else
+        work.hadamard(kernel_);
+    fft_->inverse(&work);
+
+    if (padded_n_ == n)
+        return work;
+    Field out(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            out(r, c) = work(r, c);
+    return out;
+}
+
+Field
+Propagator::fraunhoferForward(const Field &in) const
+{
+    const std::size_t n = config_.grid.n;
+    if (in.rows() != n || in.cols() != n)
+        throw std::invalid_argument("Propagator: field shape mismatch");
+    Field work(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) {
+            Real sign = ((r + c) % 2 == 0) ? Real(1) : Real(-1);
+            work(r, c) = in(r, c) * sign;
+        }
+    fft_->forward(&work);
+    work.hadamard(quad_phase_);
+    return work;
+}
+
+Field
+Propagator::fraunhoferAdjoint(const Field &grad_out) const
+{
+    const std::size_t n = config_.grid.n;
+    Field work = grad_out;
+    work.hadamardConj(quad_phase_);
+    fft_->inverse(&work);
+    const Real n2 = static_cast<Real>(n) * static_cast<Real>(n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) {
+            Real sign = ((r + c) % 2 == 0) ? Real(1) : Real(-1);
+            // inverse() scales by 1/N^2; the adjoint of an unnormalized
+            // forward DFT is N^2 times the inverse.
+            work(r, c) *= sign * n2;
+        }
+    return work;
+}
+
+Field
+Propagator::forward(const Field &in) const
+{
+    if (config_.approx == Diffraction::Fraunhofer)
+        return fraunhoferForward(in);
+    return convolve(in, false);
+}
+
+Field
+Propagator::adjoint(const Field &grad_out) const
+{
+    if (config_.approx == Diffraction::Fraunhofer)
+        return fraunhoferAdjoint(grad_out);
+    return convolve(grad_out, true);
+}
+
+} // namespace lightridge

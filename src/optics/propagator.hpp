@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cached free-space propagator: the "diffraction operator" of a DONN.
+ *
+ * One Propagator models one hop of length z between planes (source->layer,
+ * layer->layer, or layer->detector). Construction precomputes and caches
+ * the frequency-domain kernel and FFT plans; forward() then runs the fused
+ * FFT2 -> Hadamard -> iFFT2 pipeline of the paper's Eqs. 5-7 with no
+ * intermediate allocations. adjoint() applies the conjugate-transposed
+ * operator, which is exactly what error backpropagation through a linear
+ * optical element requires (Section 2.1: "fully differentiable from the
+ * detector to the laser source").
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "fft/fft.hpp"
+#include "optics/diffraction.hpp"
+#include "optics/grid.hpp"
+#include "tensor/field.hpp"
+
+namespace lightridge {
+
+/** Full specification of one free-space hop. */
+struct PropagatorConfig
+{
+    Grid grid;                 ///< plane sampling (n, pitch)
+    Real wavelength = 532e-9;  ///< laser wavelength [m]
+    Real distance = 0.3;       ///< hop length z [m]
+    Diffraction approx = Diffraction::RayleighSommerfeld;
+    PropagationMethod method = PropagationMethod::TransferFunction;
+    /**
+     * Zero-padding factor: 1 reproduces the paper's same-size circular
+     * spectral algorithm; 2 guards against wraparound (linear convolution).
+     */
+    std::size_t pad_factor = 1;
+};
+
+/** Precomputed, immutable, thread-safe free-space propagation operator. */
+class Propagator
+{
+  public:
+    explicit Propagator(const PropagatorConfig &config);
+
+    const PropagatorConfig &config() const { return config_; }
+
+    /** Propagate a field over the hop. Input shape must match the grid. */
+    Field forward(const Field &in) const;
+
+    /**
+     * Apply the conjugate transpose of forward() to a Wirtinger gradient
+     * field. For unit-modulus kernels this equals propagation backward
+     * over -z.
+     */
+    Field adjoint(const Field &grad_out) const;
+
+    /** Sample pitch of the output plane (differs for Fraunhofer). */
+    Real outputPitch() const;
+
+    /** The cached frequency-domain kernel (empty for Fraunhofer). */
+    const Field &kernel() const { return kernel_; }
+
+  private:
+    Field convolve(const Field &in, bool conjugate_kernel) const;
+    Field fraunhoferForward(const Field &in) const;
+    Field fraunhoferAdjoint(const Field &grad_out) const;
+
+    PropagatorConfig config_;
+    std::size_t padded_n_ = 0;  ///< working size (>= grid.n)
+    Field kernel_;              ///< transfer function on the padded grid
+    Field quad_phase_;          ///< Fraunhofer output factor K(a, b)
+    std::shared_ptr<Fft2d> fft_;
+};
+
+} // namespace lightridge

@@ -1,0 +1,75 @@
+#include "utils/cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace lightridge {
+
+CliArgs::CliArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+            flags_[arg] = argv[++i];
+        } else {
+            flags_[arg] = "";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &name, const std::string &fallback) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return fallback;
+    return std::atof(it->second.c_str());
+}
+
+int
+CliArgs::getInt(const std::string &name, int fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return fallback;
+    return std::atoi(it->second.c_str());
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    if (it->second.empty() || it->second == "1" || it->second == "true")
+        return true;
+    return false;
+}
+
+bool
+benchFullScale()
+{
+    const char *env = std::getenv("LR_BENCH_FULL");
+    return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+} // namespace lightridge

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by examples and bench binaries.
+ *
+ * Supports --key=value and --key value forms plus boolean switches, and the
+ * LR_BENCH_FULL environment toggle that switches every benchmark between
+ * quick (CI-scale) and paper-scale parameters.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace lightridge {
+
+/** Parsed command line: flags plus positional arguments. */
+class CliArgs
+{
+  public:
+    CliArgs() = default;
+
+    /** Parse argv. Unknown flags are stored; no schema required. */
+    CliArgs(int argc, char **argv);
+
+    /** True when --name was passed (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String flag with fallback. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** Numeric flag with fallback. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Integer flag with fallback. */
+    int getInt(const std::string &name, int fallback) const;
+
+    /** Boolean flag: present without value, or =true/=1. */
+    bool getBool(const std::string &name, bool fallback) const;
+
+  private:
+    std::map<std::string, std::string> flags_;
+};
+
+/**
+ * True when the LR_BENCH_FULL environment variable requests paper-scale
+ * benchmark parameters (any non-empty value other than "0").
+ */
+bool benchFullScale();
+
+/**
+ * Pick quick-scale or full-scale value depending on benchFullScale().
+ * Keeps the bench sources readable: scaled(64, 200) etc.
+ */
+template <typename T>
+T
+scaled(T quick, T full)
+{
+    return benchFullScale() ? full : quick;
+}
+
+} // namespace lightridge

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * CSV table writer used by the benchmark harnesses to dump every
+ * reproduced table/figure series alongside the printed output.
+ */
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lightridge {
+
+/** Accumulates rows and writes an RFC-4180-ish CSV file. */
+class CsvWriter
+{
+  public:
+    /** Set the header row. */
+    void
+    header(const std::vector<std::string> &columns)
+    {
+        header_ = columns;
+    }
+
+    /** Append a fully formatted row. */
+    void
+    row(const std::vector<std::string> &cells)
+    {
+        rows_.push_back(cells);
+    }
+
+    /** Convenience: append a row of doubles with %g formatting. */
+    void
+    rowNumeric(const std::vector<double> &cells)
+    {
+        std::vector<std::string> text;
+        text.reserve(cells.size());
+        for (double v : cells) {
+            std::ostringstream s;
+            s << v;
+            text.push_back(s.str());
+        }
+        rows_.push_back(std::move(text));
+    }
+
+    /** Serialize to a string. */
+    std::string
+    str() const
+    {
+        std::ostringstream out;
+        auto emit = [&](const std::vector<std::string> &cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                if (i)
+                    out << ',';
+                bool quote = cells[i].find_first_of(",\"\n") !=
+                             std::string::npos;
+                if (!quote) {
+                    out << cells[i];
+                } else {
+                    out << '"';
+                    for (char c : cells[i]) {
+                        if (c == '"')
+                            out << '"';
+                        out << c;
+                    }
+                    out << '"';
+                }
+            }
+            out << '\n';
+        };
+        if (!header_.empty())
+            emit(header_);
+        for (const auto &r : rows_)
+            emit(r);
+        return out.str();
+    }
+
+    /** Write to file. @return false on I/O failure. */
+    bool
+    save(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << str();
+        return static_cast<bool>(out);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lightridge

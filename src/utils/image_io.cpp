@@ -1,0 +1,133 @@
+#include "utils/image_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+namespace lightridge {
+
+namespace {
+
+/** Skip whitespace and '#' comments in a PNM header stream. */
+void
+skipPnmJunk(std::istream &in)
+{
+    for (;;) {
+        int c = in.peek();
+        if (c == '#') {
+            std::string line;
+            std::getline(in, line);
+        } else if (std::isspace(c)) {
+            in.get();
+        } else {
+            return;
+        }
+    }
+}
+
+bool
+readPnmHeader(std::istream &in, const char *magic, std::size_t *rows,
+              std::size_t *cols)
+{
+    std::string tag;
+    in >> tag;
+    if (tag != magic)
+        return false;
+    skipPnmJunk(in);
+    std::size_t w = 0, h = 0;
+    int maxval = 0;
+    in >> w;
+    skipPnmJunk(in);
+    in >> h;
+    skipPnmJunk(in);
+    in >> maxval;
+    if (!in || w == 0 || h == 0 || maxval != 255)
+        return false;
+    in.get(); // single whitespace before raster
+    *rows = h;
+    *cols = w;
+    return true;
+}
+
+} // namespace
+
+bool
+writePgm(const std::string &path, const GrayImage &image)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << "P5\n" << image.cols << " " << image.rows << "\n255\n";
+    out.write(reinterpret_cast<const char *>(image.pixels.data()),
+              static_cast<std::streamsize>(image.pixels.size()));
+    return static_cast<bool>(out);
+}
+
+bool
+readPgm(const std::string &path, GrayImage *image)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::size_t rows = 0, cols = 0;
+    if (!readPnmHeader(in, "P5", &rows, &cols))
+        return false;
+    image->rows = rows;
+    image->cols = cols;
+    image->pixels.resize(rows * cols);
+    in.read(reinterpret_cast<char *>(image->pixels.data()),
+            static_cast<std::streamsize>(image->pixels.size()));
+    return static_cast<bool>(in);
+}
+
+bool
+writePpm(const std::string &path, const RgbImage &image)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << "P6\n" << image.cols << " " << image.rows << "\n255\n";
+    out.write(reinterpret_cast<const char *>(image.pixels.data()),
+              static_cast<std::streamsize>(image.pixels.size()));
+    return static_cast<bool>(out);
+}
+
+bool
+readPpm(const std::string &path, RgbImage *image)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::size_t rows = 0, cols = 0;
+    if (!readPnmHeader(in, "P6", &rows, &cols))
+        return false;
+    image->rows = rows;
+    image->cols = cols;
+    image->pixels.resize(rows * cols * 3);
+    in.read(reinterpret_cast<char *>(image->pixels.data()),
+            static_cast<std::streamsize>(image->pixels.size()));
+    return static_cast<bool>(in);
+}
+
+GrayImage
+toGray(const std::vector<double> &values, std::size_t rows, std::size_t cols)
+{
+    GrayImage image;
+    image.rows = rows;
+    image.cols = cols;
+    image.pixels.resize(rows * cols, 0);
+    if (values.empty())
+        return image;
+    double lo = *std::min_element(values.begin(), values.end());
+    double hi = *std::max_element(values.begin(), values.end());
+    double span = hi - lo;
+    if (span <= 0)
+        return image;
+    for (std::size_t i = 0; i < values.size() && i < image.pixels.size(); ++i) {
+        double v = (values[i] - lo) / span * 255.0;
+        image.pixels[i] = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+    return image;
+}
+
+} // namespace lightridge

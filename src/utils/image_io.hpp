@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Binary PGM (P5) / PPM (P6) image reading and writing.
+ *
+ * LightRidge's visualization hooks (lr.layers.view() in the paper) dump
+ * phase masks, detector patterns, and segmentation outputs as portable
+ * graymap/pixmap files so results can be inspected without any GUI.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lightridge {
+
+/** 8-bit grayscale image buffer (row major). */
+struct GrayImage
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<uint8_t> pixels; // rows * cols
+
+    uint8_t &at(std::size_t r, std::size_t c) { return pixels[r * cols + c]; }
+    uint8_t at(std::size_t r, std::size_t c) const
+    {
+        return pixels[r * cols + c];
+    }
+};
+
+/** 8-bit RGB image buffer (row major, interleaved). */
+struct RgbImage
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<uint8_t> pixels; // rows * cols * 3
+};
+
+/** Write a binary PGM file. @return false on I/O failure. */
+bool writePgm(const std::string &path, const GrayImage &image);
+
+/** Read a binary PGM file. @return false on parse/I/O failure. */
+bool readPgm(const std::string &path, GrayImage *image);
+
+/** Write a binary PPM file. @return false on I/O failure. */
+bool writePpm(const std::string &path, const RgbImage &image);
+
+/** Read a binary PPM file. @return false on parse/I/O failure. */
+bool readPpm(const std::string &path, RgbImage *image);
+
+/**
+ * Normalize an arbitrary real-valued buffer to 0..255 (min-max) and wrap it
+ * in a GrayImage. Constant buffers map to 0.
+ */
+GrayImage toGray(const std::vector<double> &values, std::size_t rows,
+                 std::size_t cols);
+
+} // namespace lightridge

@@ -1,0 +1,45 @@
+#include "utils/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace lightridge {
+namespace log_detail {
+
+LogLevel &
+globalLevel()
+{
+    static LogLevel level = LogLevel::Info;
+    return level;
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    static std::mutex mutex;
+    static const char *names[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+    using clock = std::chrono::steady_clock;
+    static const auto start = clock::now();
+    double t = std::chrono::duration<double>(clock::now() - start).count();
+
+    std::lock_guard<std::mutex> lock(mutex);
+    std::fprintf(stderr, "[%8.3f] [%s] %s\n", t,
+                 names[static_cast<int>(level)], msg.c_str());
+}
+
+} // namespace log_detail
+
+void
+setLogLevel(LogLevel level)
+{
+    log_detail::globalLevel() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return log_detail::globalLevel();
+}
+
+} // namespace lightridge

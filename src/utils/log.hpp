@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal leveled logger. Severity-filtered, printf-free, stream based.
+ */
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lightridge {
+
+/** Log severity levels in increasing order of importance. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+namespace log_detail {
+
+/** Global minimum level; messages below it are dropped. */
+LogLevel &globalLevel();
+
+/** Emit one formatted line to stderr. */
+void emit(LogLevel level, const std::string &msg);
+
+} // namespace log_detail
+
+/** Set the global log level (thread-safe enough for test usage). */
+void setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+/**
+ * Stream-style log statement collector.
+ *
+ * Usage: LR_LOG(Info) << "trained " << n << " epochs";
+ */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+
+    ~LogLine()
+    {
+        if (level_ >= log_detail::globalLevel())
+            log_detail::emit(level_, stream_.str());
+    }
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace lightridge
+
+#define LR_LOG(severity) ::lightridge::LogLine(::lightridge::LogLevel::severity)

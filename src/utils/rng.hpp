@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator facade.
+ *
+ * Every stochastic component in LightRidge (dataset synthesis, Gumbel
+ * sampling, fabrication-variation injection, detector noise) draws from an
+ * explicitly seeded Rng so that experiments are reproducible bit-for-bit.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Seedable random source wrapping a 64-bit Mersenne twister. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x1d9e5u) : engine_(seed) {}
+
+    /** Re-seed the underlying engine. */
+    void reseed(uint64_t seed) { engine_.seed(seed); }
+
+    /** Uniform real in [lo, hi). */
+    Real
+    uniform(Real lo = 0.0, Real hi = 1.0)
+    {
+        return std::uniform_real_distribution<Real>(lo, hi)(engine_);
+    }
+
+    /** Normal with given mean and standard deviation. */
+    Real
+    normal(Real mean = 0.0, Real stddev = 1.0)
+    {
+        return std::normal_distribution<Real>(mean, stddev)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    randint(int64_t lo, int64_t hi)
+    {
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool bernoulli(Real p) { return uniform() < p; }
+
+    /**
+     * Standard Gumbel(0, 1) sample, used by the Gumbel-softmax codesign
+     * layer for differentiable discrete-level selection.
+     */
+    Real
+    gumbel()
+    {
+        Real u = uniform(1e-12, 1.0);
+        return -std::log(-std::log(u));
+    }
+
+    /** Poisson sample (used by the shot-noise detector model). */
+    int64_t
+    poisson(Real mean)
+    {
+        return std::poisson_distribution<int64_t>(mean)(engine_);
+    }
+
+    /** Access to the raw engine for std::shuffle et al. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace lightridge

@@ -1,0 +1,96 @@
+#include "utils/thread_pool.hpp"
+
+#include <atomic>
+
+namespace lightridge {
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 1 ? hw : 0;
+    }
+    if (workers <= 1)
+        workers = 0; // inline execution; a 1-thread pool only adds overhead
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+            if (stop_ && jobs_.empty())
+                return;
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (threads_.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t shards = std::min(count, threads_.size());
+
+    auto shard = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                break;
+            fn(i);
+        }
+        if (done.fetch_add(1) + 1 == shards) {
+            std::lock_guard<std::mutex> lock(done_mutex);
+            done_cv.notify_one();
+        }
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t s = 0; s < shards; ++s)
+            jobs_.push(shard);
+    }
+    cv_.notify_all();
+
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done.load() == shards; });
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace lightridge

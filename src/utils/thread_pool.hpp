@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small fixed-size thread pool with a parallel-for helper.
+ *
+ * Used to parallelize per-sample emulation during batched DONN training and
+ * row-wise FFT work. Degrades gracefully to serial execution on single-core
+ * hosts (worker count 0 or 1 runs inline on the caller's thread).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lightridge {
+
+/** Fixed-size worker pool executing enqueued std::function jobs. */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with the given number of workers.
+     * @param workers 0 selects std::thread::hardware_concurrency().
+     */
+    explicit ThreadPool(std::size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (0 means inline/serial execution). */
+    std::size_t workerCount() const { return threads_.size(); }
+
+    /**
+     * Run fn(i) for i in [0, count) across the pool and block until all
+     * iterations complete. Executes serially when the pool has <= 1 worker.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Shared process-wide pool sized from hardware concurrency. */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace lightridge

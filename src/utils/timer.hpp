@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Wall-clock timing utilities for the runtime benchmarks (Figs. 8-10).
+ */
+#pragma once
+
+#include <chrono>
+
+namespace lightridge {
+
+/** Simple wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace lightridge

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar types and physical constants used across LightRidge.
+ */
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace lightridge {
+
+/** Floating-point type used for all optical field computations. */
+using Real = double;
+
+/** Complex scalar describing a wavefield sample E = A * exp(j * theta). */
+using Complex = std::complex<Real>;
+
+/** Imaginary unit. */
+inline constexpr Complex kJ{0.0, 1.0};
+
+/** Pi to double precision. */
+inline constexpr Real kPi = 3.14159265358979323846;
+
+/** Two pi. */
+inline constexpr Real kTwoPi = 2.0 * kPi;
+
+/** Speed of light in vacuum [m/s]; used by source/energy models. */
+inline constexpr Real kSpeedOfLight = 299792458.0;
+
+/** Wave number k = 2*pi / lambda for a wavelength in meters. */
+inline constexpr Real
+waveNumber(Real wavelength)
+{
+    return kTwoPi / wavelength;
+}
+
+} // namespace lightridge

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Synthetic dataset generator tests: determinism, class balance, value
+ * ranges, intra/inter-class structure, mask consistency.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth_city.hpp"
+#include "data/synth_digits.hpp"
+#include "data/synth_fashion.hpp"
+#include "data/synth_scenes.hpp"
+
+namespace lightridge {
+namespace {
+
+Real
+l2diff(const RealMap &a, const RealMap &b)
+{
+    Real total = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        Real d = a[i] - b[i];
+        total += d * d;
+    }
+    return std::sqrt(total);
+}
+
+TEST(SynthDigits, DeterministicBySeed)
+{
+    ClassDataset a = makeSynthDigits(20, 42);
+    ClassDataset b = makeSynthDigits(20, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.labels[i], b.labels[i]);
+        EXPECT_EQ(maxAbsDiff(a.images[i], b.images[i]), 0.0);
+    }
+}
+
+TEST(SynthDigits, DifferentSeedsDiffer)
+{
+    ClassDataset a = makeSynthDigits(10, 1);
+    ClassDataset b = makeSynthDigits(10, 2);
+    Real total = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        total += l2diff(a.images[i], b.images[i]);
+    EXPECT_GT(total, 0.1);
+}
+
+TEST(SynthDigits, BalancedLabelsAndRange)
+{
+    ClassDataset data = makeSynthDigits(100, 7);
+    std::vector<int> counts(10, 0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        ++counts[data.labels[i]];
+        EXPECT_GE(data.images[i].min(), 0.0);
+        EXPECT_LE(data.images[i].max(), 1.0);
+        EXPECT_GT(data.images[i].sum(), 0.0) << "blank image at " << i;
+    }
+    for (int c : counts)
+        EXPECT_EQ(c, 10);
+    EXPECT_EQ(data.num_classes, 10u);
+}
+
+TEST(SynthDigits, IntraClassVariationExists)
+{
+    DigitConfig cfg;
+    Rng rng(3);
+    RealMap a = renderDigit(5, cfg, &rng);
+    RealMap b = renderDigit(5, cfg, &rng);
+    EXPECT_GT(l2diff(a, b), 0.01);
+}
+
+TEST(SynthDigits, ClassesAreGeometricallyDistinct)
+{
+    // Mean inter-class distance must exceed mean intra-class distance.
+    DigitConfig cfg;
+    cfg.noise = 0;
+    Rng rng(9);
+    std::vector<std::vector<RealMap>> by_class(10);
+    for (int label = 0; label < 10; ++label)
+        for (int s = 0; s < 3; ++s)
+            by_class[label].push_back(renderDigit(label, cfg, &rng));
+
+    Real intra = 0, inter = 0;
+    int intra_n = 0, inter_n = 0;
+    for (int a = 0; a < 10; ++a)
+        for (int b = a; b < 10; ++b)
+            for (std::size_t i = 0; i < 3; ++i)
+                for (std::size_t j = (a == b ? i + 1 : 0); j < 3; ++j) {
+                    Real d = l2diff(by_class[a][i], by_class[b][j]);
+                    if (a == b) {
+                        intra += d;
+                        ++intra_n;
+                    } else {
+                        inter += d;
+                        ++inter_n;
+                    }
+                }
+    EXPECT_GT(inter / inter_n, 1.05 * (intra / intra_n));
+}
+
+TEST(SynthDigits, BinarizeProducesBinaryPixels)
+{
+    DigitConfig cfg;
+    cfg.binarize = true;
+    ClassDataset data = makeSynthDigits(10, 5, cfg);
+    for (const RealMap &img : data.images)
+        for (std::size_t i = 0; i < img.size(); ++i)
+            EXPECT_TRUE(img[i] == 0.0 || img[i] == 1.0);
+}
+
+TEST(SynthDigits, CustomImageSize)
+{
+    DigitConfig cfg;
+    cfg.image_size = 56;
+    ClassDataset data = makeSynthDigits(5, 1, cfg);
+    EXPECT_EQ(data.images[0].rows(), 56u);
+    EXPECT_EQ(data.images[0].cols(), 56u);
+}
+
+TEST(SynthFashion, BalancedDeterministicAndInRange)
+{
+    ClassDataset a = makeSynthFashion(40, 11);
+    ClassDataset b = makeSynthFashion(40, 11);
+    std::vector<int> counts(10, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ++counts[a.labels[i]];
+        EXPECT_EQ(maxAbsDiff(a.images[i], b.images[i]), 0.0);
+        EXPECT_GE(a.images[i].min(), 0.0);
+        EXPECT_LE(a.images[i].max(), 1.0);
+        EXPECT_GT(a.images[i].sum(), 0.5) << "empty garment at " << i;
+    }
+    for (int c : counts)
+        EXPECT_EQ(c, 4);
+}
+
+TEST(SynthFashion, ClassesDistinct)
+{
+    FashionConfig cfg;
+    cfg.noise = 0;
+    Rng rng(2);
+    RealMap trouser = renderFashion(1, cfg, &rng);
+    RealMap bag = renderFashion(8, cfg, &rng);
+    EXPECT_GT(l2diff(trouser, bag), 1.0);
+}
+
+TEST(SynthScenes, ChannelsCarryDistinctInformation)
+{
+    SceneConfig cfg;
+    cfg.noise = 0;
+    Rng rng(4);
+    // Beach: blue channel much stronger than red in the sky region.
+    auto beach = renderScene(0, cfg, &rng);
+    Real red_sky = 0, blue_sky = 0;
+    for (std::size_t r = 0; r < 10; ++r)
+        for (std::size_t c = 0; c < cfg.image_size; ++c) {
+            red_sky += beach[0](r, c);
+            blue_sky += beach[2](r, c);
+        }
+    EXPECT_GT(blue_sky, 2 * red_sky);
+
+    // Forest: green dominates overall.
+    auto forest = renderScene(1, cfg, &rng);
+    EXPECT_GT(forest[1].sum(), forest[0].sum());
+    EXPECT_GT(forest[1].sum(), forest[2].sum());
+}
+
+TEST(SynthScenes, DatasetShapeAndDeterminism)
+{
+    RgbDataset a = makeSynthScenes(12, 3);
+    RgbDataset b = makeSynthScenes(12, 3);
+    EXPECT_EQ(a.num_classes, 6u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (int ch = 0; ch < 3; ++ch)
+            EXPECT_EQ(maxAbsDiff(a.images[i][ch], b.images[i][ch]), 0.0);
+}
+
+TEST(SynthScenes, GrayscaleIsWeightedSum)
+{
+    SceneConfig cfg;
+    Rng rng(8);
+    auto rgb = renderScene(2, cfg, &rng);
+    RealMap gray = toGrayscale(rgb);
+    std::size_t i = gray.size() / 2;
+    EXPECT_NEAR(gray[i],
+                0.299 * rgb[0][i] + 0.587 * rgb[1][i] + 0.114 * rgb[2][i],
+                1e-12);
+}
+
+TEST(SynthScenes, ClassNamesResolve)
+{
+    EXPECT_STREQ(sceneClassName(0), "beach");
+    EXPECT_STREQ(sceneClassName(5), "night");
+    EXPECT_STREQ(sceneClassName(17), "?");
+}
+
+TEST(SynthCity, MaskMatchesBuildings)
+{
+    SegDataset data = makeSynthCity(6, 21);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const RealMap &mask = data.masks[i];
+        Real frac = mask.sum() / mask.size();
+        EXPECT_GT(frac, 0.02) << "no buildings in sample " << i;
+        EXPECT_LT(frac, 0.9) << "all-building sample " << i;
+        for (std::size_t p = 0; p < mask.size(); ++p)
+            EXPECT_TRUE(mask[p] == 0.0 || mask[p] == 1.0);
+    }
+}
+
+TEST(SynthCity, DeterministicAndTruncate)
+{
+    SegDataset a = makeSynthCity(8, 33);
+    SegDataset b = makeSynthCity(8, 33);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(maxAbsDiff(a.images[i], b.images[i]), 0.0);
+        EXPECT_EQ(maxAbsDiff(a.masks[i], b.masks[i]), 0.0);
+    }
+    a.truncate(3);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.masks.size(), 3u);
+}
+
+TEST(Datasets, TruncateHelpers)
+{
+    ClassDataset c = makeSynthDigits(10, 1);
+    c.truncate(4);
+    EXPECT_EQ(c.size(), 4u);
+    c.truncate(100); // no-op
+    EXPECT_EQ(c.size(), 4u);
+
+    RgbDataset r = makeSynthScenes(6, 1);
+    r.truncate(2);
+    EXPECT_EQ(r.size(), 2u);
+}
+
+} // namespace
+} // namespace lightridge

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * DSE engine tests: regression tree splits, gradient boosting convergence,
+ * analytical-model prediction transfer, guided search, sensitivity rows.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/dse.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+namespace {
+
+TEST(RegressionTree, FitsStepFunction)
+{
+    std::vector<std::vector<Real>> x;
+    std::vector<Real> y;
+    for (int i = 0; i < 40; ++i) {
+        Real v = i / 40.0;
+        x.push_back({v});
+        y.push_back(v < 0.5 ? 1.0 : 3.0);
+    }
+    RegressionTree tree(2);
+    tree.fit(x, y);
+    EXPECT_NEAR(tree.predict({0.2}), 1.0, 1e-9);
+    EXPECT_NEAR(tree.predict({0.9}), 3.0, 1e-9);
+}
+
+TEST(RegressionTree, DepthZeroPredictsMean)
+{
+    std::vector<std::vector<Real>> x{{0.0}, {1.0}, {2.0}, {3.0}};
+    std::vector<Real> y{1.0, 2.0, 3.0, 6.0};
+    RegressionTree tree(0);
+    tree.fit(x, y);
+    EXPECT_NEAR(tree.predict({1.5}), 3.0, 1e-12);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+}
+
+TEST(RegressionTree, SplitsOnInformativeFeatureOnly)
+{
+    // Feature 0 is noise; feature 1 determines the target.
+    Rng rng(5);
+    std::vector<std::vector<Real>> x;
+    std::vector<Real> y;
+    for (int i = 0; i < 60; ++i) {
+        Real noise = rng.uniform();
+        Real signal = (i % 2) ? 1.0 : 0.0;
+        x.push_back({noise, signal});
+        y.push_back(signal * 10.0);
+    }
+    RegressionTree tree(1);
+    tree.fit(x, y);
+    EXPECT_NEAR(tree.predict({0.3, 0.0}), 0.0, 1e-9);
+    EXPECT_NEAR(tree.predict({0.3, 1.0}), 10.0, 1e-9);
+}
+
+TEST(RegressionTree, HandlesConstantTargets)
+{
+    std::vector<std::vector<Real>> x{{1.0}, {2.0}, {3.0}};
+    std::vector<Real> y{5.0, 5.0, 5.0};
+    RegressionTree tree(3);
+    tree.fit(x, y);
+    EXPECT_NEAR(tree.predict({2.0}), 5.0, 1e-12);
+}
+
+TEST(RegressionTree, RejectsBadInput)
+{
+    RegressionTree tree(2);
+    EXPECT_THROW(tree.fit({}, {}), std::invalid_argument);
+    EXPECT_THROW(tree.fit({{1.0}}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Gbrt, FitsSmoothNonlinearFunction)
+{
+    Rng rng(7);
+    std::vector<std::vector<Real>> x;
+    std::vector<Real> y;
+    for (int i = 0; i < 200; ++i) {
+        Real a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+        x.push_back({a, b});
+        y.push_back(std::sin(3 * a) * b + 0.5 * a * a);
+    }
+    GbrtConfig cfg;
+    cfg.n_estimators = 200;
+    cfg.learning_rate = 0.2;
+    GradientBoostedTrees gbrt(cfg);
+    gbrt.fit(x, y);
+    EXPECT_LT(gbrt.mse(x, y), 5e-4);
+    // Held-out points.
+    Real err = 0;
+    for (int i = 0; i < 50; ++i) {
+        Real a = rng.uniform(0.05, 0.95), b = rng.uniform(0.05, 0.95);
+        Real truth = std::sin(3 * a) * b + 0.5 * a * a;
+        Real d = gbrt.predict({a, b}) - truth;
+        err += d * d;
+    }
+    EXPECT_LT(err / 50, 6e-3);
+}
+
+TEST(Gbrt, MoreTreesReduceTrainingError)
+{
+    Rng rng(9);
+    std::vector<std::vector<Real>> x;
+    std::vector<Real> y;
+    for (int i = 0; i < 100; ++i) {
+        Real a = rng.uniform(-1, 1);
+        x.push_back({a});
+        y.push_back(a * a * a - a);
+    }
+    GbrtConfig small;
+    small.n_estimators = 5;
+    GbrtConfig large;
+    large.n_estimators = 100;
+    GradientBoostedTrees g_small(small), g_large(large);
+    g_small.fit(x, y);
+    g_large.fit(x, y);
+    EXPECT_LT(g_large.mse(x, y), g_small.mse(x, y));
+}
+
+TEST(Gbrt, StopsEarlyOnPerfectFit)
+{
+    std::vector<std::vector<Real>> x{{0.0}, {1.0}};
+    std::vector<Real> y{1.0, 2.0};
+    GbrtConfig cfg;
+    cfg.n_estimators = 1000;
+    GradientBoostedTrees gbrt(cfg);
+    gbrt.fit(x, y);
+    EXPECT_LT(gbrt.treeCount(), 1000u);
+}
+
+/** Closed-form stand-in for emulated accuracy used to test the engine. */
+Real
+syntheticAccuracy(const DesignPoint &p)
+{
+    // Peak when D matches the half-cone ideal distance for (d, lambda);
+    // falls off log-normally. Mimics the Fig. 5 ridge structure.
+    Real sin_t = p.wavelength / (2 * p.unit_size);
+    if (sin_t >= 1)
+        return 0.1;
+    Real ideal = 0.15 * sin_t / std::sqrt(1 - sin_t * sin_t) * 1e4;
+    Real x = std::log(p.distance / (ideal + 1e-9));
+    return 0.1 + 0.85 * std::exp(-2.0 * x * x);
+}
+
+TEST(DseEngine, TransfersAcrossWavelengths)
+{
+    // Train the analytical model at 432 nm and 632 nm, predict at 532 nm
+    // (the paper's exact protocol) against the synthetic ground truth.
+    DseEngine engine(GbrtConfig{300, 0.15, 3, 1});
+    SweepGrid grid;
+    grid.unit_steps = 8;
+    grid.dist_steps = 8;
+    for (Real lambda : {432e-9, 632e-9}) {
+        std::vector<DsePoint> pts;
+        for (std::size_t ui = 0; ui < grid.unit_steps; ++ui)
+            for (std::size_t di = 0; di < grid.dist_steps; ++di) {
+                DsePoint p;
+                Real mult = grid.unit_min + (grid.unit_max - grid.unit_min) *
+                                                ui / (grid.unit_steps - 1);
+                Real dist = grid.dist_min + (grid.dist_max - grid.dist_min) *
+                                                di / (grid.dist_steps - 1);
+                p.design = DesignPoint{lambda, mult * lambda, dist};
+                p.accuracy = syntheticAccuracy(p.design);
+                pts.push_back(p);
+            }
+        engine.addTrainingData(pts);
+    }
+    engine.fitModel();
+
+    // Predicted surface at 532 nm correlates with ground truth.
+    auto predicted = engine.predictGrid(532e-9, grid);
+    Real err = 0;
+    Real best_pred = -1, best_true_at_pred = 0, best_true = -1;
+    for (const DsePoint &p : predicted) {
+        Real truth = syntheticAccuracy(p.design);
+        err += (p.accuracy - truth) * (p.accuracy - truth);
+        if (p.accuracy > best_pred) {
+            best_pred = p.accuracy;
+            best_true_at_pred = truth;
+        }
+        best_true = std::max(best_true, truth);
+    }
+    EXPECT_LT(err / predicted.size(), 0.02);
+    // The model's argmax is a near-optimal real design.
+    EXPECT_GT(best_true_at_pred, best_true - 0.15);
+}
+
+TEST(DseEngine, PredictGridShape)
+{
+    DseEngine engine;
+    std::vector<DsePoint> pts;
+    for (int i = 0; i < 10; ++i) {
+        DsePoint p;
+        p.design = DesignPoint{500e-9, (10.0 + i * 10) * 500e-9,
+                               0.05 + 0.05 * i};
+        p.accuracy = 0.5;
+        pts.push_back(p);
+    }
+    engine.addTrainingData(pts);
+    engine.fitModel();
+    SweepGrid grid;
+    grid.unit_steps = 3;
+    grid.dist_steps = 4;
+    auto predicted = engine.predictGrid(520e-9, grid);
+    EXPECT_EQ(predicted.size(), 12u);
+    for (const DsePoint &p : predicted)
+        EXPECT_DOUBLE_EQ(p.design.wavelength, 520e-9);
+}
+
+TEST(DseQuickEval, TrainedDesignBeatsChance)
+{
+    // Real emulation smoke test with a tiny budget. 10 classes -> chance
+    // is 0.1; even one epoch at a sane design point must beat it.
+    DesignPoint p;
+    p.wavelength = 532e-9;
+    p.unit_size = 36e-6;
+    QuickEvalConfig cfg;
+    cfg.system_size = 32;
+    cfg.depth = 2;
+    cfg.train_samples = 120;
+    cfg.test_samples = 80;
+    cfg.det_size = 4;
+    p.distance = idealDistanceHalfCone(Grid{cfg.system_size, p.unit_size},
+                                       p.wavelength);
+    Real acc = evaluateDesign(p, cfg);
+    EXPECT_GT(acc, 0.2);
+}
+
+TEST(Sensitivity, ProducesThreeRowsWithBaseline)
+{
+    DesignPoint base;
+    base.wavelength = 532e-9;
+    base.unit_size = 36e-6;
+    QuickEvalConfig cfg;
+    cfg.system_size = 32;
+    cfg.depth = 2;
+    cfg.train_samples = 100;
+    cfg.test_samples = 60;
+    cfg.det_size = 4;
+    base.distance = idealDistanceHalfCone(Grid{cfg.system_size,
+                                               base.unit_size},
+                                          base.wavelength);
+    auto rows = sensitivityAnalysis(base, cfg, {-0.10, 0.0, 0.10});
+    ASSERT_EQ(rows.size(), 3u);
+    for (const auto &row : rows) {
+        ASSERT_EQ(row.shifts.size(), 3u);
+        ASSERT_EQ(row.accuracies.size(), 3u);
+        for (Real a : row.accuracies) {
+            EXPECT_GE(a, 0.0);
+            EXPECT_LE(a, 1.0);
+        }
+    }
+    // Zero shift must reproduce the trained accuracy in every row.
+    EXPECT_NEAR(rows[0].accuracies[1], rows[1].accuracies[1], 1e-12);
+    EXPECT_NEAR(rows[1].accuracies[1], rows[2].accuracies[1], 1e-12);
+}
+
+} // namespace
+} // namespace lightridge

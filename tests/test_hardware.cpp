@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Hardware stack tests: SLM response model, quantization, thickness
+ * conversion, CMOS digitization, deployment simulators, fabrication dump.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/trainer.hpp"
+#include "data/synth_digits.hpp"
+#include "hardware/deploy.hpp"
+#include "hardware/energy.hpp"
+#include "hardware/to_system.hpp"
+
+namespace lightridge {
+namespace {
+
+TEST(Slm, LutSizeAndMonotonicPhase)
+{
+    SlmDevice slm = SlmDevice::holoeyeLc2012(64);
+    EXPECT_EQ(slm.levels(), 64u);
+    for (std::size_t k = 1; k < slm.levels(); ++k)
+        EXPECT_GT(slm.phaseOfLevel(k) >= 0
+                      ? slm.phaseOfLevel(k)
+                      : slm.phaseOfLevel(k) + kTwoPi,
+                  -1e-12);
+    // Response is monotonically increasing in retardation.
+    Real prev = 0;
+    for (std::size_t k = 0; k < slm.levels(); ++k) {
+        Real phi = std::arg(slm.lut().levels[k]);
+        if (phi < 0)
+            phi += kTwoPi;
+        EXPECT_GE(phi + 1e-9, prev);
+        prev = phi;
+    }
+}
+
+TEST(Slm, AmplitudeCouplingDipsMidRange)
+{
+    SlmDevice slm = SlmDevice::holoeyeLc2012(256);
+    Real amp_first = std::abs(slm.lut().levels.front());
+    Real amp_mid = std::abs(slm.lut().levels[128]);
+    EXPECT_NEAR(amp_first, 1.0, 1e-9);
+    EXPECT_LT(amp_mid, 0.95); // coupled transmission dip
+}
+
+TEST(Slm, IdealDeviceHasUnitAmplitude)
+{
+    SlmDevice slm = SlmDevice::idealPhaseOnly(16);
+    for (const Complex &m : slm.lut().levels)
+        EXPECT_NEAR(std::abs(m), 1.0, 1e-12);
+}
+
+TEST(Slm, NearestLevelQuantization)
+{
+    SlmDevice slm = SlmDevice::idealPhaseOnly(4); // phases 0, pi/2, pi, 3pi/2
+    EXPECT_EQ(slm.levelForPhase(0.1), 0u);
+    EXPECT_EQ(slm.levelForPhase(kPi / 2 + 0.1), 1u);
+    EXPECT_EQ(slm.levelForPhase(-kPi / 2), 3u); // wraps
+}
+
+TEST(Slm, ThicknessForPhaseFormula)
+{
+    // t = phi * lambda / (2*pi*(n-1)); full 2*pi at n=1.7 -> lambda/0.7.
+    Real lambda = 532e-9;
+    EXPECT_NEAR(SlmDevice::thicknessForPhase(kTwoPi - 1e-9, lambda, 1.7),
+                lambda / 0.7, 1e-12);
+    EXPECT_NEAR(SlmDevice::thicknessForPhase(0.0, lambda, 1.7), 0.0, 1e-15);
+    // Phase wraps modulo 2*pi.
+    EXPECT_NEAR(SlmDevice::thicknessForPhase(kTwoPi + 1.0, lambda, 1.7),
+                SlmDevice::thicknessForPhase(1.0, lambda, 1.7), 1e-15);
+}
+
+TEST(Cmos, NoiselessQuantizationPreservesPattern)
+{
+    CmosDetector cmos = CmosDetector::ideal();
+    RealMap intensity(8, 8);
+    for (std::size_t i = 0; i < intensity.size(); ++i)
+        intensity[i] = static_cast<Real>(i) / intensity.size();
+    RealMap out = cmos.measure(intensity, nullptr);
+    EXPECT_GT(correlation(intensity, out), 0.999);
+}
+
+TEST(Cmos, EightBitAdcQuantizes)
+{
+    CmosDetector cmos; // 8-bit
+    RealMap intensity(4, 4, 0.0);
+    intensity(0, 0) = 1.0;
+    intensity(1, 1) = 0.5;
+    RealMap out = cmos.measure(intensity, nullptr);
+    // Quantized codes: ratios preserved to within one LSB of 255.
+    EXPECT_NEAR(out(1, 1) / out(0, 0), 0.5, 0.01);
+}
+
+TEST(Cmos, NoiseIsBoundedAndSeedDeterministic)
+{
+    CmosDetector cmos;
+    RealMap intensity(16, 16, 0.5);
+    Rng a(3), b(3);
+    RealMap out_a = cmos.measure(intensity, &a);
+    RealMap out_b = cmos.measure(intensity, &b);
+    EXPECT_EQ(maxAbsDiff(out_a, out_b), 0.0);
+    EXPECT_GT(correlation(intensity, out_a), -1.1);
+}
+
+/** Small trained raw model + dataset shared by deployment tests. */
+struct DeployFixture
+{
+    SystemSpec spec;
+    ClassDataset train = makeSynthDigits(160, 3);
+    ClassDataset test = makeSynthDigits(80, 4);
+    Rng rng{9};
+
+    DeployFixture()
+    {
+        spec.size = 32;
+        spec.pixel = 36e-6;
+        spec.distance =
+            idealDistanceHalfCone(Grid{32, 36e-6}, 532e-9);
+    }
+
+    DonnModel
+    trainedRaw()
+    {
+        DonnModel model = ModelBuilder(spec, Laser{})
+                              .diffractiveLayers(2, 1.0, &rng)
+                              .detectorGrid(10, 4)
+                              .build();
+        TrainConfig tc;
+        tc.epochs = 2;
+        tc.lr = 0.05;
+        Trainer trainer(model, tc);
+        trainer.fit(train);
+        return model;
+    }
+};
+
+TEST(Deploy, RawDeploymentDegradesOnCoarseDevice)
+{
+    DeployFixture fx;
+    DonnModel model = fx.trainedRaw();
+    Real sim_acc = evaluateAccuracy(model, fx.test);
+
+    // Very coarse (4-level), strongly coupled device: big gap expected.
+    SlmDevice coarse(4, 0.9 * kTwoPi, 1.6, 0.5);
+    Rng rng(5);
+    DonnModel hw = deployRaw(model, coarse,
+                             FabricationVariation{0.3, 0.1}, &rng);
+    Real hw_acc = evaluateDeployed(hw, fx.test, CmosDetector::cs165mu1(),
+                                   &rng);
+    EXPECT_LT(hw_acc, sim_acc + 1e-9);
+}
+
+TEST(Deploy, FineIdealDeviceBarelyDegrades)
+{
+    DeployFixture fx;
+    DonnModel model = fx.trainedRaw();
+    Real sim_acc = evaluateAccuracy(model, fx.test);
+
+    SlmDevice fine = SlmDevice::idealPhaseOnly(256);
+    Rng rng(6);
+    DonnModel hw =
+        deployRaw(model, fine, FabricationVariation::none(), nullptr);
+    Real hw_acc =
+        evaluateDeployed(hw, fx.test, CmosDetector::ideal(), nullptr);
+    EXPECT_NEAR(hw_acc, sim_acc, 0.06);
+}
+
+TEST(Deploy, CodesignDeploymentIsExact)
+{
+    DeployFixture fx;
+    DeviceLut lut = SlmDevice::holoeyeLc2012(8).lut();
+    DonnModel model = ModelBuilder(fx.spec, Laser{})
+                          .codesignLayers(2, lut, 1.0, 1.0, nullptr)
+                          .detectorGrid(10, 4)
+                          .build();
+    // Randomize logits so argmax states are nontrivial.
+    Rng lrng(2);
+    for (ParamView p : model.params())
+        for (Real &v : *p.value)
+            v = lrng.uniform(-1, 1);
+
+    Rng rng(7);
+    DonnModel hw =
+        deployCodesign(model, FabricationVariation::none(), nullptr);
+    // Deployment of codesign weights with no fabrication error must match
+    // the model's own inference path (training=false) exactly.
+    Field input = model.encode(fx.test.images[0]);
+    Field sim = model.forwardField(input, false);
+    Field dep = hw.forwardField(input, false);
+    EXPECT_LT(maxAbsDiff(sim, dep), 1e-9);
+}
+
+TEST(Deploy, RejectsWrongLayerKinds)
+{
+    DeployFixture fx;
+    DeviceLut lut = DeviceLut::idealPhase(4);
+    DonnModel codesign = ModelBuilder(fx.spec, Laser{})
+                             .codesignLayers(1, lut)
+                             .detectorGrid(10, 4)
+                             .build();
+    SlmDevice slm = SlmDevice::idealPhaseOnly(4);
+    EXPECT_THROW(
+        deployRaw(codesign, slm, FabricationVariation::none(), nullptr),
+        std::invalid_argument);
+
+    Rng rng(1);
+    DonnModel raw = ModelBuilder(fx.spec, Laser{})
+                        .diffractiveLayers(1, 1.0, &rng)
+                        .detectorGrid(10, 4)
+                        .build();
+    EXPECT_THROW(deployCodesign(raw, FabricationVariation::none(), nullptr),
+                 std::invalid_argument);
+}
+
+TEST(ToSystem, WritesBundleForRawModel)
+{
+    DeployFixture fx;
+    Rng rng(1);
+    DonnModel model = ModelBuilder(fx.spec, Laser{})
+                          .diffractiveLayers(2, 1.0, &rng)
+                          .detectorGrid(10, 4)
+                          .build();
+    const std::string dir = "/tmp/lr_tosystem_test";
+    std::filesystem::remove_all(dir);
+    SlmDevice slm = SlmDevice::holoeyeLc2012(16);
+    ASSERT_TRUE(toSystem(model, slm, dir));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/manifest.json"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/layer0.csv"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/layer1.csv"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/layer0.pgm"));
+
+    Json manifest = Json::load(dir + "/manifest.json");
+    EXPECT_EQ(manifest.at("layers").asArray().size(), 2u);
+    EXPECT_EQ(manifest.at("target").asString(), "slm_voltages");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ToSystem, ThzThicknessExport)
+{
+    DeployFixture fx;
+    Rng rng(2);
+    DonnModel model = ModelBuilder(fx.spec, Laser{})
+                          .diffractiveLayers(1, 1.0, &rng)
+                          .detectorGrid(10, 4)
+                          .build();
+    const std::string dir = "/tmp/lr_tosystem_thz";
+    std::filesystem::remove_all(dir);
+    ToSystemOptions opts;
+    opts.target = DeployTarget::ThzMaskThickness;
+    opts.write_views = false;
+    ASSERT_TRUE(toSystem(model, SlmDevice::idealPhaseOnly(256), dir, opts));
+    Json manifest = Json::load(dir + "/manifest.json");
+    EXPECT_EQ(manifest.at("target").asString(), "thz_mask_thickness");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Energy, DonnModelMatchesPaperScale)
+{
+    DonnEnergyModel donn;
+    // Paper: ~995 fps/Watt for the prototype (1000 fps, ~1.005 W).
+    EXPECT_NEAR(donn.fpsPerWatt(), 995.0, 1.0);
+    // DONN beats every digital platform in the reference table.
+    for (const PlatformPoint &p : paperDigitalReference())
+        EXPECT_GT(donn.fpsPerWatt(), p.fpsPerWatt());
+}
+
+TEST(FixedModulation, AdjointConsistency)
+{
+    PropagatorConfig cfg;
+    cfg.grid = Grid{16, 36e-6};
+    cfg.wavelength = 532e-9;
+    cfg.distance = 0.01;
+    auto prop = std::make_shared<Propagator>(cfg);
+    Rng rng(4);
+    Field mod(16, 16);
+    for (std::size_t i = 0; i < mod.size(); ++i)
+        mod[i] = std::polar(rng.uniform(0.5, 1.0), rng.uniform(0, kTwoPi));
+    FixedModulationLayer layer(prop, mod);
+
+    Field x(16, 16), y(16, 16);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        y[i] = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+    Field fx = layer.forward(x, false);
+    Field aty = layer.backward(y);
+    Complex lhs{0, 0}, rhs{0, 0};
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        lhs += std::conj(fx[i]) * y[i];
+        rhs += std::conj(x[i]) * aty[i];
+    }
+    EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace lightridge

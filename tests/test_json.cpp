@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Minimal JSON implementation tests: parsing, serialization, round trips,
+ * error handling.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "utils/json.hpp"
+
+namespace lightridge {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(Json::parse("null").isNull());
+    EXPECT_EQ(Json::parse("true").asBool(), true);
+    EXPECT_EQ(Json::parse("false").asBool(), false);
+    EXPECT_DOUBLE_EQ(Json::parse("3.25").asNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(Json::parse("-1e3").asNumber(), -1000.0);
+    EXPECT_EQ(Json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    Json j = Json::parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+    EXPECT_EQ(j.at("a").asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(j.at("a").asArray()[1].asNumber(), 2.0);
+    EXPECT_EQ(j.at("a").asArray()[2].at("b").asString(), "c");
+    EXPECT_TRUE(j.at("d").at("e").isNull());
+}
+
+TEST(Json, ParsesEscapes)
+{
+    Json j = Json::parse(R"("line\nbreak \"quoted\" A")");
+    EXPECT_EQ(j.asString(), "line\nbreak \"quoted\" A");
+}
+
+TEST(Json, RoundTripsThroughDump)
+{
+    Json j;
+    j["name"] = Json("lightridge");
+    j["size"] = Json(200);
+    j["pixel"] = Json(3.6e-5);
+    j["flags"] = Json(Json::Array{Json(true), Json(false), Json(nullptr)});
+    Json k = Json::parse(j.dump());
+    EXPECT_EQ(k.at("name").asString(), "lightridge");
+    EXPECT_DOUBLE_EQ(k.at("size").asNumber(), 200);
+    EXPECT_DOUBLE_EQ(k.at("pixel").asNumber(), 3.6e-5);
+    EXPECT_EQ(k.at("flags").asArray()[0].asBool(), true);
+    EXPECT_TRUE(k.at("flags").asArray()[2].isNull());
+}
+
+TEST(Json, PreservesDoublePrecision)
+{
+    double value = 0.1234567890123456;
+    Json j(value);
+    Json k = Json::parse(j.dump());
+    EXPECT_DOUBLE_EQ(k.asNumber(), value);
+}
+
+TEST(Json, PrettyOutputParses)
+{
+    Json j;
+    j["outer"]["inner"] = Json(Json::Array{Json(1), Json(2)});
+    Json k = Json::parse(j.pretty());
+    EXPECT_EQ(k.at("outer").at("inner").asArray().size(), 2u);
+}
+
+TEST(Json, MalformedInputThrows)
+{
+    EXPECT_THROW(Json::parse(""), JsonError);
+    EXPECT_THROW(Json::parse("{"), JsonError);
+    EXPECT_THROW(Json::parse("[1,]"), JsonError);
+    EXPECT_THROW(Json::parse("nul"), JsonError);
+    EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+    EXPECT_THROW(Json::parse("{}extra"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows)
+{
+    Json j = Json::parse("[1]");
+    EXPECT_THROW(j.asObject(), JsonError);
+    EXPECT_THROW(j.asString(), JsonError);
+    EXPECT_THROW(j.at("x"), JsonError);
+}
+
+TEST(Json, MissingKeyThrowsAndNumberOrDefaults)
+{
+    Json j = Json::parse(R"({"a": 1})");
+    EXPECT_THROW(j.at("b"), JsonError);
+    EXPECT_DOUBLE_EQ(j.numberOr("a", 9.0), 1.0);
+    EXPECT_DOUBLE_EQ(j.numberOr("b", 9.0), 9.0);
+    EXPECT_TRUE(j.has("a"));
+    EXPECT_FALSE(j.has("b"));
+}
+
+TEST(Json, PushPromotesNullToArray)
+{
+    Json j;
+    j.push(Json(1));
+    j.push(Json(2));
+    EXPECT_EQ(j.asArray().size(), 2u);
+}
+
+TEST(Json, SaveLoadRoundTrip)
+{
+    Json j;
+    j["k"] = Json(3.5);
+    const std::string path = "/tmp/lr_json_test.json";
+    ASSERT_TRUE(j.save(path));
+    Json k = Json::load(path);
+    EXPECT_DOUBLE_EQ(k.at("k").asNumber(), 3.5);
+    std::remove(path.c_str());
+}
+
+TEST(Json, LoadMissingFileThrows)
+{
+    EXPECT_THROW(Json::load("/nonexistent/path.json"), JsonError);
+}
+
+} // namespace
+} // namespace lightridge

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Conventional-NN baseline tests: layer shapes, finite-difference gradient
+ * checks for Dense/Conv/Pool/ReLU, and end-to-end training sanity.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "data/synth_digits.hpp"
+#include "nn/network.hpp"
+
+namespace lightridge {
+namespace {
+
+using nn::Conv2d;
+using nn::Dense;
+using nn::MaxPool2d;
+using nn::Network;
+using nn::Relu;
+using nn::Shape;
+
+/** Scalar test loss: weighted sum of outputs (linear => exact gradients). */
+Real
+weightedSum(const std::vector<Real> &out, const std::vector<Real> &w)
+{
+    Real total = 0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        total += w[i] * out[i];
+    return total;
+}
+
+void
+checkLayerGradients(nn::NnLayer &layer, std::size_t in_size, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Real> input(in_size);
+    for (Real &v : input)
+        v = rng.uniform(-1, 1);
+    std::vector<Real> out = layer.forward(input);
+    std::vector<Real> w(out.size());
+    for (Real &v : w)
+        v = rng.uniform(-1, 1);
+
+    // Analytic input gradient.
+    std::vector<Real> grad_in = layer.backward(w);
+
+    const Real eps = 1e-6;
+    for (std::size_t idx :
+         {std::size_t(0), in_size / 3, in_size / 2, in_size - 1}) {
+        std::vector<Real> ip = input, im = input;
+        ip[idx] += eps;
+        im[idx] -= eps;
+        Real numeric = (weightedSum(layer.forward(ip), w) -
+                        weightedSum(layer.forward(im), w)) /
+                       (2 * eps);
+        EXPECT_NEAR(grad_in[idx], numeric, 1e-5) << "input index " << idx;
+    }
+
+    // Analytic parameter gradients (re-run forward/backward cleanly).
+    for (ParamView p : layer.params())
+        std::fill(p.grad->begin(), p.grad->end(), Real(0));
+    layer.forward(input);
+    layer.backward(w);
+    for (ParamView p : layer.params()) {
+        for (std::size_t idx : {std::size_t(0), p.value->size() / 2,
+                                p.value->size() - 1}) {
+            Real saved = (*p.value)[idx];
+            (*p.value)[idx] = saved + eps;
+            Real plus = weightedSum(layer.forward(input), w);
+            (*p.value)[idx] = saved - eps;
+            Real minus = weightedSum(layer.forward(input), w);
+            (*p.value)[idx] = saved;
+            Real numeric = (plus - minus) / (2 * eps);
+            EXPECT_NEAR((*p.grad)[idx], numeric, 1e-5)
+                << p.name << "[" << idx << "]";
+        }
+    }
+}
+
+TEST(NnDense, GradientsMatchFiniteDifference)
+{
+    Rng rng(1);
+    Dense layer(12, 7, &rng);
+    checkLayerGradients(layer, 12, 2);
+}
+
+TEST(NnConv2d, OutputShapeFormula)
+{
+    Rng rng(1);
+    Conv2d conv(Shape{1, 28, 28}, 32, 5, 2, 2, &rng);
+    EXPECT_EQ(conv.outputShape().c, 32u);
+    EXPECT_EQ(conv.outputShape().h, 14u);
+    EXPECT_EQ(conv.outputShape().w, 14u);
+}
+
+TEST(NnConv2d, GradientsMatchFiniteDifference)
+{
+    Rng rng(3);
+    Conv2d conv(Shape{2, 6, 6}, 3, 3, 1, 1, &rng);
+    checkLayerGradients(conv, 2 * 6 * 6, 4);
+}
+
+TEST(NnConv2d, StridedGradients)
+{
+    Rng rng(5);
+    Conv2d conv(Shape{1, 8, 8}, 2, 3, 2, 1, &rng);
+    checkLayerGradients(conv, 64, 6);
+}
+
+TEST(NnMaxPool, ForwardPicksMaxAndBackwardRoutes)
+{
+    MaxPool2d pool(Shape{1, 4, 4}, 2, 2);
+    std::vector<Real> in(16, 0.0);
+    in[5] = 3.0;  // window (0,0)..(1,1) includes idx 5
+    in[2] = 1.0;
+    std::vector<Real> out = pool.forward(in);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_DOUBLE_EQ(out[0], 3.0);
+    std::vector<Real> g = pool.backward({1.0, 0.5, 0.25, 0.125});
+    EXPECT_DOUBLE_EQ(g[5], 1.0);
+    EXPECT_DOUBLE_EQ(g[0], 0.0);
+}
+
+TEST(NnRelu, ZeroesNegativesAndGradients)
+{
+    Relu relu(Shape{4, 1, 1});
+    std::vector<Real> out = relu.forward({-1.0, 2.0, 0.0, -0.5});
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+    EXPECT_DOUBLE_EQ(out[1], 2.0);
+    std::vector<Real> g = relu.backward({1.0, 1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(g[0], 0.0);
+    EXPECT_DOUBLE_EQ(g[1], 1.0);
+}
+
+TEST(NnNetwork, PaperArchitecturesBuild)
+{
+    Rng rng(7);
+    Network mlp = nn::makePaperMlp(28 * 28, 10, &rng);
+    EXPECT_EQ(mlp.forward(std::vector<Real>(784, 0.1)).size(), 10u);
+    // Paper MLP at 200x200: 40000 -> 128 -> 10.
+    Network big = nn::makePaperMlp(40000, 10, &rng);
+    EXPECT_EQ(big.parameterCount(), 40000u * 128 + 128 + 128 * 10 + 10);
+
+    Network cnn = nn::makePaperCnn(28, 10, &rng);
+    EXPECT_EQ(cnn.forward(std::vector<Real>(784, 0.1)).size(), 10u);
+}
+
+TEST(NnNetwork, TrainsOnSynthDigits)
+{
+    Rng rng(11);
+    Network mlp = nn::makePaperMlp(28 * 28, 10, &rng);
+    ClassDataset train = makeSynthDigits(300, 5);
+    ClassDataset test = makeSynthDigits(100, 6);
+
+    nn::NnTrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.lr = 1e-3;
+    nn::NnTrainer trainer(mlp, cfg);
+    Real loss0 = trainer.trainEpoch(train);
+    Real loss1 = trainer.trainEpoch(train);
+    EXPECT_LT(loss1, loss0);
+    EXPECT_GT(trainer.evaluate(test), 0.5); // well above 10% chance
+}
+
+TEST(NnNetwork, FpsMeasurementPositive)
+{
+    Rng rng(13);
+    Network mlp = nn::makePaperMlp(28 * 28, 10, &rng);
+    ClassDataset data = makeSynthDigits(32, 9);
+    nn::NnTrainer trainer(mlp, {});
+    EXPECT_GT(trainer.measureFps(data, 16), 0.0);
+}
+
+} // namespace
+} // namespace lightridge
