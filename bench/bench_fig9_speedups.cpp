@@ -4,12 +4,20 @@
  * the LightPipes-like baseline across DONN depth {1,3,5,7,10} and system
  * size (quick: 64..128; full: 100..500). Paper CPU result: up to 6.4x at
  * depth 5, size 500^2, consistently > 1 everywhere.
+ *
+ * A second section benchmarks the batched propagation engine (plan +
+ * transfer-function caches, thread-pool sample parallelism) against the
+ * single-threaded uncached baseline, verifies the cached path is
+ * bitwise-identical to recomputing everything from scratch, and emits the
+ * combined results as bench_results/BENCH_fig9.json for CI artifacts.
  */
 #include <cstdio>
 
 #include "baseline/lightpipes_like.hpp"
 #include "bench_common.hpp"
 #include "core/model.hpp"
+#include "utils/json.hpp"
+#include "utils/thread_pool.hpp"
 #include "utils/timer.hpp"
 
 using namespace lightridge;
@@ -29,6 +37,7 @@ main()
     CsvWriter csv;
     csv.header({"size", "depth", "lightridge_ms", "lightpipes_ms",
                 "speedup"});
+    Json sweep_rows;
 
     std::printf("\n%-8s", "depth\\n");
     for (std::size_t n : sizes)
@@ -84,11 +93,126 @@ main()
             csv.rowNumeric({static_cast<double>(n),
                             static_cast<double>(depth), lr_ms, lp_ms,
                             speedup});
+            Json row;
+            row["size"] = Json(n);
+            row["depth"] = Json(depth);
+            row["lightridge_ms"] = Json(lr_ms);
+            row["lightpipes_ms"] = Json(lp_ms);
+            row["speedup"] = Json(speedup);
+            sweep_rows.push(std::move(row));
         }
         std::printf("\n");
     }
     std::printf("\npaper shape: speedup > 1 across the whole sweep, "
                 "growing with system size.\n");
     bench::saveCsv(csv, "fig9_speedups");
-    return 0;
+
+    // ----------------------------------------------------------------
+    // Batched propagation: cached + thread-pool engine vs the
+    // single-threaded uncached baseline, batch >= 16, threads >= 4.
+    // ----------------------------------------------------------------
+    const std::size_t batch = 16;
+    const std::size_t threads = 4;
+    const std::size_t depth = 5;
+    ThreadPool pool(threads);
+    std::printf("\nbatched propagation (batch=%zu, threads=%zu, depth=%zu) "
+                "vs single-threaded uncached baseline\n",
+                batch, threads, depth);
+    std::printf("%-8s %12s %12s %9s %9s\n", "size", "batched_ms",
+                "baseline_ms", "speedup", "bitwise");
+
+    Json batched_rows;
+    bool all_identical = true;
+    Real min_speedup = 1e300;
+    for (std::size_t n : sizes) {
+        Real z = idealDistanceHalfCone(Grid{n, pitch}, lambda);
+        Rng rng(2);
+        std::vector<RealMap> phases;
+        for (std::size_t l = 0; l < depth; ++l) {
+            RealMap phase(n, n);
+            for (std::size_t i = 0; i < phase.size(); ++i)
+                phase[i] = rng.uniform(0, kTwoPi);
+            phases.push_back(phase);
+        }
+
+        SystemSpec spec;
+        spec.size = n;
+        spec.pixel = pitch;
+        spec.distance = z;
+        DonnModel model(spec, Laser{});
+        for (std::size_t l = 0; l < depth; ++l) {
+            auto layer =
+                std::make_unique<DiffractiveLayer>(model.hopPropagator());
+            layer->phase() = phases[l];
+            model.addLayer(std::move(layer));
+        }
+
+        std::vector<RealMap> images;
+        std::vector<Field> inputs;
+        for (std::size_t b = 0; b < batch; ++b) {
+            RealMap image(n, n);
+            for (std::size_t i = 0; i < image.size(); ++i)
+                image[i] = rng.uniform(0, 1);
+            inputs.push_back(Field::fromAmplitude(image));
+            images.push_back(std::move(image));
+        }
+
+        // Cached + batched engine (warm the caches first).
+        std::vector<Field> outputs = model.forwardFieldBatch(inputs, &pool);
+        const int reps = n <= 128 ? 3 : 1;
+        WallTimer batched_timer;
+        for (int r = 0; r < reps; ++r)
+            outputs = model.forwardFieldBatch(inputs, &pool);
+        double batched_ms = batched_timer.milliseconds() / reps;
+
+        // Identical numerics: the batched cached path must match a serial
+        // pass through the same stack bit for bit.
+        Real diff = 0;
+        for (std::size_t b = 0; b < batch; ++b)
+            diff = std::max(diff,
+                            maxAbsDiff(outputs[b], model.inferField(inputs[b])));
+        bool identical = diff == 0.0;
+        all_identical = all_identical && identical;
+
+        // Single-threaded uncached baseline over the same batch.
+        const int lp_reps = 1;
+        WallTimer lp_timer;
+        for (int r = 0; r < lp_reps; ++r)
+            for (std::size_t b = 0; b < batch; ++b)
+                baseline::lpDonnForward(images[b], phases, pitch, lambda, z);
+        double lp_batch_ms = lp_timer.milliseconds() / lp_reps;
+
+        double speedup = lp_batch_ms / batched_ms;
+        min_speedup = std::min<Real>(min_speedup, speedup);
+        std::printf("%-8zu %12.1f %12.1f %8.1fx %9s\n", n, batched_ms,
+                    lp_batch_ms, speedup, identical ? "yes" : "NO");
+
+        Json row;
+        row["size"] = Json(n);
+        row["depth"] = Json(depth);
+        row["batch"] = Json(batch);
+        row["threads"] = Json(threads);
+        row["batched_ms"] = Json(batched_ms);
+        row["baseline_ms"] = Json(lp_batch_ms);
+        row["speedup"] = Json(speedup);
+        row["bitwise_identical"] = Json(identical);
+        batched_rows.push(std::move(row));
+    }
+    std::printf("target: >= 2x everywhere, bitwise-identical cached path "
+                "-> %s (min %.1fx)\n",
+                (min_speedup >= 2.0 && all_identical) ? "PASS" : "FAIL",
+                min_speedup);
+
+    Json artifact;
+    artifact["bench"] = Json("fig9_speedups");
+    artifact["scale"] = Json(benchFullScale() ? "full" : "quick");
+    artifact["per_sample_sweep"] = std::move(sweep_rows);
+    artifact["batched"] = std::move(batched_rows);
+    artifact["min_batched_speedup"] = Json(min_speedup);
+    artifact["bitwise_identical"] = Json(all_identical);
+    const std::string json_path = bench::resultsDir() + "/BENCH_fig9.json";
+    if (artifact.save(json_path))
+        std::printf("[json] %s\n", json_path.c_str());
+
+    return (min_speedup >= 2.0 && all_identical) ? 0 : 1;
 }

@@ -51,40 +51,56 @@ CodesignLayer::unitSoftmax(std::size_t i, bool with_noise, Real *out)
 Field
 CodesignLayer::forward(const Field &in, bool training)
 {
+    if (!training)
+        return infer(in);
+
     const std::size_t n = sideLength();
     const std::size_t k = lut_.size();
     Field diffracted = propagator_->forward(in);
     Field modulation(n, n);
 
-    if (training) {
-        cached_probs_.resize(n * n * k);
-        for (std::size_t i = 0; i < n * n; ++i) {
-            Real *p = cached_probs_.data() + i * k;
-            unitSoftmax(i, /*with_noise=*/true, p);
-            Complex m{0, 0};
-            for (std::size_t j = 0; j < k; ++j)
-                m += p[j] * lut_.levels[j];
-            modulation[i] = m;
-        }
-    } else {
-        // Deployment: exact argmax device state per unit.
-        for (std::size_t i = 0; i < n * n; ++i) {
-            const Real *l = logits_.data() + i * k;
-            std::size_t best =
-                std::max_element(l, l + k) - l;
-            modulation[i] = lut_.levels[best];
-        }
+    cached_probs_.resize(n * n * k);
+    for (std::size_t i = 0; i < n * n; ++i) {
+        Real *p = cached_probs_.data() + i * k;
+        unitSoftmax(i, /*with_noise=*/true, p);
+        Complex m{0, 0};
+        for (std::size_t j = 0; j < k; ++j)
+            m += p[j] * lut_.levels[j];
+        modulation[i] = m;
     }
 
     Field out(n, n);
     for (std::size_t i = 0; i < out.size(); ++i)
         out[i] = gamma_ * diffracted[i] * modulation[i];
 
-    if (training) {
-        cached_diffracted_ = std::move(diffracted);
-        cached_modulation_ = std::move(modulation);
+    cached_diffracted_ = std::move(diffracted);
+    cached_modulation_ = std::move(modulation);
+    return out;
+}
+
+Field
+CodesignLayer::infer(const Field &in) const
+{
+    const std::size_t n = sideLength();
+    const std::size_t k = lut_.size();
+    Field diffracted = propagator_->forward(in);
+
+    // Deployment: exact argmax device state per unit.
+    Field out(n, n);
+    for (std::size_t i = 0; i < n * n; ++i) {
+        const Real *l = logits_.data() + i * k;
+        std::size_t best = std::max_element(l, l + k) - l;
+        out[i] = gamma_ * diffracted[i] * lut_.levels[best];
     }
     return out;
+}
+
+LayerPtr
+CodesignLayer::clone() const
+{
+    // The rng_ pointer is copied as-is; parallel trainers rewire each
+    // replica to its own noise source via setRng().
+    return std::make_unique<CodesignLayer>(*this);
 }
 
 Field

@@ -41,12 +41,20 @@ class CodesignLayer : public Layer
 
     Field forward(const Field &in, bool training) override;
     Field backward(const Field &grad_out) override;
+    Field infer(const Field &in) const override;
+    LayerPtr clone() const override;
     std::vector<ParamView> params() override;
     Json toJson() const override;
 
     /** Current Gumbel-softmax temperature. */
     Real tau() const { return tau_; }
     void setTau(Real tau) { tau_ = tau; }
+
+    /** Rewire the Gumbel-noise source (per-replica rngs in parallel training). */
+    void setRng(Rng *rng) { rng_ = rng; }
+
+    /** Whether Gumbel sampling is enabled (a noise source is attached). */
+    bool hasRng() const { return rng_ != nullptr; }
 
     Real gamma() const { return gamma_; }
     void setGamma(Real gamma) { gamma_ = gamma; }

@@ -23,15 +23,31 @@ DiffractiveLayer::DiffractiveLayer(
 Field
 DiffractiveLayer::forward(const Field &in, bool training)
 {
+    if (!training)
+        return infer(in);
     Field diffracted = propagator_->forward(in);
     Field out(diffracted.rows(), diffracted.cols());
     for (std::size_t i = 0; i < out.size(); ++i)
         out[i] = gamma_ * diffracted[i] * std::polar(Real(1), phase_[i]);
-    if (training) {
-        cached_diffracted_ = std::move(diffracted);
-        cached_out_ = out;
-    }
+    cached_diffracted_ = std::move(diffracted);
+    cached_out_ = out;
     return out;
+}
+
+Field
+DiffractiveLayer::infer(const Field &in) const
+{
+    Field diffracted = propagator_->forward(in);
+    Field out(diffracted.rows(), diffracted.cols());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = gamma_ * diffracted[i] * std::polar(Real(1), phase_[i]);
+    return out;
+}
+
+LayerPtr
+DiffractiveLayer::clone() const
+{
+    return std::make_unique<DiffractiveLayer>(*this);
 }
 
 Field

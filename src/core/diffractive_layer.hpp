@@ -34,6 +34,8 @@ class DiffractiveLayer : public Layer
 
     Field forward(const Field &in, bool training) override;
     Field backward(const Field &grad_out) override;
+    Field infer(const Field &in) const override;
+    LayerPtr clone() const override;
     std::vector<ParamView> params() override;
     Json toJson() const override;
 

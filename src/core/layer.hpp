@@ -52,6 +52,21 @@ class Layer
      */
     virtual Field backward(const Field &grad_out) = 0;
 
+    /**
+     * Pure-inference forward pass. Implementations must not mutate any
+     * layer state, so one shared layer instance can propagate independent
+     * samples concurrently (the batched emulation path). Numerically
+     * identical to forward(in, false).
+     */
+    virtual Field infer(const Field &in) const = 0;
+
+    /**
+     * Deep copy of the layer: parameters and gradients are copied,
+     * propagators (immutable) are shared. Used to build per-worker model
+     * replicas for data-parallel training.
+     */
+    virtual std::unique_ptr<Layer> clone() const = 0;
+
     /** Trainable parameter views (empty for stateless layers). */
     virtual std::vector<ParamView> params() { return {}; }
 

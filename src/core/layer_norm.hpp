@@ -32,6 +32,12 @@ class LayerNormLayer : public Layer
 
     Field forward(const Field &in, bool training) override;
     Field backward(const Field &grad_out) override;
+    /** Inference is the identity: the optical system cannot normalize. */
+    Field infer(const Field &in) const override { return in; }
+    LayerPtr clone() const override
+    {
+        return std::make_unique<LayerNormLayer>(*this);
+    }
     Json toJson() const override;
 
     bool subtractsMean() const { return subtract_mean_; }

@@ -72,10 +72,49 @@ DonnModel::encode(const RealMap &image) const
 Field
 DonnModel::forwardField(const Field &input, bool training)
 {
+    if (!training)
+        return inferField(input);
     Field u = input;
     for (LayerPtr &layer : layers_)
         u = layer->forward(u, training);
     return propagator_->forward(u);
+}
+
+Field
+DonnModel::inferField(const Field &input) const
+{
+    Field u = input;
+    for (const LayerPtr &layer : layers_)
+        u = layer->infer(u);
+    return propagator_->forward(u);
+}
+
+std::vector<Field>
+DonnModel::forwardFieldBatch(const std::vector<Field> &inputs,
+                             ThreadPool *pool) const
+{
+    std::vector<Field> outputs(inputs.size());
+    if (pool == nullptr)
+        pool = &ThreadPool::global();
+    pool->parallelFor(inputs.size(), [&](std::size_t i) {
+        outputs[i] = inferField(inputs[i]);
+    });
+    return outputs;
+}
+
+std::vector<std::vector<Real>>
+DonnModel::forwardLogitsBatch(const std::vector<Field> &inputs,
+                              ThreadPool *pool) const
+{
+    if (detector_.numClasses() == 0)
+        throw std::logic_error("DonnModel: detector not configured");
+    std::vector<std::vector<Real>> logits(inputs.size());
+    if (pool == nullptr)
+        pool = &ThreadPool::global();
+    pool->parallelFor(inputs.size(), [&](std::size_t i) {
+        logits[i] = detector_.readout(inferField(inputs[i]));
+    });
+    return logits;
 }
 
 std::vector<Real>
@@ -107,6 +146,22 @@ DonnModel::backwardField(const Field &grad_at_detector)
     Field g = propagator_->adjoint(grad_at_detector);
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
         g = (*it)->backward(g);
+}
+
+DonnModel::DonnModel(SystemSpec spec, Laser laser,
+                     std::shared_ptr<const Propagator> propagator)
+    : spec_(spec), laser_(laser), propagator_(std::move(propagator))
+{}
+
+DonnModel
+DonnModel::clone() const
+{
+    DonnModel copy(spec_, laser_, propagator_); // share, don't rebuild
+    copy.layers_.reserve(layers_.size());
+    for (const LayerPtr &layer : layers_)
+        copy.layers_.push_back(layer->clone());
+    copy.detector_ = detector_;
+    return copy;
 }
 
 std::vector<ParamView>

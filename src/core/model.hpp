@@ -21,6 +21,7 @@
 #include "core/layer.hpp"
 #include "optics/laser.hpp"
 #include "optics/propagator.hpp"
+#include "utils/thread_pool.hpp"
 
 namespace lightridge {
 
@@ -78,6 +79,28 @@ class DonnModel
     /** Field at the detector plane (after the final hop). */
     Field forwardField(const Field &input, bool training = false);
 
+    /**
+     * Thread-safe inference forward: numerically identical to
+     * forwardField(input, false) but const, so independent samples can
+     * run concurrently on one shared model.
+     */
+    Field inferField(const Field &input) const;
+
+    /**
+     * Batched inference: propagates every input through the stack, with
+     * independent samples distributed across the thread pool (the paper's
+     * batched emulation speedup). Output order matches input order and is
+     * bitwise-identical to calling inferField() serially.
+     * @param pool worker pool; nullptr uses ThreadPool::global()
+     */
+    std::vector<Field> forwardFieldBatch(const std::vector<Field> &inputs,
+                                         ThreadPool *pool = nullptr) const;
+
+    /** Batched detector logits over forwardFieldBatch(). */
+    std::vector<std::vector<Real>>
+    forwardLogitsBatch(const std::vector<Field> &inputs,
+                       ThreadPool *pool = nullptr) const;
+
     /** Detector logits; caches activations when training. */
     std::vector<Real> forwardLogits(const Field &input,
                                     bool training = false);
@@ -93,6 +116,13 @@ class DonnModel
      * segmentation losses and the multi-channel container).
      */
     void backwardField(const Field &grad_at_detector);
+
+    /**
+     * Deep copy sharing the (immutable) propagators: layers and detector
+     * are cloned, parameters and gradients copied. Replicas train
+     * independently; see Trainer for the data-parallel batch recipe.
+     */
+    DonnModel clone() const;
 
     /** All trainable parameters of all layers. */
     std::vector<ParamView> params();
@@ -111,6 +141,10 @@ class DonnModel
     static DonnModel load(const std::string &path);
 
   private:
+    /** Shell constructor for clone(): adopts an existing propagator. */
+    DonnModel(SystemSpec spec, Laser laser,
+              std::shared_ptr<const Propagator> propagator);
+
     SystemSpec spec_;
     Laser laser_;
     std::shared_ptr<const Propagator> propagator_;

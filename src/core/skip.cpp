@@ -32,6 +32,31 @@ OpticalSkipLayer::forward(const Field &in, bool training)
 }
 
 Field
+OpticalSkipLayer::infer(const Field &in) const
+{
+    Field branch = in;
+    for (const LayerPtr &layer : inner_)
+        branch = layer->infer(branch);
+    Field shortcut = shortcut_->forward(in);
+
+    Field out(branch.rows(), branch.cols());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = alpha_ * branch[i] + beta_ * shortcut[i];
+    return out;
+}
+
+LayerPtr
+OpticalSkipLayer::clone() const
+{
+    std::vector<LayerPtr> inner;
+    inner.reserve(inner_.size());
+    for (const LayerPtr &layer : inner_)
+        inner.push_back(layer->clone());
+    return std::make_unique<OpticalSkipLayer>(std::move(inner), shortcut_,
+                                              alpha_, beta_);
+}
+
+Field
 OpticalSkipLayer::backward(const Field &grad_out)
 {
     // Branch path: scale by alpha, then unwind the inner block.

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/skip.hpp"
 #include "utils/log.hpp"
+#include "utils/thread_pool.hpp"
 #include "utils/timer.hpp"
 
 namespace lightridge {
@@ -22,28 +24,72 @@ epochOrder(std::size_t n, bool shuffle, Rng *rng)
     return order;
 }
 
+/** Visit every layer of a model, descending into skip-block interiors. */
+void
+forEachLayer(DonnModel &model, const std::function<void(Layer *)> &fn)
+{
+    std::function<void(Layer *)> visit = [&](Layer *layer) {
+        fn(layer);
+        if (auto *s = dynamic_cast<OpticalSkipLayer *>(layer))
+            for (std::size_t i = 0; i < s->innerDepth(); ++i)
+                visit(s->innerLayer(i));
+    };
+    for (std::size_t i = 0; i < model.depth(); ++i)
+        visit(model.layer(i));
+}
+
 /** Apply gamma to every diffractive/codesign layer of a model. */
 void
 applyGamma(DonnModel &model, Real gamma)
 {
-    for (std::size_t i = 0; i < model.depth(); ++i) {
-        if (auto *d = dynamic_cast<DiffractiveLayer *>(model.layer(i)))
+    forEachLayer(model, [gamma](Layer *layer) {
+        if (auto *d = dynamic_cast<DiffractiveLayer *>(layer))
             d->setGamma(gamma);
-        else if (auto *c = dynamic_cast<CodesignLayer *>(model.layer(i)))
+        else if (auto *c = dynamic_cast<CodesignLayer *>(layer))
             c->setGamma(gamma);
-    }
+    });
 }
 
 /** Set Gumbel-softmax temperature on every codesign layer. */
 void
 applyTau(DonnModel &model, Real tau)
 {
-    for (std::size_t i = 0; i < model.depth(); ++i)
-        if (auto *c = dynamic_cast<CodesignLayer *>(model.layer(i)))
+    forEachLayer(model, [tau](Layer *layer) {
+        if (auto *c = dynamic_cast<CodesignLayer *>(layer))
             c->setTau(tau);
+    });
 }
 
 } // namespace
+
+/**
+ * One data-parallel training worker: a full model replica (parameters
+ * copied, propagators shared) plus a private noise source so Gumbel
+ * sampling never races across threads. Parameter views are cached because
+ * the layer set of a replica is fixed.
+ */
+struct Trainer::Replica
+{
+    DonnModel model;
+    Rng rng;
+    std::vector<ParamView> params;
+
+    Replica(const DonnModel &source, uint64_t seed)
+        : model(source.clone()), rng(seed)
+    {
+        // clone() copies rng_ pointers as-is; point every noise-enabled
+        // codesign layer (skip interiors included) at this replica's own
+        // source instead, so replicas never share the trainer's
+        // (non-thread-safe) rng. Noiseless layers stay noiseless,
+        // matching the serial path exactly.
+        forEachLayer(model, [this](Layer *layer) {
+            if (auto *c = dynamic_cast<CodesignLayer *>(layer))
+                if (c->hasRng())
+                    c->setRng(&rng);
+        });
+        params = model.params();
+    }
+};
 
 Trainer::Trainer(DonnModel &model, TrainConfig config)
     : model_(model), config_(config), optimizer_(config.lr),
@@ -51,6 +97,8 @@ Trainer::Trainer(DonnModel &model, TrainConfig config)
 {
     optimizer_.attach(model_.params());
 }
+
+Trainer::~Trainer() = default;
 
 void
 Trainer::calibrate(const ClassDataset &data, std::size_t probe)
@@ -91,6 +139,20 @@ Trainer::annealTau(int epoch)
 EpochStats
 Trainer::trainEpoch(const ClassDataset &train)
 {
+    ++epoch_counter_;
+    std::size_t workers = config_.workers;
+    if (workers == 0)
+        workers = std::max<std::size_t>(
+            ThreadPool::global().workerCount(), 1);
+    workers = std::min({workers, config_.batch, train.size()});
+    if (workers >= 2)
+        return trainEpochParallel(train, workers);
+    return trainEpochSerial(train);
+}
+
+EpochStats
+Trainer::trainEpochSerial(const ClassDataset &train)
+{
     EpochStats stats;
     WallTimer timer;
     std::vector<std::size_t> order =
@@ -120,6 +182,108 @@ Trainer::trainEpoch(const ClassDataset &train)
         optimizer_.step();
         model_.zeroGrad();
     }
+    stats.train_loss /= std::max<std::size_t>(train.size(), 1);
+    stats.train_acc = static_cast<Real>(correct) /
+                      std::max<std::size_t>(train.size(), 1);
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+void
+Trainer::buildReplicas(std::size_t count)
+{
+    // Rebuilt every epoch: clones capture the current tau/gamma annealing
+    // state and detector calibration, and per-epoch seeds keep Gumbel
+    // noise streams deterministic for a fixed worker count.
+    replicas_.clear();
+    replicas_.reserve(count);
+    for (std::size_t r = 0; r < count; ++r) {
+        // Epoch and replica index occupy disjoint bit ranges so no two
+        // (epoch, replica) pairs ever alias to the same noise stream.
+        uint64_t tag = (static_cast<uint64_t>(epoch_counter_) << 32) |
+                       static_cast<uint64_t>(r + 1);
+        uint64_t seed = config_.seed ^ (0x9e3779b97f4a7c15ull * tag);
+        replicas_.push_back(std::make_unique<Replica>(model_, seed));
+    }
+}
+
+void
+Trainer::syncReplicaParams()
+{
+    std::vector<ParamView> main_params = model_.params();
+    for (auto &replica : replicas_) {
+        for (std::size_t p = 0; p < main_params.size(); ++p)
+            *replica->params[p].value = *main_params[p].value;
+        replica->model.detector().setAmpFactor(model_.detector().ampFactor());
+    }
+}
+
+EpochStats
+Trainer::trainEpochParallel(const ClassDataset &train, std::size_t workers)
+{
+    EpochStats stats;
+    WallTimer timer;
+    std::vector<std::size_t> order =
+        epochOrder(train.size(), config_.shuffle, &rng_);
+
+    buildReplicas(workers); // clones carry the current params/calibration
+    std::vector<ParamView> main_params = model_.params();
+    ThreadPool &pool = ThreadPool::global();
+
+    std::size_t correct = 0;
+    std::vector<Real> loss_part(workers);
+    std::vector<std::size_t> correct_part(workers);
+    model_.zeroGrad();
+
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch) {
+        const std::size_t batch =
+            std::min(config_.batch, order.size() - start);
+        const std::size_t active = std::min(workers, batch);
+
+        std::fill(loss_part.begin(), loss_part.end(), Real(0));
+        std::fill(correct_part.begin(), correct_part.end(), std::size_t{0});
+
+        // Round-robin sample assignment: replica r trains samples
+        // r, r+active, ... of the batch, sequentially (each layer caches
+        // one sample's activations between forward and backward).
+        pool.parallelFor(active, [&](std::size_t r) {
+            Replica &rep = *replicas_[r];
+            for (std::size_t j = r; j < batch; j += active) {
+                const std::size_t idx = order[start + j];
+                Field input = rep.model.encode(train.images[idx]);
+                std::vector<Real> logits =
+                    rep.model.forwardLogits(input, true);
+                LossResult loss = classificationLoss(config_.loss, logits,
+                                                     train.labels[idx]);
+                loss_part[r] += loss.value;
+                int pred = static_cast<int>(
+                    std::max_element(logits.begin(), logits.end()) -
+                    logits.begin());
+                if (pred == train.labels[idx])
+                    ++correct_part[r];
+                rep.model.backwardFromLogits(loss.dlogits);
+            }
+        });
+
+        // Merge replica gradients in fixed replica order (deterministic
+        // for a given worker count), step, and redistribute parameters.
+        for (std::size_t r = 0; r < active; ++r) {
+            stats.train_loss += loss_part[r];
+            correct += correct_part[r];
+            for (std::size_t p = 0; p < main_params.size(); ++p) {
+                const std::vector<Real> &src = *replicas_[r]->params[p].grad;
+                std::vector<Real> &dst = *main_params[p].grad;
+                for (std::size_t i = 0; i < dst.size(); ++i)
+                    dst[i] += src[i];
+            }
+            replicas_[r]->model.zeroGrad();
+        }
+        optimizer_.step();
+        model_.zeroGrad();
+        syncReplicaParams();
+    }
+
     stats.train_loss /= std::max<std::size_t>(train.size(), 1);
     stats.train_acc = static_cast<Real>(correct) /
                       std::max<std::size_t>(train.size(), 1);
@@ -164,20 +328,35 @@ evaluateWithConfidence(DonnModel &model, const ClassDataset &data,
     EvalResult result;
     if (data.size() == 0)
         return result;
+    const bool noisy = noise_frac > 0 && rng != nullptr;
+
+    std::vector<std::uint8_t> hit(data.size(), 0);
+    std::vector<Real> conf(data.size(), 0);
+    auto evalOne = [&](std::size_t i) {
+        Field u = model.inferField(model.encode(data.images[i]));
+        std::vector<Real> logits =
+            noisy ? model.detector().readoutNoisy(u, noise_frac, rng)
+                  : model.detector().readout(u);
+        int pred = static_cast<int>(
+            std::max_element(logits.begin(), logits.end()) - logits.begin());
+        hit[i] = pred == data.labels[i] ? 1 : 0;
+        conf[i] = predictionConfidence(logits);
+    };
+
+    if (noisy) {
+        // The shared rng makes noisy readout order-dependent; keep serial.
+        for (std::size_t i = 0; i < data.size(); ++i)
+            evalOne(i);
+    } else {
+        ThreadPool::global().parallelFor(data.size(), evalOne);
+    }
+
+    // Accumulate in index order so the result is independent of scheduling.
     std::size_t correct = 0;
     Real confidence = 0;
     for (std::size_t i = 0; i < data.size(); ++i) {
-        Field input = model.encode(data.images[i]);
-        Field u = model.forwardField(input, false);
-        std::vector<Real> logits =
-            (noise_frac > 0 && rng != nullptr)
-                ? model.detector().readoutNoisy(u, noise_frac, rng)
-                : model.detector().readout(u);
-        int pred = static_cast<int>(
-            std::max_element(logits.begin(), logits.end()) - logits.begin());
-        if (pred == data.labels[i])
-            ++correct;
-        confidence += predictionConfidence(logits);
+        correct += hit[i];
+        confidence += conf[i];
     }
     result.accuracy = static_cast<Real>(correct) / data.size();
     result.confidence = confidence / data.size();

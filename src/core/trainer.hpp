@@ -50,6 +50,21 @@ struct TrainConfig
     Real tau_start = 2.0;
     Real tau_end = 0.5;
 
+    /**
+     * Data-parallel workers per batch: independent samples of one batch
+     * propagate concurrently on per-worker model replicas, and their
+     * gradients are merged (in fixed replica order) before each optimizer
+     * step. 0 sizes from the global thread pool; 1 forces the serial loop.
+     *
+     * Results are deterministic for a fixed worker count, but gradient
+     * accumulation order (and per-replica noise streams) depend on it, so
+     * runs on machines with different core counts diverge under the
+     * default 0. Set workers explicitly (1 = the bit-reproducible serial
+     * reference) when cross-machine reproducibility matters more than
+     * throughput.
+     */
+    std::size_t workers = 0;
+
     /** Print per-epoch progress lines. */
     bool verbose = false;
 };
@@ -69,6 +84,7 @@ class Trainer
 {
   public:
     Trainer(DonnModel &model, TrainConfig config);
+    ~Trainer();
 
     /**
      * Calibrate detector amp_factor (and optionally per-layer gamma) on a
@@ -77,7 +93,11 @@ class Trainer
      */
     void calibrate(const ClassDataset &data, std::size_t probe = 16);
 
-    /** One pass over the training set; returns loss/accuracy. */
+    /**
+     * One pass over the training set; returns loss/accuracy. Runs the
+     * data-parallel batch pipeline when config.workers allows (see
+     * TrainConfig::workers), otherwise the reference serial loop.
+     */
     EpochStats trainEpoch(const ClassDataset &train);
 
     /** Full run; evaluates on test after each epoch when non-null. */
@@ -85,13 +105,22 @@ class Trainer
                                 const ClassDataset *test = nullptr);
 
   private:
+    struct Replica;
+
     void annealTau(int epoch);
+    EpochStats trainEpochSerial(const ClassDataset &train);
+    EpochStats trainEpochParallel(const ClassDataset &train,
+                                  std::size_t workers);
+    void buildReplicas(std::size_t count);
+    void syncReplicaParams();
 
     DonnModel &model_;
     TrainConfig config_;
     Adam optimizer_;
     Rng rng_;
     bool calibrated_ = false;
+    int epoch_counter_ = 0;
+    std::vector<std::unique_ptr<Replica>> replicas_;
 };
 
 /** Accuracy of a model over a dataset (optionally with detector noise). */

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace lightridge {
 
@@ -57,10 +59,10 @@ struct FftPlan::Impl
     std::vector<std::vector<Complex>> twiddles; // per level, length n_level
 
     // Bluestein state.
-    std::size_t m = 0;                    // power-of-two conv length
-    std::vector<Complex> chirp;           // a_k = exp(-j*pi*k^2/n)
-    std::vector<Complex> chirp_spectrum;  // FFT_m of conj-chirp kernel
-    std::unique_ptr<FftPlan> inner;       // power-of-two plan of length m
+    std::size_t m = 0;                      // power-of-two conv length
+    std::vector<Complex> chirp;             // a_k = exp(-j*pi*k^2/n)
+    std::vector<Complex> chirp_spectrum;    // FFT_m of conj-chirp kernel
+    std::shared_ptr<const FftPlan> inner;   // power-of-two plan of length m
 
     void buildMixedRadix();
     void buildBluestein();
@@ -97,7 +99,10 @@ FftPlan::Impl::buildBluestein()
     m = 1;
     while (m < 2 * n - 1)
         m <<= 1;
-    inner = std::make_unique<FftPlan>(m);
+    // Power-of-two inner plans recur across Bluestein lengths (every prime
+    // in [2^{k-1}, 2^k) shares the same conv length), so take them from the
+    // shared cache.
+    inner = acquireFftPlan(m);
 
     chirp.resize(n);
     for (std::size_t k = 0; k < n; ++k) {
@@ -250,10 +255,62 @@ FftPlan::inverse(Complex *data) const
         data[i] = std::conj(data[i]) * scale;
 }
 
+namespace {
+
+/** Plan cache shared by every Fft2d / Bluestein inner plan in the process. */
+struct PlanCache
+{
+    std::mutex mutex;
+    std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> plans;
+};
+
+PlanCache &
+planCache()
+{
+    static PlanCache cache;
+    return cache;
+}
+
+} // namespace
+
+std::shared_ptr<const FftPlan>
+acquireFftPlan(std::size_t n)
+{
+    PlanCache &cache = planCache();
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto it = cache.plans.find(n);
+        if (it != cache.plans.end())
+            return it->second;
+    }
+    // Build outside the lock: plan construction may itself acquire a
+    // (smaller) inner plan via the Bluestein path, and large twiddle tables
+    // should not serialize unrelated lookups.
+    auto plan = std::make_shared<const FftPlan>(n);
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    auto [it, inserted] = cache.plans.emplace(n, std::move(plan));
+    return it->second;
+}
+
+std::size_t
+fftPlanCacheSize()
+{
+    PlanCache &cache = planCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.plans.size();
+}
+
+void
+clearFftPlanCache()
+{
+    PlanCache &cache = planCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.plans.clear();
+}
+
 Fft2d::Fft2d(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols),
-      row_plan_(std::make_shared<FftPlan>(cols)),
-      col_plan_(rows == cols ? row_plan_ : std::make_shared<FftPlan>(rows))
+    : rows_(rows), cols_(cols), row_plan_(acquireFftPlan(cols)),
+      col_plan_(rows == cols ? row_plan_ : acquireFftPlan(rows))
 {}
 
 void

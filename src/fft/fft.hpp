@@ -86,9 +86,28 @@ class Fft2d
 
     std::size_t rows_;
     std::size_t cols_;
-    std::shared_ptr<FftPlan> row_plan_; // length == cols
-    std::shared_ptr<FftPlan> col_plan_; // length == rows
+    std::shared_ptr<const FftPlan> row_plan_; // length == cols
+    std::shared_ptr<const FftPlan> col_plan_; // length == rows
 };
+
+/**
+ * Process-wide FFT plan cache.
+ *
+ * Plan construction (factorization + twiddle tables, plus the chirp
+ * spectrum for Bluestein lengths) is the expensive part of the engine;
+ * every propagator hop, bench harness, and training loop that transforms
+ * the same length should share one immutable plan. acquireFftPlan()
+ * returns the cached plan for a length, building it on first use. Plans
+ * are immutable and thread-safe to execute concurrently, so sharing is
+ * free; the cache itself is mutex-protected.
+ */
+std::shared_ptr<const FftPlan> acquireFftPlan(std::size_t n);
+
+/** Number of distinct plan lengths currently cached. */
+std::size_t fftPlanCacheSize();
+
+/** Drop all cached plans (live shared_ptr holders keep theirs alive). */
+void clearFftPlanCache();
 
 /**
  * Reference O(n^2) DFT used by tests to validate the fast engine and by

@@ -18,6 +18,12 @@ FixedModulationLayer::FixedModulationLayer(
 Field
 FixedModulationLayer::forward(const Field &in, bool)
 {
+    return infer(in);
+}
+
+Field
+FixedModulationLayer::infer(const Field &in) const
+{
     Field out = propagator_->forward(in);
     out.hadamard(modulation_);
     return out;

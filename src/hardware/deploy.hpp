@@ -36,6 +36,11 @@ class FixedModulationLayer : public Layer
     std::string kind() const override { return "fixed"; }
     Field forward(const Field &in, bool training) override;
     Field backward(const Field &grad_out) override;
+    Field infer(const Field &in) const override;
+    LayerPtr clone() const override
+    {
+        return std::make_unique<FixedModulationLayer>(*this);
+    }
     Json toJson() const override;
 
     const Field &modulation() const { return modulation_; }

@@ -1,9 +1,145 @@
 #include "optics/propagator.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace lightridge {
+
+namespace {
+
+/** Exact-bit-pattern key for one (approx, method, grid, lambda, z) tuple. */
+struct KernelKey
+{
+    int approx;
+    int method;
+    std::size_t n;
+    uint64_t pitch_bits;
+    uint64_t wavelength_bits;
+    uint64_t z_bits;
+
+    bool operator==(const KernelKey &) const = default;
+};
+
+uint64_t
+realBits(Real v)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(Real) == sizeof(uint64_t));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+struct KernelKeyHash
+{
+    std::size_t
+    operator()(const KernelKey &k) const
+    {
+        // FNV-1a over the key fields.
+        uint64_t h = 1469598103934665603ull;
+        auto mix = [&h](uint64_t v) {
+            h = (h ^ v) * 1099511628211ull;
+        };
+        mix(static_cast<uint64_t>(k.approx));
+        mix(static_cast<uint64_t>(k.method));
+        mix(static_cast<uint64_t>(k.n));
+        mix(k.pitch_bits);
+        mix(k.wavelength_bits);
+        mix(k.z_bits);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/**
+ * Bounded LRU: a long DSE sweep visits many (grid, wavelength, distance)
+ * tuples it will never revisit; without a cap every padded n^2 kernel
+ * would stay resident for the life of the process. Evicted kernels stay
+ * alive as long as some Propagator still holds the shared_ptr.
+ */
+constexpr std::size_t kMaxCachedKernels = 64;
+
+struct KernelEntry
+{
+    std::shared_ptr<const Field> kernel;
+    std::uint64_t last_used = 0;
+};
+
+struct KernelCache
+{
+    std::mutex mutex;
+    std::unordered_map<KernelKey, KernelEntry, KernelKeyHash> kernels;
+    std::uint64_t clock = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+};
+
+KernelCache &
+kernelCache()
+{
+    static KernelCache cache;
+    return cache;
+}
+
+} // namespace
+
+std::shared_ptr<const Field>
+acquireTransferFunction(Diffraction approx, PropagationMethod method,
+                        const Grid &grid, Real wavelength, Real z)
+{
+    KernelKey key{static_cast<int>(approx), static_cast<int>(method), grid.n,
+                  realBits(grid.pitch), realBits(wavelength), realBits(z)};
+    KernelCache &cache = kernelCache();
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto it = cache.kernels.find(key);
+        if (it != cache.kernels.end()) {
+            ++cache.hits;
+            it->second.last_used = ++cache.clock;
+            return it->second.kernel;
+        }
+        ++cache.misses;
+    }
+    // Compute outside the lock (O(n^2) transcendentals, possibly an FFT2);
+    // concurrent first-touch of the same key wastes one computation but
+    // stays correct because the result is deterministic.
+    auto kernel = std::make_shared<const Field>(
+        transferFunction(approx, method, grid, wavelength, z));
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    auto [it, inserted] =
+        cache.kernels.emplace(key, KernelEntry{std::move(kernel), 0});
+    it->second.last_used = ++cache.clock;
+    if (inserted && cache.kernels.size() > kMaxCachedKernels) {
+        auto lru = cache.kernels.begin();
+        for (auto e = cache.kernels.begin(); e != cache.kernels.end(); ++e)
+            if (e->second.last_used < lru->second.last_used)
+                lru = e;
+        if (lru != it)
+            cache.kernels.erase(lru);
+    }
+    return it->second.kernel;
+}
+
+TransferFunctionCacheStats
+transferFunctionCacheStats()
+{
+    KernelCache &cache = kernelCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return {cache.kernels.size(), cache.hits, cache.misses};
+}
+
+void
+clearTransferFunctionCache()
+{
+    KernelCache &cache = kernelCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.kernels.clear();
+    cache.clock = 0;
+    cache.hits = 0;
+    cache.misses = 0;
+}
 
 Propagator::Propagator(const PropagatorConfig &config) : config_(config)
 {
@@ -47,9 +183,16 @@ Propagator::Propagator(const PropagatorConfig &config) : config_(config)
                     ? n
                     : nextFastLength(config_.pad_factor * n);
     Grid padded{padded_n_, config_.grid.pitch};
-    kernel_ = transferFunction(config_.approx, config_.method, padded,
-                               config_.wavelength, config_.distance);
+    kernel_ = acquireTransferFunction(config_.approx, config_.method, padded,
+                                      config_.wavelength, config_.distance);
     fft_ = std::make_shared<Fft2d>(padded_n_, padded_n_);
+}
+
+const Field &
+Propagator::kernel() const
+{
+    static const Field empty;
+    return kernel_ ? *kernel_ : empty;
 }
 
 Real
@@ -81,9 +224,9 @@ Propagator::convolve(const Field &in, bool conjugate_kernel) const
 
     fft_->forward(&work);
     if (conjugate_kernel)
-        work.hadamardConj(kernel_);
+        work.hadamardConj(*kernel_);
     else
-        work.hadamard(kernel_);
+        work.hadamard(*kernel_);
     fft_->inverse(&work);
 
     if (padded_n_ == n)

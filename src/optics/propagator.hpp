@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "fft/fft.hpp"
 #include "optics/diffraction.hpp"
@@ -59,7 +60,7 @@ class Propagator
     Real outputPitch() const;
 
     /** The cached frequency-domain kernel (empty for Fraunhofer). */
-    const Field &kernel() const { return kernel_; }
+    const Field &kernel() const;
 
   private:
     Field convolve(const Field &in, bool conjugate_kernel) const;
@@ -68,9 +69,35 @@ class Propagator
 
     PropagatorConfig config_;
     std::size_t padded_n_ = 0;  ///< working size (>= grid.n)
-    Field kernel_;              ///< transfer function on the padded grid
+    std::shared_ptr<const Field> kernel_; ///< shared cached transfer function
     Field quad_phase_;          ///< Fraunhofer output factor K(a, b)
     std::shared_ptr<Fft2d> fft_;
 };
+
+/**
+ * Process-wide transfer-function cache.
+ *
+ * Computing the angular-spectrum / Fresnel kernel is O(n^2) transcendental
+ * work (plus a full FFT2 for impulse-response kernels); every Propagator
+ * constructed for the same (approx, method, grid, wavelength, distance)
+ * tuple shares one immutable kernel Field through this cache. Lookup is
+ * keyed on the exact bit patterns of the physical parameters, so a hit is
+ * bitwise-identical to recomputing the kernel from scratch.
+ */
+std::shared_ptr<const Field>
+acquireTransferFunction(Diffraction approx, PropagationMethod method,
+                        const Grid &grid, Real wavelength, Real z);
+
+/** Hit/miss counters of the transfer-function cache (for tests/bench). */
+struct TransferFunctionCacheStats
+{
+    std::size_t entries = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+};
+TransferFunctionCacheStats transferFunctionCacheStats();
+
+/** Drop all cached kernels and reset the hit/miss counters. */
+void clearTransferFunctionCache();
 
 } // namespace lightridge

@@ -56,23 +56,39 @@ ThreadPool::parallelFor(std::size_t count,
         return;
     }
 
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::size_t shards = std::min(count, threads_.size());
+    // Shared completion state must outlive this frame: a shard that is not
+    // the last one can still touch the counters after the last shard has
+    // woken the caller, so the state block is owned jointly by every
+    // queued job via shared_ptr, never by this stack frame.
+    struct ForState
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<ForState>();
+    const std::size_t shards = std::min(count, threads_.size());
 
-    auto shard = [&] {
+    auto shard = [state, shards, count, &fn] {
         for (;;) {
-            std::size_t i = next.fetch_add(1);
+            std::size_t i = state->next.fetch_add(1);
             if (i >= count)
                 break;
-            fn(i);
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!state->error)
+                    state->error = std::current_exception();
+                // Drain remaining iterations so the loop terminates fast.
+                state->next.store(count);
+            }
         }
-        if (done.fetch_add(1) + 1 == shards) {
-            std::lock_guard<std::mutex> lock(done_mutex);
-            done_cv.notify_one();
-        }
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (++state->done == shards)
+            state->cv.notify_one();
     };
 
     {
@@ -82,8 +98,10 @@ ThreadPool::parallelFor(std::size_t count,
     }
     cv_.notify_all();
 
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done.load() == shards; });
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] { return state->done.load() == shards; });
+    if (state->error)
+        std::rethrow_exception(state->error);
 }
 
 ThreadPool &

@@ -38,6 +38,8 @@ class ThreadPool
     /**
      * Run fn(i) for i in [0, count) across the pool and block until all
      * iterations complete. Executes serially when the pool has <= 1 worker.
+     * If any iteration throws, remaining iterations are abandoned and the
+     * first exception is rethrown on the calling thread.
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &fn);

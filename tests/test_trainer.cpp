@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/trainer.hpp"
 #include "data/synth_digits.hpp"
 #include "dse/dse.hpp"
@@ -44,6 +46,41 @@ TEST(TrainerBehaviour, CalibrationSetsHealthyLogitScale)
     }
     mean_top /= 16;
     EXPECT_NEAR(mean_top, 4.0, 1.5);
+}
+
+TEST(TrainerBehaviour, ParallelWorkersTrainAsWellAsSerial)
+{
+    ClassDataset train = makeSynthDigits(60, 3);
+
+    auto runFit = [&](std::size_t workers) {
+        Rng rng(5);
+        DonnModel model = ModelBuilder(spec16(), Laser{})
+                              .diffractiveLayers(2, 1.0, &rng)
+                              .detectorGrid(10, 1)
+                              .build();
+        TrainConfig tc;
+        tc.epochs = 3;
+        tc.batch = 8;
+        tc.workers = workers;
+        Trainer trainer(model, tc);
+        return trainer.fit(train);
+    };
+
+    auto serial = runFit(1);
+    auto parallel = runFit(3);
+    ASSERT_EQ(serial.size(), parallel.size());
+
+    // Same data, same init: the data-parallel pipeline reorders gradient
+    // accumulation (and per-replica noise streams) but must train to a
+    // comparable loss, not diverge.
+    EXPECT_LT(parallel.back().train_loss, parallel.front().train_loss);
+    EXPECT_NEAR(parallel.back().train_loss, serial.back().train_loss,
+                0.5 * std::abs(serial.back().train_loss) + 0.05);
+    for (const EpochStats &stats : parallel) {
+        EXPECT_TRUE(std::isfinite(stats.train_loss));
+        EXPECT_GE(stats.train_acc, 0.0);
+        EXPECT_LE(stats.train_acc, 1.0);
+    }
 }
 
 TEST(TrainerBehaviour, FitReturnsOneStatPerEpoch)
