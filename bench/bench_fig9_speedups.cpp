@@ -10,12 +10,23 @@
  * single-threaded uncached baseline, verifies the cached path is
  * bitwise-identical to recomputing everything from scratch, and emits the
  * combined results as bench_results/BENCH_fig9.json for CI artifacts.
+ *
+ * A third section benchmarks the Session engine's shared data-parallel
+ * training pipeline (workers=4 vs the workers=1 serial reference) on the
+ * segmentation and RGB tasks — the two paths that were serial-only before
+ * the Task/Session redesign — gating >= 2x at equal losses when the host
+ * has enough hardware threads.
  */
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "baseline/lightpipes_like.hpp"
 #include "bench_common.hpp"
 #include "core/model.hpp"
+#include "core/session.hpp"
+#include "data/synth_city.hpp"
+#include "data/synth_scenes.hpp"
 #include "utils/json.hpp"
 #include "utils/thread_pool.hpp"
 #include "utils/timer.hpp"
@@ -203,6 +214,128 @@ main()
                 (min_speedup >= 2.0 && all_identical) ? "PASS" : "FAIL",
                 min_speedup);
 
+    // ----------------------------------------------------------------
+    // Data-parallel training across task kinds: the Session engine's
+    // replica pipeline (workers=4) vs the serial reference (workers=1)
+    // on segmentation and RGB epochs — the two paths that used to be
+    // serial-only. Requires >= 4 hardware threads to show a speedup.
+    // ----------------------------------------------------------------
+    const std::size_t train_workers = 4;
+    std::printf("\ndata-parallel training (Session, workers=%zu vs 1)\n",
+                train_workers);
+    std::printf("%-14s %12s %12s %9s %12s\n", "task", "serial_ms",
+                "parallel_ms", "speedup", "loss_match");
+
+    Json training_rows;
+    Real min_train_speedup = 1e300;
+    bool all_losses_match = true;
+
+    auto recordTraining = [&](const char *task_name, double serial_ms,
+                              double parallel_ms, Real serial_loss,
+                              Real parallel_loss) {
+        double speedup = serial_ms / parallel_ms;
+        bool match = std::abs(parallel_loss - serial_loss) <=
+                     0.5 * std::abs(serial_loss) + 0.05;
+        min_train_speedup = std::min<Real>(min_train_speedup, speedup);
+        all_losses_match = all_losses_match && match;
+        std::printf("%-14s %12.1f %12.1f %8.1fx %12s\n", task_name,
+                    serial_ms, parallel_ms, speedup, match ? "yes" : "NO");
+        Json row;
+        row["task"] = Json(task_name);
+        row["workers"] = Json(train_workers);
+        row["serial_ms"] = Json(serial_ms);
+        row["parallel_ms"] = Json(parallel_ms);
+        row["speedup"] = Json(speedup);
+        row["serial_loss"] = Json(serial_loss);
+        row["parallel_loss"] = Json(parallel_loss);
+        row["loss_match"] = Json(match);
+        training_rows.push(std::move(row));
+    };
+
+    const std::size_t train_n = scaled<std::size_t>(64, 128);
+    {
+        // Segmentation workload: 5-layer stack, image-to-image loss.
+        CityConfig ccfg;
+        ccfg.image_size = train_n;
+        SegDataset seg_train = makeSynthCity(48, 1, ccfg);
+        auto runSeg = [&](std::size_t workers) {
+            SystemSpec sspec;
+            sspec.size = train_n;
+            sspec.pixel = pitch;
+            sspec.distance = idealDistanceHalfCone(Grid{train_n, pitch},
+                                                   lambda);
+            Rng srng(3);
+            DonnModel model(sspec, Laser{});
+            for (int l = 0; l < 5; ++l)
+                model.addLayer(std::make_unique<DiffractiveLayer>(
+                    model.hopPropagator(), 1.0, &srng));
+            model.setDetector(DetectorPlane(
+                DetectorPlane::gridLayout(train_n, 2, 2)));
+            TrainConfig cfg;
+            cfg.epochs = 2;
+            cfg.batch = 24;
+            cfg.lr = 0.08;
+            cfg.workers = workers;
+            SegmentationTask task(model, seg_train);
+            return Session(task, cfg).fit();
+        };
+        auto serial = runSeg(1);
+        auto parallel = runSeg(train_workers);
+        recordTraining(
+            "segmentation",
+            1e3 * std::min(serial[0].seconds, serial[1].seconds),
+            1e3 * std::min(parallel[0].seconds, parallel[1].seconds),
+            serial.back().train_loss, parallel.back().train_loss);
+    }
+    {
+        // RGB workload: three parallel 3-layer stacks, shared detector.
+        const std::size_t rgb_n = scaled<std::size_t>(48, 96);
+        SceneConfig scfg;
+        scfg.image_size = rgb_n;
+        RgbDataset rgb_train = makeSynthScenes(24, 1, scfg);
+        auto runRgb = [&](std::size_t workers) {
+            SystemSpec rspec;
+            rspec.size = rgb_n;
+            rspec.pixel = pitch;
+            rspec.distance = idealDistanceHalfCone(Grid{rgb_n, pitch},
+                                                   lambda);
+            Rng rrng(3);
+            std::vector<std::unique_ptr<DonnModel>> channels;
+            for (int ch = 0; ch < 3; ++ch)
+                channels.push_back(std::make_unique<DonnModel>(
+                    ModelBuilder(rspec, Laser{})
+                        .diffractiveLayers(3, 1.0, &rrng)
+                        .detectorGrid(rgb_train.num_classes, rgb_n / 8)
+                        .build()));
+            MultiChannelDonn model(std::move(channels));
+            TrainConfig cfg;
+            cfg.epochs = 2;
+            cfg.batch = 12;
+            cfg.lr = 0.03;
+            cfg.workers = workers;
+            RgbTask task(model, rgb_train);
+            return Session(task, cfg).fit();
+        };
+        auto serial = runRgb(1);
+        auto parallel = runRgb(train_workers);
+        recordTraining(
+            "rgb",
+            1e3 * std::min(serial[0].seconds, serial[1].seconds),
+            1e3 * std::min(parallel[0].seconds, parallel[1].seconds),
+            serial.back().train_loss, parallel.back().train_loss);
+    }
+
+    const std::size_t hw_threads = ThreadPool::global().workerCount();
+    const bool train_gate_applies = hw_threads >= train_workers;
+    const bool train_pass =
+        (!train_gate_applies || min_train_speedup >= 2.0) &&
+        all_losses_match;
+    std::printf("target: >= 2x on both tasks at equal losses "
+                "(gated when >= %zu hw threads; have %zu) -> %s "
+                "(min %.1fx)\n",
+                train_workers, hw_threads, train_pass ? "PASS" : "FAIL",
+                min_train_speedup);
+
     Json artifact;
     artifact["bench"] = Json("fig9_speedups");
     artifact["scale"] = Json(benchFullScale() ? "full" : "quick");
@@ -210,9 +343,13 @@ main()
     artifact["batched"] = std::move(batched_rows);
     artifact["min_batched_speedup"] = Json(min_speedup);
     artifact["bitwise_identical"] = Json(all_identical);
+    artifact["training"] = std::move(training_rows);
+    artifact["min_training_speedup"] = Json(min_train_speedup);
+    artifact["training_losses_match"] = Json(all_losses_match);
+    artifact["hw_threads"] = Json(hw_threads);
     const std::string json_path = bench::resultsDir() + "/BENCH_fig9.json";
     if (artifact.save(json_path))
         std::printf("[json] %s\n", json_path.c_str());
 
-    return (min_speedup >= 2.0 && all_identical) ? 0 : 1;
+    return (min_speedup >= 2.0 && all_identical && train_pass) ? 0 : 1;
 }

@@ -16,7 +16,7 @@
  */
 #include <cstdio>
 
-#include "core/trainer.hpp"
+#include "core/session.hpp"
 #include "data/synth_digits.hpp"
 #include "dse/dse.hpp"
 #include "hardware/deploy.hpp"
@@ -70,7 +70,8 @@ main(int argc, char **argv)
     tc.epochs = epochs;
     tc.lr = 0.03;
     tc.verbose = true;
-    Trainer(raw, tc).fit(train);
+    ClassificationTask raw_task(raw, train);
+    Session(raw_task, tc).fit();
     Real raw_sim = evaluateAccuracy(raw, test);
     std::printf("[raw] simulation accuracy: %.3f\n", raw_sim);
 
@@ -87,7 +88,8 @@ main(int argc, char **argv)
         static_cast<CodesignLayer *>(codesign.layer(i))
             ->initFromPhase(
                 static_cast<DiffractiveLayer *>(raw.layer(i))->phase());
-    Trainer(codesign, tc).fit(train);
+    ClassificationTask cd_task(codesign, train);
+    Session(cd_task, tc).fit();
     // Codesign inference uses exact argmax device states.
     Real codesign_sim = evaluateAccuracy(codesign, test);
     std::printf("[codesign] simulation accuracy: %.3f\n", codesign_sim);

@@ -11,7 +11,7 @@
  */
 #include <cstdio>
 
-#include "core/trainer.hpp"
+#include "core/session.hpp"
 #include "data/synth_digits.hpp"
 #include "dse/dse.hpp"
 #include "hardware/to_system.hpp"
@@ -76,7 +76,8 @@ main(int argc, char **argv)
     TrainConfig tc;
     tc.epochs = epochs;
     tc.lr = 0.03;
-    Trainer(model, tc).fit(train);
+    ClassificationTask task(model, train);
+    Session(task, tc).fit();
     std::printf("trained emulation accuracy: %.3f\n",
                 evaluateAccuracy(model, test));
 

@@ -5,11 +5,15 @@
  * parallel optical stacks whose outputs merge on one shared detector.
  * A grayscale single-stack baseline quantifies the multi-channel gain.
  *
+ * Uses the Task/Session front end: RgbTask rides the same data-parallel
+ * replica engine as classification (--workers=N).
+ *
  * Run:  ./rgb_places [--size=40] [--depth=3] [--epochs=3] [--train=360]
+ *                    [--workers=0]
  */
 #include <cstdio>
 
-#include "core/trainer.hpp"
+#include "core/session.hpp"
 #include "data/synth_scenes.hpp"
 #include "utils/cli.hpp"
 
@@ -50,8 +54,9 @@ main(int argc, char **argv)
     cfg.epochs = epochs;
     cfg.lr = 0.03;
     cfg.verbose = true;
-    RgbTrainer trainer(rgb, cfg);
-    trainer.fit(train, &test);
+    cfg.workers = args.getInt("workers", 0);
+    RgbTask rgb_task(rgb, train, &test);
+    Session(rgb_task, cfg).fit();
 
     std::printf("\n=== RGB-DONN (Table 5 style) ===\n");
     for (std::size_t k : {std::size_t(1), std::size_t(3)})
@@ -75,7 +80,8 @@ main(int argc, char **argv)
                          .diffractiveLayers(depth, 1.0, &grng)
                          .detectorGrid(train.num_classes, size / 8)
                          .build();
-    Trainer(gray, cfg).fit(gray_train);
+    ClassificationTask gray_task(gray, gray_train);
+    Session(gray_task, cfg).fit();
     std::printf("grayscale single-stack baseline top-1: %.3f\n",
                 evaluateAccuracy(gray, gray_test));
     return 0;

@@ -6,13 +6,16 @@
  * street scenes to binary building masks. Compared against the [34]/[68]
  * baseline (no skip, no LayerNorm). Writes input/target/prediction PGMs.
  *
- * Run:  ./segmentation [--size=48] [--epochs=4] [--train=200]
+ * Uses the Task/Session front end: SegmentationTask rides the same
+ * data-parallel replica engine as classification (--workers=N).
+ *
+ * Run:  ./segmentation [--size=48] [--epochs=4] [--train=200] [--workers=0]
  */
 #include <cstdio>
 
 #include "core/layer_norm.hpp"
+#include "core/session.hpp"
 #include "core/skip.hpp"
-#include "core/trainer.hpp"
 #include "data/synth_city.hpp"
 #include "utils/cli.hpp"
 #include "utils/image_io.hpp"
@@ -89,34 +92,35 @@ main(int argc, char **argv)
     cfg.lr = 0.08;
     cfg.batch = 8;
     cfg.verbose = true;
+    cfg.workers = args.getInt("workers", 0);
 
     // Ours: optical skip + LayerNorm.
     Rng rng_a(3);
     DonnModel ours = buildSegModel(spec, laser, true, true, &rng_a);
-    SegTrainer ours_trainer(ours, cfg);
-    ours_trainer.fit(train, &test);
+    SegmentationTask ours_task(ours, train, &test);
+    Session(ours_task, cfg).fit();
 
     // Baseline [34]/[68]: plain stack.
     Rng rng_b(3);
     DonnModel base = buildSegModel(spec, laser, false, false, &rng_b);
     TrainConfig base_cfg = cfg;
     base_cfg.calibrate = false; // baseline training recipe
-    SegTrainer base_trainer(base, base_cfg);
-    base_trainer.fit(train);
+    SegmentationTask base_task(base, train);
+    Session(base_task, base_cfg).fit();
 
     std::printf("\n=== all-optical segmentation (Fig. 13 style) ===\n");
     std::printf("ours (skip+LN):  IoU %.3f  MSE %.4f\n",
-                ours_trainer.evaluateIou(test), ours_trainer.evaluateMse(test));
+                ours_task.evaluateIou(test), ours_task.evaluateMse(test));
     std::printf("baseline:        IoU %.3f  MSE %.4f\n",
-                base_trainer.evaluateIou(test), base_trainer.evaluateMse(test));
+                base_task.evaluateIou(test), base_task.evaluateMse(test));
 
     // Dump a few qualitative results.
     for (std::size_t i = 0; i < 3 && i < test.size(); ++i) {
         dumpMap(test.images[i], "seg_input" + std::to_string(i) + ".pgm");
         dumpMap(test.masks[i], "seg_target" + std::to_string(i) + ".pgm");
-        dumpMap(ours_trainer.predictMask(test.images[i]),
+        dumpMap(ours_task.predictMask(test.images[i]),
                 "seg_ours" + std::to_string(i) + ".pgm");
-        dumpMap(base_trainer.predictMask(test.images[i]),
+        dumpMap(base_task.predictMask(test.images[i]),
                 "seg_baseline" + std::to_string(i) + ".pgm");
     }
     std::printf("wrote seg_*.pgm qualitative results\n");

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Declarative experiment front end (the paper's "agile design" DSL,
+ * Figures 2-3, lifted to JSON).
+ *
+ * An ExperimentSpec captures one complete DONN workload — optical system,
+ * model architecture, dataset, task kind, and training hyperparameters —
+ * as a strict, versionable JSON document. runExperiment() executes a spec
+ * end to end through the Task/Session engine and returns a structured
+ * results report. Model architectures are described as a list of layer
+ * specs resolved through the registry-based LayerFactory, so downstream
+ * code (and tests) can plug in new layer kinds without touching the
+ * parser.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/task.hpp"
+#include "utils/json.hpp"
+
+namespace lightridge {
+
+/**
+ * Registry of architecture layer builders keyed by the spec "kind"
+ * string. Builders return the layers to append for one spec entry (a
+ * single entry may expand to several stacked layers via "count").
+ */
+class LayerFactory
+{
+  public:
+    /** Everything a builder may need to construct layers for a model. */
+    struct Context
+    {
+        const DonnModel *model = nullptr; ///< for hop propagator + spec
+        Rng *rng = nullptr;               ///< phase-initialization stream
+    };
+
+    using Builder =
+        std::function<std::vector<LayerPtr>(const Json &, const Context &)>;
+
+    /** Process-wide registry preloaded with the built-in kinds. */
+    static LayerFactory &instance();
+
+    /**
+     * Register (or replace) a builder for a layer kind.
+     * @param allowed_keys spec keys the kind accepts (always including
+     *        "kind"); empty disables key checking for that kind
+     */
+    void registerKind(const std::string &kind, Builder builder,
+                      std::vector<std::string> allowed_keys = {});
+
+    bool has(const std::string &kind) const;
+
+    /** Registered kind names (sorted). */
+    std::vector<std::string> kinds() const;
+
+    /**
+     * Validate one spec entry without building: registered kind, no
+     * unknown keys, recursing into skip interiors.
+     * @throws JsonError on any violation
+     */
+    void validateSpec(const Json &layer_spec) const;
+
+    /**
+     * Build the layers for one spec entry (validates first).
+     * @throws JsonError when the kind is missing or unregistered, or the
+     *         entry carries unknown keys.
+     */
+    std::vector<LayerPtr> build(const Json &layer_spec,
+                                const Context &context) const;
+
+  private:
+    struct Entry
+    {
+        Builder builder;
+        std::vector<std::string> keys;
+    };
+
+    LayerFactory();
+    std::map<std::string, Entry> builders_;
+};
+
+/** Dataset slice of an experiment (synthetic generators, seeded). */
+struct DataSpec
+{
+    std::size_t train_samples = 300;
+    std::size_t test_samples = 100;
+    uint64_t seed = 1;
+    std::size_t image_size = 0; ///< 0 = generator default
+};
+
+/** Detector geometry of an experiment. */
+struct DetectorSpec
+{
+    std::size_t classes = 0;  ///< 0 = dataset's class count
+    std::size_t det_size = 0; ///< 0 = system_size / 10 heuristic
+};
+
+/**
+ * One complete, declarative DONN experiment. All fields have defaults;
+ * fromJson() is strict (unknown keys are errors) so typos in spec files
+ * fail loudly instead of silently training the wrong thing.
+ */
+struct ExperimentSpec
+{
+    /** Declarative default: distance auto-resolves via half-cone rule. */
+    ExperimentSpec() { system.distance = 0; }
+
+    std::string name = "experiment";
+    std::string task = "classification"; ///< classification|segmentation|rgb
+    std::string dataset = "digits";      ///< digits|fashion|city|scenes
+    DataSpec data;
+    SystemSpec system;      ///< distance <= 0 resolves to half-cone ideal
+    Real wavelength = 532e-9;
+    uint64_t model_seed = 7;
+    Json layers;            ///< array of layer specs (LayerFactory kinds)
+    DetectorSpec detector;
+    TrainConfig train;
+
+    /** Serialize (enums as strings, layers verbatim). */
+    Json toJson() const;
+
+    /**
+     * Strict parse: unknown keys anywhere in the spec, unregistered layer
+     * kinds, and bad enum strings all throw JsonError.
+     */
+    static ExperimentSpec fromJson(const Json &j);
+
+    /** Load + parse a spec file. */
+    static ExperimentSpec load(const std::string &path);
+
+    /** System spec with distance resolved (half-cone rule when <= 0). */
+    SystemSpec resolvedSystem() const;
+};
+
+/** Results of one executed experiment. */
+struct ExperimentResult
+{
+    std::string name;
+    std::string task;
+    std::vector<EpochStats> history;
+    TaskMetrics final_metrics;
+    Real secondary = 0;         ///< task extra (segmentation: MSE)
+    std::size_t num_classes = 0; ///< 0 for non-classification tasks
+    double seconds = 0;
+
+    /** Full JSON report (spec echo + per-epoch stats + final metrics). */
+    Json report(const ExperimentSpec &spec) const;
+};
+
+/** TrainConfig <-> JSON (strict; loss kind as string). */
+Json trainConfigToJson(const TrainConfig &config);
+TrainConfig trainConfigFromJson(const Json &j);
+
+/**
+ * Build the single-stack model an experiment describes (layers through
+ * the factory, detector per spec). Used for classification and
+ * segmentation tasks; RGB builds one stack per channel.
+ * @param num_classes detector class count after dataset defaulting
+ */
+DonnModel buildSpecModel(const ExperimentSpec &spec, std::size_t num_classes,
+                         Rng *rng);
+
+/**
+ * Execute a spec end to end: synthesize data, build the model(s) and
+ * task, train through a Session, and reduce final metrics.
+ * @param epoch_callback optional per-epoch hook (progress reporting)
+ */
+ExperimentResult
+runExperiment(const ExperimentSpec &spec,
+              const Session::Callback &epoch_callback = nullptr);
+
+} // namespace lightridge

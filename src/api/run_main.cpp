@@ -1,0 +1,118 @@
+/**
+ * @file
+ * lightridge_run: execute a declarative JSON experiment spec end to end
+ * and emit a JSON results report.
+ *
+ *   lightridge_run spec.json [--out=results.json] [--dump-spec]
+ *                            [--workers=N] [--quiet]
+ *
+ * The spec format is documented in api/experiment.hpp (see
+ * examples/specs/ for runnable samples). Exit codes: 0 success,
+ * 1 usage error, 2 spec/parse error.
+ */
+#include <cstdio>
+#include <string>
+
+#include "api/experiment.hpp"
+#include "utils/cli.hpp"
+
+using namespace lightridge;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: lightridge_run <spec.json> [--out=results.json]\n"
+        "                      [--dump-spec] [--workers=N] [--quiet]\n"
+        "\n"
+        "Executes a declarative DONN experiment spec (task: "
+        "classification,\nsegmentation, or rgb) through the Task/Session "
+        "engine and writes a\nJSON results report.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argv[1][0] == '-') {
+        usage();
+        return 1;
+    }
+    const std::string spec_path = argv[1];
+    CliArgs args(argc, argv);
+
+    ExperimentSpec spec;
+    try {
+        spec = ExperimentSpec::load(spec_path);
+    } catch (const JsonError &e) {
+        std::fprintf(stderr, "lightridge_run: bad spec %s: %s\n",
+                     spec_path.c_str(), e.what());
+        return 2;
+    }
+
+    if (args.has("workers"))
+        spec.train.workers =
+            static_cast<std::size_t>(args.getInt("workers", 0));
+    const bool quiet = args.getBool("quiet", false);
+
+    if (args.has("dump-spec")) {
+        std::printf("%s\n", spec.toJson().pretty().c_str());
+        return 0;
+    }
+
+    std::printf("[lightridge_run] %s: task=%s dataset=%s size=%zu "
+                "epochs=%d workers=%zu\n",
+                spec.name.c_str(), spec.task.c_str(), spec.dataset.c_str(),
+                spec.system.size, spec.train.epochs, spec.train.workers);
+
+    Session::Callback progress;
+    if (!quiet) {
+        progress = [](const EpochStats &stats, Session &session) {
+            std::printf("[epoch %d] loss=%.5f train_acc=%.3f test=%.3f "
+                        "top3=%.3f (%.2fs)\n",
+                        stats.epoch, stats.train_loss, stats.train_acc,
+                        stats.test_acc, stats.test_top3, stats.seconds);
+            (void)session;
+            return true;
+        };
+    }
+
+    ExperimentResult result;
+    try {
+        result = runExperiment(spec, progress);
+    } catch (const JsonError &e) {
+        std::fprintf(stderr, "lightridge_run: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lightridge_run: %s\n", e.what());
+        return 2;
+    }
+
+    Json report = result.report(spec);
+    const std::string out =
+        args.getString("out", spec.name + "_results.json");
+    if (!report.save(out)) {
+        std::fprintf(stderr, "lightridge_run: cannot write %s\n",
+                     out.c_str());
+        return 2;
+    }
+
+    if (spec.task == "segmentation") {
+        std::printf("[done] iou=%.3f mse=%.4f (%.1fs) -> %s\n",
+                    result.final_metrics.primary, result.secondary,
+                    result.seconds, out.c_str());
+    } else {
+        std::printf("[done] accuracy=%.3f top3=%.3f chance=%.3f (%.1fs) "
+                    "-> %s\n",
+                    result.final_metrics.primary, result.final_metrics.top3,
+                    result.num_classes > 0
+                        ? 1.0 / static_cast<double>(result.num_classes)
+                        : 0.0,
+                    result.seconds, out.c_str());
+    }
+    return 0;
+}

@@ -334,6 +334,10 @@ ModelBuilder::detectorRegions(std::vector<DetectorRegion> regions)
 DonnModel
 ModelBuilder::build()
 {
+    if (!has_detector_)
+        throw std::logic_error(
+            "ModelBuilder::build: no detector configured; call "
+            "detectorGrid() or detectorRegions() before build()");
     return std::move(model_);
 }
 

@@ -184,7 +184,11 @@ class ModelBuilder
     /** Custom detector regions. */
     ModelBuilder &detectorRegions(std::vector<DetectorRegion> regions);
 
-    /** Finalize into a model. */
+    /**
+     * Finalize into a model.
+     * @throws std::logic_error when no detector was configured (the
+     *         failure used to surface only at the first forwardLogits).
+     */
     DonnModel build();
 
   private:

@@ -48,6 +48,21 @@ MultiChannelDonn::forwardLogits(const std::vector<Field> &inputs,
     return logits;
 }
 
+std::vector<Real>
+MultiChannelDonn::inferLogits(const std::vector<Field> &inputs) const
+{
+    if (inputs.size() != channels_.size())
+        throw std::invalid_argument("MultiChannelDonn: input count mismatch");
+    std::vector<Real> logits(channels_[0]->detector().numClasses(), 0.0);
+    for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+        Field u = channels_[ch]->inferField(inputs[ch]);
+        std::vector<Real> part = channels_[ch]->detector().readout(u);
+        for (std::size_t k = 0; k < logits.size(); ++k)
+            logits[k] += part[k];
+    }
+    return logits;
+}
+
 int
 MultiChannelDonn::predict(const std::vector<Field> &inputs)
 {
@@ -83,6 +98,49 @@ MultiChannelDonn::zeroGrad()
 {
     for (auto &ch : channels_)
         ch->zeroGrad();
+}
+
+MultiChannelDonn
+MultiChannelDonn::clone() const
+{
+    std::vector<std::unique_ptr<DonnModel>> copies;
+    copies.reserve(channels_.size());
+    for (const auto &ch : channels_)
+        copies.push_back(std::make_unique<DonnModel>(ch->clone()));
+    return MultiChannelDonn(std::move(copies));
+}
+
+Json
+MultiChannelDonn::toJson() const
+{
+    Json channels;
+    for (const auto &ch : channels_)
+        channels.push(ch->toJson());
+    Json j;
+    j["channels"] = std::move(channels);
+    return j;
+}
+
+MultiChannelDonn
+MultiChannelDonn::fromJson(const Json &j)
+{
+    std::vector<std::unique_ptr<DonnModel>> channels;
+    for (const Json &cj : j.at("channels").asArray())
+        channels.push_back(
+            std::make_unique<DonnModel>(DonnModel::fromJson(cj)));
+    return MultiChannelDonn(std::move(channels));
+}
+
+bool
+MultiChannelDonn::save(const std::string &path) const
+{
+    return toJson().save(path);
+}
+
+MultiChannelDonn
+MultiChannelDonn::load(const std::string &path)
+{
+    return fromJson(Json::load(path));
 }
 
 bool

@@ -31,6 +31,7 @@ class MultiChannelDonn
 
     std::size_t numChannels() const { return channels_.size(); }
     DonnModel &channel(std::size_t i) { return *channels_[i]; }
+    const DonnModel &channel(std::size_t i) const { return *channels_[i]; }
 
     /** Encode one RGB sample into per-channel input fields. */
     std::vector<Field> encode(const std::array<RealMap, 3> &rgb) const;
@@ -38,6 +39,13 @@ class MultiChannelDonn
     /** Merged detector logits. Caches per-channel fields when training. */
     std::vector<Real> forwardLogits(const std::vector<Field> &inputs,
                                     bool training = false);
+
+    /**
+     * Thread-safe inference logits: numerically identical to
+     * forwardLogits(inputs, false) but const and cache-free, so
+     * independent samples can be evaluated concurrently.
+     */
+    std::vector<Real> inferLogits(const std::vector<Field> &inputs) const;
 
     /** Argmax class. */
     int predict(const std::vector<Field> &inputs);
@@ -47,6 +55,23 @@ class MultiChannelDonn
 
     std::vector<ParamView> params();
     void zeroGrad();
+
+    /**
+     * Deep copy: every channel stack is cloned (parameters and gradients
+     * copied, propagators shared). Replicas train independently; the
+     * data-parallel RgbTask builds one per worker.
+     */
+    MultiChannelDonn clone() const;
+
+    /** Serialize every channel stack. */
+    Json toJson() const;
+
+    /** Reconstruct from toJson() output. */
+    static MultiChannelDonn fromJson(const Json &j);
+
+    /** Save/load helpers. */
+    bool save(const std::string &path) const;
+    static MultiChannelDonn load(const std::string &path);
 
   private:
     std::vector<std::unique_ptr<DonnModel>> channels_;

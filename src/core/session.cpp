@@ -1,0 +1,248 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "utils/log.hpp"
+#include "utils/thread_pool.hpp"
+#include "utils/timer.hpp"
+
+namespace lightridge {
+
+namespace {
+
+/** Shuffled index order for one epoch. */
+std::vector<std::size_t>
+epochOrder(std::size_t n, bool shuffle, Rng *rng)
+{
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (shuffle)
+        std::shuffle(order.begin(), order.end(), rng->engine());
+    return order;
+}
+
+} // namespace
+
+Session::Session(Task &task, TrainConfig config)
+    : task_(task), config_(config), optimizer_(config.lr), rng_(config.seed)
+{
+    task_.configure(config_);
+    optimizer_.attach(task_.params());
+}
+
+Session::~Session() = default;
+
+void
+Session::addCallback(Callback callback)
+{
+    callbacks_.push_back(std::move(callback));
+}
+
+void
+Session::calibrate()
+{
+    task_.calibrate();
+    calibrated_ = true;
+}
+
+void
+Session::annealTau(int epoch)
+{
+    if (config_.epochs <= 1) {
+        task_.setTau(config_.tau_end);
+        return;
+    }
+    Real t = static_cast<Real>(epoch) / (config_.epochs - 1);
+    task_.setTau(config_.tau_start +
+                 t * (config_.tau_end - config_.tau_start));
+}
+
+EpochStats
+Session::trainEpoch()
+{
+    ++epoch_counter_;
+    std::size_t workers = config_.workers;
+    if (workers == 0)
+        workers = std::max<std::size_t>(
+            ThreadPool::global().workerCount(), 1);
+    workers = std::min({workers, config_.batch, task_.trainSize()});
+    std::vector<std::size_t> order =
+        epochOrder(task_.trainSize(), config_.shuffle, &rng_);
+    if (workers >= 2)
+        return trainEpochParallel(order, workers);
+    return trainEpochSerial(order);
+}
+
+EpochStats
+Session::trainEpochSerial(const std::vector<std::size_t> &order)
+{
+    EpochStats stats;
+    WallTimer timer;
+
+    std::size_t correct = 0;
+    std::size_t in_batch = 0;
+    task_.zeroGrad();
+    for (std::size_t idx : order) {
+        SampleResult sample = task_.trainSample(idx);
+        stats.train_loss += sample.loss;
+        if (sample.hit)
+            ++correct;
+        if (++in_batch == config_.batch) {
+            optimizer_.step();
+            task_.zeroGrad();
+            in_batch = 0;
+        }
+    }
+    if (in_batch > 0) {
+        optimizer_.step();
+        task_.zeroGrad();
+    }
+    const std::size_t n = std::max<std::size_t>(order.size(), 1);
+    stats.train_loss /= n;
+    stats.train_acc = static_cast<Real>(correct) / n;
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+EpochStats
+Session::trainEpochParallel(const std::vector<std::size_t> &order,
+                            std::size_t workers)
+{
+    EpochStats stats;
+    WallTimer timer;
+
+    // Per-epoch replica seeds: epoch and replica index occupy disjoint
+    // bit ranges so no two (epoch, replica) pairs ever alias to the same
+    // noise stream.
+    std::vector<uint64_t> seeds(workers);
+    for (std::size_t r = 0; r < workers; ++r) {
+        uint64_t tag = (static_cast<uint64_t>(epoch_counter_) << 32) |
+                       static_cast<uint64_t>(r + 1);
+        seeds[r] = config_.seed ^ (0x9e3779b97f4a7c15ull * tag);
+    }
+    task_.buildReplicas(seeds); // clones carry current params/calibration
+    std::vector<ParamView> main_params = task_.params();
+    ThreadPool &pool = ThreadPool::global();
+
+    std::size_t correct = 0;
+    std::vector<Real> loss_part(workers);
+    std::vector<std::size_t> correct_part(workers);
+    task_.zeroGrad();
+
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch) {
+        const std::size_t batch =
+            std::min(config_.batch, order.size() - start);
+        const std::size_t active = std::min(workers, batch);
+
+        std::fill(loss_part.begin(), loss_part.end(), Real(0));
+        std::fill(correct_part.begin(), correct_part.end(), std::size_t{0});
+
+        // Round-robin sample assignment: replica r trains samples
+        // r, r+active, ... of the batch, sequentially (each layer caches
+        // one sample's activations between forward and backward).
+        pool.parallelFor(active, [&](std::size_t r) {
+            for (std::size_t j = r; j < batch; j += active) {
+                SampleResult sample =
+                    task_.trainSampleOn(r, order[start + j]);
+                loss_part[r] += sample.loss;
+                if (sample.hit)
+                    ++correct_part[r];
+            }
+        });
+
+        // Merge replica gradients in fixed replica order (deterministic
+        // for a given worker count), step, and redistribute parameters.
+        for (std::size_t r = 0; r < active; ++r) {
+            stats.train_loss += loss_part[r];
+            correct += correct_part[r];
+            std::vector<ParamView> rep_params = task_.replicaParams(r);
+            for (std::size_t p = 0; p < main_params.size(); ++p) {
+                const std::vector<Real> &src = *rep_params[p].grad;
+                std::vector<Real> &dst = *main_params[p].grad;
+                for (std::size_t i = 0; i < dst.size(); ++i)
+                    dst[i] += src[i];
+            }
+            task_.zeroReplicaGrad(r);
+        }
+        optimizer_.step();
+        task_.zeroGrad();
+        task_.syncReplicas();
+    }
+
+    const std::size_t n = std::max<std::size_t>(order.size(), 1);
+    stats.train_loss /= n;
+    stats.train_acc = static_cast<Real>(correct) / n;
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+std::vector<EpochStats>
+Session::fit()
+{
+    if (config_.calibrate && !calibrated_)
+        calibrate();
+    std::vector<EpochStats> history;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        annealTau(epoch);
+        EpochStats stats = trainEpoch();
+        stats.epoch = epoch;
+        if (task_.hasTest()) {
+            TaskMetrics metrics = task_.evaluate();
+            stats.test_acc = metrics.primary;
+            stats.test_top3 = metrics.top3;
+        }
+        if (config_.verbose) {
+            LR_LOG(Info) << task_.kind() << " epoch " << epoch
+                         << " loss=" << stats.train_loss
+                         << " train_acc=" << stats.train_acc
+                         << " test=" << stats.test_acc
+                         << " top3=" << stats.test_top3 << " ("
+                         << stats.seconds << "s)";
+        }
+        history.push_back(stats);
+        bool keep_going = true;
+        for (Callback &callback : callbacks_)
+            keep_going = callback(stats, *this) && keep_going;
+        if (!keep_going)
+            break;
+    }
+    return history;
+}
+
+Session::Callback
+checkpointBestCallback(std::string path)
+{
+    auto best = std::make_shared<Real>(-1.0);
+    return [best, path = std::move(path)](const EpochStats &stats,
+                                          Session &session) {
+        if (stats.test_acc > *best) {
+            *best = stats.test_acc;
+            session.task().save(path);
+        }
+        return true;
+    };
+}
+
+Session::Callback
+earlyStopCallback(int patience)
+{
+    auto best = std::make_shared<Real>(0.0);
+    auto stale = std::make_shared<int>(0);
+    auto first = std::make_shared<bool>(true);
+    return [best, stale, first, patience](const EpochStats &stats,
+                                          Session &) {
+        if (*first || stats.train_loss < *best) {
+            *first = false;
+            *best = stats.train_loss;
+            *stale = 0;
+            return true;
+        }
+        return ++*stale < patience;
+    };
+}
+
+} // namespace lightridge

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unified training engine driving a polymorphic Task (lr.train).
+ *
+ * One Session implements the recipe formerly copy-pasted across three
+ * trainers: the physics-aware calibration pass, Gumbel-softmax tau
+ * annealing, the shuffled epoch loop with per-batch Adam steps, per-epoch
+ * callbacks (logging / early stop / checkpointing), and the shared
+ * data-parallel replica pipeline — per-worker model replicas propagate
+ * disjoint slices of each batch and their gradients are merged in fixed
+ * replica order before every optimizer step, so classification,
+ * segmentation, and RGB training all parallelize identically.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "core/task.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+/** Task-polymorphic training engine. */
+class Session
+{
+  public:
+    /**
+     * Per-epoch hook, invoked after evaluation with the epoch's stats.
+     * Return false to stop training after the current epoch (early stop).
+     */
+    using Callback = std::function<bool(const EpochStats &, Session &)>;
+
+    /**
+     * @param task workload to train; must outlive the session
+     * @param config hyperparameters (also forwarded to the task)
+     */
+    Session(Task &task, TrainConfig config);
+    ~Session();
+
+    Task &task() { return task_; }
+    const TrainConfig &config() const { return config_; }
+
+    /** Register a per-epoch callback (run in registration order). */
+    void addCallback(Callback callback);
+
+    /** Run the task's calibration pass now (fit() calls this once). */
+    void calibrate();
+
+    /** Mark calibration as already applied externally (trainer shims). */
+    void markCalibrated() { calibrated_ = true; }
+    bool isCalibrated() const { return calibrated_; }
+
+    /**
+     * One pass over the training set; returns loss/accuracy. Runs the
+     * data-parallel batch pipeline when config.workers allows (see
+     * TrainConfig::workers), otherwise the reference serial loop.
+     */
+    EpochStats trainEpoch();
+
+    /**
+     * Full run: calibration (once), tau annealing, epoch loop, per-epoch
+     * evaluation when the task has a test set, callbacks.
+     */
+    std::vector<EpochStats> fit();
+
+  private:
+    void annealTau(int epoch);
+    EpochStats trainEpochSerial(const std::vector<std::size_t> &order);
+    EpochStats trainEpochParallel(const std::vector<std::size_t> &order,
+                                  std::size_t workers);
+
+    Task &task_;
+    TrainConfig config_;
+    Adam optimizer_;
+    Rng rng_;
+    bool calibrated_ = false;
+    int epoch_counter_ = 0;
+    std::vector<Callback> callbacks_;
+};
+
+/**
+ * Callback factory: save the task's primary model to path after every
+ * epoch whose test metric improved on the best seen so far (checkpointing
+ * via DonnModel::save underneath).
+ */
+Session::Callback checkpointBestCallback(std::string path);
+
+/** Callback factory: stop when train_loss fails to improve for `patience`
+ *  consecutive epochs. */
+Session::Callback earlyStopCallback(int patience);
+
+} // namespace lightridge

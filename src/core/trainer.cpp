@@ -1,641 +1,222 @@
 #include "core/trainer.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
-
-#include "core/skip.hpp"
-#include "utils/log.hpp"
-#include "utils/thread_pool.hpp"
-#include "utils/timer.hpp"
-
 namespace lightridge {
 
 namespace {
 
-/** Shuffled index order for one epoch. */
-std::vector<std::size_t>
-epochOrder(std::size_t n, bool shuffle, Rng *rng)
-{
-    std::vector<std::size_t> order(n);
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    if (shuffle)
-        std::shuffle(order.begin(), order.end(), rng->engine());
-    return order;
-}
-
-/** Visit every layer of a model, descending into skip-block interiors. */
+/** Run a task's calibration with an explicit probe-size override. */
+template <typename TaskT>
 void
-forEachLayer(DonnModel &model, const std::function<void(Layer *)> &fn)
+calibrateWithProbe(TaskT &task, TrainConfig config, std::size_t probe)
 {
-    std::function<void(Layer *)> visit = [&](Layer *layer) {
-        fn(layer);
-        if (auto *s = dynamic_cast<OpticalSkipLayer *>(layer))
-            for (std::size_t i = 0; i < s->innerDepth(); ++i)
-                visit(s->innerLayer(i));
-    };
-    for (std::size_t i = 0; i < model.depth(); ++i)
-        visit(model.layer(i));
-}
-
-/** Apply gamma to every diffractive/codesign layer of a model. */
-void
-applyGamma(DonnModel &model, Real gamma)
-{
-    forEachLayer(model, [gamma](Layer *layer) {
-        if (auto *d = dynamic_cast<DiffractiveLayer *>(layer))
-            d->setGamma(gamma);
-        else if (auto *c = dynamic_cast<CodesignLayer *>(layer))
-            c->setGamma(gamma);
-    });
-}
-
-/** Set Gumbel-softmax temperature on every codesign layer. */
-void
-applyTau(DonnModel &model, Real tau)
-{
-    forEachLayer(model, [tau](Layer *layer) {
-        if (auto *c = dynamic_cast<CodesignLayer *>(layer))
-            c->setTau(tau);
-    });
+    config.calib_probe = probe;
+    task.configure(config);
+    task.calibrate();
+    config.calib_probe = 0;
+    task.configure(config);
 }
 
 } // namespace
 
-/**
- * One data-parallel training worker: a full model replica (parameters
- * copied, propagators shared) plus a private noise source so Gumbel
- * sampling never races across threads. Parameter views are cached because
- * the layer set of a replica is fixed.
- */
-struct Trainer::Replica
-{
-    DonnModel model;
-    Rng rng;
-    std::vector<ParamView> params;
-
-    Replica(const DonnModel &source, uint64_t seed)
-        : model(source.clone()), rng(seed)
-    {
-        // clone() copies rng_ pointers as-is; point every noise-enabled
-        // codesign layer (skip interiors included) at this replica's own
-        // source instead, so replicas never share the trainer's
-        // (non-thread-safe) rng. Noiseless layers stay noiseless,
-        // matching the serial path exactly.
-        forEachLayer(model, [this](Layer *layer) {
-            if (auto *c = dynamic_cast<CodesignLayer *>(layer))
-                if (c->hasRng())
-                    c->setRng(&rng);
-        });
-        params = model.params();
-    }
-};
+// --------------------------------------------------------------------------
+// Trainer shim
+// --------------------------------------------------------------------------
 
 Trainer::Trainer(DonnModel &model, TrainConfig config)
-    : model_(model), config_(config), optimizer_(config.lr),
-      rng_(config.seed)
-{
-    optimizer_.attach(model_.params());
-}
+    : model_(model), config_(config)
+{}
 
 Trainer::~Trainer() = default;
+
+Session &
+Trainer::ensure(const ClassDataset &train, const ClassDataset *test)
+{
+    if (task_ != nullptr && bound_train_ == &train &&
+        task_->trainSize() == train.size()) {
+        task_->setTest(test);
+        return *session_;
+    }
+    session_.reset();
+    task_ = std::make_unique<ClassificationTask>(model_, train, test);
+    session_ = std::make_unique<Session>(*task_, config_);
+    bound_train_ = &train;
+    if (calibrated_)
+        session_->markCalibrated();
+    return *session_;
+}
 
 void
 Trainer::calibrate(const ClassDataset &data, std::size_t probe)
 {
-    if (config_.gamma > 0)
-        applyGamma(model_, config_.gamma);
-
-    probe = std::min(probe, data.size());
-    if (probe == 0)
+    if (probe == 0 || data.size() == 0) {
+        // Legacy no-op path: gamma still applies, amp calibration does
+        // not, and fit() will calibrate later.
+        if (config_.gamma > 0)
+            applyModelGamma(model_, config_.gamma);
         return;
-    Real mean_top = 0;
-    model_.detector().setAmpFactor(1.0);
-    for (std::size_t i = 0; i < probe; ++i) {
-        Field input = model_.encode(data.images[i]);
-        std::vector<Real> logits = model_.forwardLogits(input, false);
-        mean_top += *std::max_element(logits.begin(), logits.end());
     }
-    mean_top /= static_cast<Real>(probe);
-    if (mean_top > 0)
-        model_.detector().setAmpFactor(config_.calib_target / mean_top);
+    Session &session = ensure(data, nullptr);
+    calibrateWithProbe(*task_, config_, probe);
     calibrated_ = true;
-    LR_LOG(Debug) << "calibrated amp_factor="
-                  << model_.detector().ampFactor();
-}
-
-void
-Trainer::annealTau(int epoch)
-{
-    if (config_.epochs <= 1) {
-        applyTau(model_, config_.tau_end);
-        return;
-    }
-    Real t = static_cast<Real>(epoch) / (config_.epochs - 1);
-    applyTau(model_, config_.tau_start +
-                         t * (config_.tau_end - config_.tau_start));
+    session.markCalibrated();
 }
 
 EpochStats
 Trainer::trainEpoch(const ClassDataset &train)
 {
-    ++epoch_counter_;
-    std::size_t workers = config_.workers;
-    if (workers == 0)
-        workers = std::max<std::size_t>(
-            ThreadPool::global().workerCount(), 1);
-    workers = std::min({workers, config_.batch, train.size()});
-    if (workers >= 2)
-        return trainEpochParallel(train, workers);
-    return trainEpochSerial(train);
-}
-
-EpochStats
-Trainer::trainEpochSerial(const ClassDataset &train)
-{
-    EpochStats stats;
-    WallTimer timer;
-    std::vector<std::size_t> order =
-        epochOrder(train.size(), config_.shuffle, &rng_);
-
-    std::size_t correct = 0;
-    std::size_t in_batch = 0;
-    model_.zeroGrad();
-    for (std::size_t idx : order) {
-        Field input = model_.encode(train.images[idx]);
-        std::vector<Real> logits = model_.forwardLogits(input, true);
-        LossResult loss =
-            classificationLoss(config_.loss, logits, train.labels[idx]);
-        stats.train_loss += loss.value;
-        int pred = static_cast<int>(
-            std::max_element(logits.begin(), logits.end()) - logits.begin());
-        if (pred == train.labels[idx])
-            ++correct;
-        model_.backwardFromLogits(loss.dlogits);
-        if (++in_batch == config_.batch) {
-            optimizer_.step();
-            model_.zeroGrad();
-            in_batch = 0;
-        }
-    }
-    if (in_batch > 0) {
-        optimizer_.step();
-        model_.zeroGrad();
-    }
-    stats.train_loss /= std::max<std::size_t>(train.size(), 1);
-    stats.train_acc = static_cast<Real>(correct) /
-                      std::max<std::size_t>(train.size(), 1);
-    stats.seconds = timer.seconds();
-    return stats;
-}
-
-void
-Trainer::buildReplicas(std::size_t count)
-{
-    // Rebuilt every epoch: clones capture the current tau/gamma annealing
-    // state and detector calibration, and per-epoch seeds keep Gumbel
-    // noise streams deterministic for a fixed worker count.
-    replicas_.clear();
-    replicas_.reserve(count);
-    for (std::size_t r = 0; r < count; ++r) {
-        // Epoch and replica index occupy disjoint bit ranges so no two
-        // (epoch, replica) pairs ever alias to the same noise stream.
-        uint64_t tag = (static_cast<uint64_t>(epoch_counter_) << 32) |
-                       static_cast<uint64_t>(r + 1);
-        uint64_t seed = config_.seed ^ (0x9e3779b97f4a7c15ull * tag);
-        replicas_.push_back(std::make_unique<Replica>(model_, seed));
-    }
-}
-
-void
-Trainer::syncReplicaParams()
-{
-    std::vector<ParamView> main_params = model_.params();
-    for (auto &replica : replicas_) {
-        for (std::size_t p = 0; p < main_params.size(); ++p)
-            *replica->params[p].value = *main_params[p].value;
-        replica->model.detector().setAmpFactor(model_.detector().ampFactor());
-    }
-}
-
-EpochStats
-Trainer::trainEpochParallel(const ClassDataset &train, std::size_t workers)
-{
-    EpochStats stats;
-    WallTimer timer;
-    std::vector<std::size_t> order =
-        epochOrder(train.size(), config_.shuffle, &rng_);
-
-    buildReplicas(workers); // clones carry the current params/calibration
-    std::vector<ParamView> main_params = model_.params();
-    ThreadPool &pool = ThreadPool::global();
-
-    std::size_t correct = 0;
-    std::vector<Real> loss_part(workers);
-    std::vector<std::size_t> correct_part(workers);
-    model_.zeroGrad();
-
-    for (std::size_t start = 0; start < order.size();
-         start += config_.batch) {
-        const std::size_t batch =
-            std::min(config_.batch, order.size() - start);
-        const std::size_t active = std::min(workers, batch);
-
-        std::fill(loss_part.begin(), loss_part.end(), Real(0));
-        std::fill(correct_part.begin(), correct_part.end(), std::size_t{0});
-
-        // Round-robin sample assignment: replica r trains samples
-        // r, r+active, ... of the batch, sequentially (each layer caches
-        // one sample's activations between forward and backward).
-        pool.parallelFor(active, [&](std::size_t r) {
-            Replica &rep = *replicas_[r];
-            for (std::size_t j = r; j < batch; j += active) {
-                const std::size_t idx = order[start + j];
-                Field input = rep.model.encode(train.images[idx]);
-                std::vector<Real> logits =
-                    rep.model.forwardLogits(input, true);
-                LossResult loss = classificationLoss(config_.loss, logits,
-                                                     train.labels[idx]);
-                loss_part[r] += loss.value;
-                int pred = static_cast<int>(
-                    std::max_element(logits.begin(), logits.end()) -
-                    logits.begin());
-                if (pred == train.labels[idx])
-                    ++correct_part[r];
-                rep.model.backwardFromLogits(loss.dlogits);
-            }
-        });
-
-        // Merge replica gradients in fixed replica order (deterministic
-        // for a given worker count), step, and redistribute parameters.
-        for (std::size_t r = 0; r < active; ++r) {
-            stats.train_loss += loss_part[r];
-            correct += correct_part[r];
-            for (std::size_t p = 0; p < main_params.size(); ++p) {
-                const std::vector<Real> &src = *replicas_[r]->params[p].grad;
-                std::vector<Real> &dst = *main_params[p].grad;
-                for (std::size_t i = 0; i < dst.size(); ++i)
-                    dst[i] += src[i];
-            }
-            replicas_[r]->model.zeroGrad();
-        }
-        optimizer_.step();
-        model_.zeroGrad();
-        syncReplicaParams();
-    }
-
-    stats.train_loss /= std::max<std::size_t>(train.size(), 1);
-    stats.train_acc = static_cast<Real>(correct) /
-                      std::max<std::size_t>(train.size(), 1);
-    stats.seconds = timer.seconds();
-    return stats;
+    return ensure(train, nullptr).trainEpoch();
 }
 
 std::vector<EpochStats>
 Trainer::fit(const ClassDataset &train, const ClassDataset *test)
 {
-    if (config_.calibrate && !calibrated_)
-        calibrate(train);
-    std::vector<EpochStats> history;
-    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-        annealTau(epoch);
-        EpochStats stats = trainEpoch(train);
-        stats.epoch = epoch;
-        if (test != nullptr)
-            stats.test_acc = evaluateAccuracy(model_, *test);
-        if (config_.verbose) {
-            LR_LOG(Info) << "epoch " << epoch << " loss=" << stats.train_loss
-                         << " train_acc=" << stats.train_acc
-                         << " test_acc=" << stats.test_acc << " ("
-                         << stats.seconds << "s)";
-        }
-        history.push_back(stats);
-    }
-    return history;
+    return ensure(train, test).fit();
 }
 
-Real
-evaluateAccuracy(DonnModel &model, const ClassDataset &data, Real noise_frac,
-                 Rng *rng)
-{
-    return evaluateWithConfidence(model, data, noise_frac, rng).accuracy;
-}
-
-EvalResult
-evaluateWithConfidence(DonnModel &model, const ClassDataset &data,
-                       Real noise_frac, Rng *rng)
-{
-    EvalResult result;
-    if (data.size() == 0)
-        return result;
-    const bool noisy = noise_frac > 0 && rng != nullptr;
-
-    std::vector<std::uint8_t> hit(data.size(), 0);
-    std::vector<Real> conf(data.size(), 0);
-    auto evalOne = [&](std::size_t i) {
-        Field u = model.inferField(model.encode(data.images[i]));
-        std::vector<Real> logits =
-            noisy ? model.detector().readoutNoisy(u, noise_frac, rng)
-                  : model.detector().readout(u);
-        int pred = static_cast<int>(
-            std::max_element(logits.begin(), logits.end()) - logits.begin());
-        hit[i] = pred == data.labels[i] ? 1 : 0;
-        conf[i] = predictionConfidence(logits);
-    };
-
-    if (noisy) {
-        // The shared rng makes noisy readout order-dependent; keep serial.
-        for (std::size_t i = 0; i < data.size(); ++i)
-            evalOne(i);
-    } else {
-        ThreadPool::global().parallelFor(data.size(), evalOne);
-    }
-
-    // Accumulate in index order so the result is independent of scheduling.
-    std::size_t correct = 0;
-    Real confidence = 0;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-        correct += hit[i];
-        confidence += conf[i];
-    }
-    result.accuracy = static_cast<Real>(correct) / data.size();
-    result.confidence = confidence / data.size();
-    return result;
-}
+// --------------------------------------------------------------------------
+// SegTrainer shim
+// --------------------------------------------------------------------------
 
 SegTrainer::SegTrainer(DonnModel &model, TrainConfig config)
-    : model_(model), config_(config), optimizer_(config.lr),
-      rng_(config.seed)
+    : model_(model), config_(config)
+{}
+
+SegTrainer::~SegTrainer() = default;
+
+Session &
+SegTrainer::ensure(const SegDataset &train, const SegDataset *test)
 {
-    optimizer_.attach(model_.params());
+    if (task_ != nullptr && bound_train_ == &train &&
+        task_->trainSize() == train.size()) {
+        task_->setTest(test);
+        return *session_;
+    }
+    // Carry calibration state (intensity scale, mask brightness) across a
+    // dataset rebind, like the legacy trainer's member state did.
+    Real intensity_scale = 1.0, mask_mean = 0.25;
+    bool carry = false;
+    if (task_ != nullptr && calibrated_) {
+        intensity_scale = task_->intensityScale();
+        mask_mean = task_->maskMean();
+        carry = true;
+    }
+    session_.reset();
+    task_ = std::make_unique<SegmentationTask>(model_, train, test);
+    session_ = std::make_unique<Session>(*task_, config_);
+    bound_train_ = &train;
+    if (carry)
+        task_->setCalibration(intensity_scale, mask_mean);
+    if (calibrated_)
+        session_->markCalibrated();
+    return *session_;
+}
+
+SegmentationTask &
+SegTrainer::taskFor(const SegDataset &data)
+{
+    ensure(data, nullptr);
+    return *task_;
 }
 
 void
 SegTrainer::calibrate(const SegDataset &data, std::size_t probe)
 {
-    probe = std::min(probe, data.size());
-    if (probe == 0)
-        return;
-    Real mean_intensity = 0;
-    Real mean_mask = 0;
-    for (std::size_t i = 0; i < probe; ++i) {
-        // Training-path statistics (LayerNorm active) so the loss scale
-        // matches what the optimizer will actually see.
-        Field u = model_.forwardField(model_.encode(data.images[i]), true);
-        mean_intensity += u.intensity().mean();
-        mean_mask += data.masks[i].mean();
-    }
-    mean_intensity /= static_cast<Real>(probe);
-    mean_mask /= static_cast<Real>(probe);
-    if (mean_mask > 0)
-        mask_mean_ = mean_mask;
-    // Aim the mean training-path intensity at the mask brightness.
-    if (mean_intensity > 0)
-        intensity_scale_ = mask_mean_ / mean_intensity;
+    if (probe == 0 || data.size() == 0)
+        return; // legacy no-op path
+    Session &session = ensure(data, nullptr);
+    calibrateWithProbe(*task_, config_, probe);
     calibrated_ = true;
+    session.markCalibrated();
 }
 
 EpochStats
 SegTrainer::trainEpoch(const SegDataset &train)
 {
-    EpochStats stats;
-    WallTimer timer;
-    std::vector<std::size_t> order =
-        epochOrder(train.size(), config_.shuffle, &rng_);
-
-    std::size_t in_batch = 0;
-    model_.zeroGrad();
-    for (std::size_t idx : order) {
-        const Grid grid = model_.spec().grid();
-        Field input = model_.encode(train.images[idx]);
-        Field u = model_.forwardField(input, true);
-        RealMap target = (train.masks[idx].rows() == grid.n)
-                             ? train.masks[idx]
-                             : resizeBilinear(train.masks[idx], grid.n,
-                                              grid.n);
-        FieldLossResult loss = intensityMseLoss(u, target, intensity_scale_);
-        stats.train_loss += loss.value;
-        model_.backwardField(loss.grad);
-        if (++in_batch == config_.batch) {
-            optimizer_.step();
-            model_.zeroGrad();
-            in_batch = 0;
-        }
-    }
-    if (in_batch > 0) {
-        optimizer_.step();
-        model_.zeroGrad();
-    }
-    stats.train_loss /= std::max<std::size_t>(train.size(), 1);
-    stats.seconds = timer.seconds();
-    return stats;
+    return ensure(train, nullptr).trainEpoch();
 }
 
 std::vector<EpochStats>
 SegTrainer::fit(const SegDataset &train, const SegDataset *test)
 {
-    if (config_.calibrate && !calibrated_)
-        calibrate(train);
-    std::vector<EpochStats> history;
-    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-        EpochStats stats = trainEpoch(train);
-        stats.epoch = epoch;
-        if (test != nullptr)
-            stats.test_acc = evaluateIou(*test);
-        if (config_.verbose) {
-            LR_LOG(Info) << "seg epoch " << epoch << " loss="
-                         << stats.train_loss << " iou=" << stats.test_acc
-                         << " (" << stats.seconds << "s)";
-        }
-        history.push_back(stats);
-    }
-    return history;
+    return ensure(train, test).fit();
+}
+
+Real
+SegTrainer::intensityScale() const
+{
+    return task_ != nullptr ? task_->intensityScale() : 1.0;
 }
 
 RealMap
 SegTrainer::predictMask(const RealMap &image)
 {
-    Field u = model_.forwardField(model_.encode(image), false);
-    RealMap intensity = u.intensity();
-    // Auto-exposure: match the mean prediction brightness to the
-    // expected mask brightness (LayerNorm is training-only, so the raw
-    // inference intensity scale is otherwise arbitrary).
-    Real mean = intensity.mean();
-    if (mean > 0)
-        intensity *= mask_mean_ / mean;
-    return intensity;
+    static const SegDataset empty;
+    return taskFor(bound_train_ != nullptr ? *bound_train_ : empty)
+        .predictMask(image);
 }
 
 Real
 SegTrainer::evaluateIou(const SegDataset &data, Real threshold)
 {
-    if (data.size() == 0)
-        return 0;
-    const Grid grid = model_.spec().grid();
-    Real total = 0;
-    std::vector<Real> sorted;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-        RealMap pred = predictMask(data.images[i]);
-        RealMap target = (data.masks[i].rows() == grid.n)
-                             ? data.masks[i]
-                             : resizeBilinear(data.masks[i], grid.n, grid.n);
-        // Predictions are uncalibrated analog intensities; binarize at
-        // the quantile matching the target's positive fraction so IoU
-        // scores spatial agreement, not exposure.
-        Real positive_frac =
-            target.sum() / static_cast<Real>(target.size());
-        sorted.assign(pred.raw().begin(), pred.raw().end());
-        std::sort(sorted.begin(), sorted.end());
-        std::size_t cut = static_cast<std::size_t>(
-            std::min<Real>(sorted.size() - 1.0,
-                           (1 - positive_frac) * sorted.size()));
-        Real pred_threshold = sorted[cut];
-
-        std::size_t inter = 0, uni = 0;
-        for (std::size_t p = 0; p < pred.size(); ++p) {
-            bool a = pred[p] >= pred_threshold;
-            bool b = target[p] >= threshold;
-            inter += (a && b) ? 1 : 0;
-            uni += (a || b) ? 1 : 0;
-        }
-        total += uni == 0 ? 1.0 : static_cast<Real>(inter) / uni;
-    }
-    return total / data.size();
+    return taskFor(bound_train_ != nullptr ? *bound_train_ : data)
+        .evaluateIou(data, threshold);
 }
 
 Real
 SegTrainer::evaluateMse(const SegDataset &data)
 {
-    if (data.size() == 0)
-        return 0;
-    const Grid grid = model_.spec().grid();
-    Real total = 0;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-        RealMap pred = predictMask(data.images[i]);
-        RealMap target = (data.masks[i].rows() == grid.n)
-                             ? data.masks[i]
-                             : resizeBilinear(data.masks[i], grid.n, grid.n);
-        Real err = 0;
-        for (std::size_t p = 0; p < pred.size(); ++p) {
-            Real d = pred[p] - target[p];
-            err += d * d;
-        }
-        total += err / pred.size();
-    }
-    return total / data.size();
+    return taskFor(bound_train_ != nullptr ? *bound_train_ : data)
+        .evaluateMse(data);
 }
 
+// --------------------------------------------------------------------------
+// RgbTrainer shim
+// --------------------------------------------------------------------------
+
 RgbTrainer::RgbTrainer(MultiChannelDonn &model, TrainConfig config)
-    : model_(model), config_(config), optimizer_(config.lr),
-      rng_(config.seed)
+    : model_(model), config_(config)
+{}
+
+RgbTrainer::~RgbTrainer() = default;
+
+Session &
+RgbTrainer::ensure(const RgbDataset &train, const RgbDataset *test)
 {
-    optimizer_.attach(model_.params());
+    if (task_ != nullptr && bound_train_ == &train &&
+        task_->trainSize() == train.size()) {
+        task_->setTest(test);
+        return *session_;
+    }
+    session_.reset();
+    task_ = std::make_unique<RgbTask>(model_, train, test);
+    session_ = std::make_unique<Session>(*task_, config_);
+    bound_train_ = &train;
+    if (calibrated_)
+        session_->markCalibrated();
+    return *session_;
 }
 
 void
 RgbTrainer::calibrate(const RgbDataset &data, std::size_t probe)
 {
-    probe = std::min(probe, data.size());
-    if (probe == 0)
-        return;
-    Real mean_top = 0;
-    for (std::size_t ch = 0; ch < model_.numChannels(); ++ch)
-        model_.channel(ch).detector().setAmpFactor(1.0);
-    for (std::size_t i = 0; i < probe; ++i) {
-        std::vector<Real> logits =
-            model_.forwardLogits(model_.encode(data.images[i]), false);
-        mean_top += *std::max_element(logits.begin(), logits.end());
-    }
-    mean_top /= static_cast<Real>(probe);
-    if (mean_top > 0) {
-        Real amp = config_.calib_target / mean_top;
-        for (std::size_t ch = 0; ch < model_.numChannels(); ++ch)
-            model_.channel(ch).detector().setAmpFactor(amp);
-    }
+    if (probe == 0 || data.size() == 0)
+        return; // legacy no-op path
+    Session &session = ensure(data, nullptr);
+    calibrateWithProbe(*task_, config_, probe);
     calibrated_ = true;
+    session.markCalibrated();
 }
 
 EpochStats
 RgbTrainer::trainEpoch(const RgbDataset &train)
 {
-    EpochStats stats;
-    WallTimer timer;
-    std::vector<std::size_t> order =
-        epochOrder(train.size(), config_.shuffle, &rng_);
-
-    std::size_t correct = 0;
-    std::size_t in_batch = 0;
-    model_.zeroGrad();
-    for (std::size_t idx : order) {
-        std::vector<Field> inputs = model_.encode(train.images[idx]);
-        std::vector<Real> logits = model_.forwardLogits(inputs, true);
-        LossResult loss =
-            classificationLoss(config_.loss, logits, train.labels[idx]);
-        stats.train_loss += loss.value;
-        int pred = static_cast<int>(
-            std::max_element(logits.begin(), logits.end()) - logits.begin());
-        if (pred == train.labels[idx])
-            ++correct;
-        model_.backwardFromLogits(loss.dlogits);
-        if (++in_batch == config_.batch) {
-            optimizer_.step();
-            model_.zeroGrad();
-            in_batch = 0;
-        }
-    }
-    if (in_batch > 0) {
-        optimizer_.step();
-        model_.zeroGrad();
-    }
-    stats.train_loss /= std::max<std::size_t>(train.size(), 1);
-    stats.train_acc = static_cast<Real>(correct) /
-                      std::max<std::size_t>(train.size(), 1);
-    stats.seconds = timer.seconds();
-    return stats;
+    return ensure(train, nullptr).trainEpoch();
 }
 
 std::vector<EpochStats>
 RgbTrainer::fit(const RgbDataset &train, const RgbDataset *test)
 {
-    if (config_.calibrate && !calibrated_)
-        calibrate(train);
-    std::vector<EpochStats> history;
-    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-        EpochStats stats = trainEpoch(train);
-        stats.epoch = epoch;
-        if (test != nullptr)
-            stats.test_acc = evaluateRgbAccuracy(model_, *test);
-        if (config_.verbose) {
-            LR_LOG(Info) << "rgb epoch " << epoch << " loss="
-                         << stats.train_loss << " train_acc="
-                         << stats.train_acc << " test_acc=" << stats.test_acc
-                         << " (" << stats.seconds << "s)";
-        }
-        history.push_back(stats);
-    }
-    return history;
-}
-
-Real
-evaluateRgbAccuracy(MultiChannelDonn &model, const RgbDataset &data)
-{
-    return evaluateRgbTopK(model, data, 1);
-}
-
-Real
-evaluateRgbTopK(MultiChannelDonn &model, const RgbDataset &data,
-                std::size_t k)
-{
-    if (data.size() == 0)
-        return 0;
-    std::size_t hits = 0;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-        std::vector<Real> logits =
-            model.forwardLogits(model.encode(data.images[i]), false);
-        if (topKContains(logits, data.labels[i], k))
-            ++hits;
-    }
-    return static_cast<Real>(hits) / data.size();
+    return ensure(train, test).fit();
 }
 
 } // namespace lightridge

@@ -1,103 +1,53 @@
 /**
  * @file
- * Training loops and evaluation utilities (lr.train of the paper).
+ * Deprecated training front end (lr.train of the paper).
  *
- * Trainer drives classification training of a DonnModel; SegTrainer
- * drives image-to-image (segmentation) training; RgbTrainer drives the
- * multi-channel architecture. All three share the same recipe: per-sample
- * forward/backward with batch-accumulated gradients and an Adam step per
- * batch, plus the physics-aware calibration pass that implements the
- * paper's complex-valued regularization (Section 3.2): the detector
- * amplitude factor and per-layer gamma are set so logits land in a
- * numerically healthy softmax range regardless of system depth.
+ * Trainer, SegTrainer, and RgbTrainer were three copy-pasted recipes; the
+ * engine now lives in Session driving a polymorphic Task
+ * (core/session.hpp, core/task.hpp). These classes remain as thin
+ * compatibility shims — each one binds the matching Task on first use and
+ * delegates — so existing call sites keep compiling, but new code should
+ * construct a Task and a Session directly:
+ *
+ *   ClassificationTask task(model, train, &test);
+ *   Session session(task, config);
+ *   auto history = session.fit();
+ *
+ * TrainConfig / EpochStats and the evaluate* helpers moved to
+ * core/task.hpp (re-exported here).
+ *
+ * Shim limitation: each instance binds the training set passed to its
+ * first fit()/trainEpoch()/calibrate() call, identified by address (and
+ * size), and that dataset must outlive the shim. Passing a *different*
+ * dataset object later starts a fresh Session (optimizer moments, epoch
+ * counter, and shuffle stream restart); segmentation calibration state
+ * is carried across such rebinds. Do not pass temporaries, and construct
+ * a Task + Session per dataset when interleaving datasets.
  */
 #pragma once
 
-#include <functional>
+#include <memory>
 #include <vector>
 
-#include "core/dataset.hpp"
-#include "core/loss.hpp"
-#include "core/model.hpp"
-#include "core/multichannel.hpp"
-#include "core/optimizer.hpp"
+#include "core/session.hpp"
+#include "core/task.hpp"
 
 namespace lightridge {
 
-/** Hyperparameters shared by all training loops. */
-struct TrainConfig
-{
-    int epochs = 5;
-    std::size_t batch = 32;
-    Real lr = 0.01;
-    LossKind loss = LossKind::SoftmaxMse;
-    uint64_t seed = 7;
-    bool shuffle = true;
-
-    /**
-     * Enable the physics-aware calibration (complex-valued regularization).
-     * Disabled reproduces the [34]/[68] baseline training behaviour.
-     */
-    bool calibrate = true;
-
-    /** Target mean top-logit after calibration. */
-    Real calib_target = 4.0;
-
-    /** Per-layer gamma; <= 0 keeps layer defaults. */
-    Real gamma = 0.0;
-
-    /** Gumbel-softmax temperature annealing (codesign layers only). */
-    Real tau_start = 2.0;
-    Real tau_end = 0.5;
-
-    /**
-     * Data-parallel workers per batch: independent samples of one batch
-     * propagate concurrently on per-worker model replicas, and their
-     * gradients are merged (in fixed replica order) before each optimizer
-     * step. 0 sizes from the global thread pool; 1 forces the serial loop.
-     *
-     * Results are deterministic for a fixed worker count, but gradient
-     * accumulation order (and per-replica noise streams) depend on it, so
-     * runs on machines with different core counts diverge under the
-     * default 0. Set workers explicitly (1 = the bit-reproducible serial
-     * reference) when cross-machine reproducibility matters more than
-     * throughput.
-     */
-    std::size_t workers = 0;
-
-    /** Print per-epoch progress lines. */
-    bool verbose = false;
-};
-
-/** Per-epoch training statistics. */
-struct EpochStats
-{
-    int epoch = 0;
-    Real train_loss = 0;
-    Real train_acc = 0;
-    Real test_acc = 0;
-    double seconds = 0;
-};
-
-/** Classification trainer for a single-stack DONN. */
+/**
+ * @deprecated Compatibility shim over ClassificationTask + Session.
+ * Use those directly in new code.
+ */
 class Trainer
 {
   public:
     Trainer(DonnModel &model, TrainConfig config);
     ~Trainer();
 
-    /**
-     * Calibrate detector amp_factor (and optionally per-layer gamma) on a
-     * probe of the dataset. Called automatically by fit() when
-     * config.calibrate is set.
-     */
+    /** Calibrate on a probe of the dataset (fit() does this once). */
     void calibrate(const ClassDataset &data, std::size_t probe = 16);
 
-    /**
-     * One pass over the training set; returns loss/accuracy. Runs the
-     * data-parallel batch pipeline when config.workers allows (see
-     * TrainConfig::workers), otherwise the reference serial loop.
-     */
+    /** One pass over the training set; returns loss/accuracy. */
     EpochStats trainEpoch(const ClassDataset &train);
 
     /** Full run; evaluates on test after each epoch when non-null. */
@@ -105,42 +55,25 @@ class Trainer
                                 const ClassDataset *test = nullptr);
 
   private:
-    struct Replica;
-
-    void annealTau(int epoch);
-    EpochStats trainEpochSerial(const ClassDataset &train);
-    EpochStats trainEpochParallel(const ClassDataset &train,
-                                  std::size_t workers);
-    void buildReplicas(std::size_t count);
-    void syncReplicaParams();
+    Session &ensure(const ClassDataset &train, const ClassDataset *test);
 
     DonnModel &model_;
     TrainConfig config_;
-    Adam optimizer_;
-    Rng rng_;
+    const ClassDataset *bound_train_ = nullptr;
     bool calibrated_ = false;
-    int epoch_counter_ = 0;
-    std::vector<std::unique_ptr<Replica>> replicas_;
+    std::unique_ptr<ClassificationTask> task_;
+    std::unique_ptr<Session> session_;
 };
 
-/** Accuracy of a model over a dataset (optionally with detector noise). */
-Real evaluateAccuracy(DonnModel &model, const ClassDataset &data,
-                      Real noise_frac = 0.0, Rng *rng = nullptr);
-
-/** Accuracy and mean prediction confidence (Fig. 7). */
-struct EvalResult
-{
-    Real accuracy = 0;
-    Real confidence = 0;
-};
-EvalResult evaluateWithConfidence(DonnModel &model, const ClassDataset &data,
-                                  Real noise_frac = 0.0, Rng *rng = nullptr);
-
-/** Image-to-image trainer (all-optical segmentation, Section 5.6.2). */
+/**
+ * @deprecated Compatibility shim over SegmentationTask + Session.
+ * Use those directly in new code.
+ */
 class SegTrainer
 {
   public:
     SegTrainer(DonnModel &model, TrainConfig config);
+    ~SegTrainer();
 
     /** Calibrate the intensity scale so outputs can reach mask range. */
     void calibrate(const SegDataset &data, std::size_t probe = 8);
@@ -150,39 +83,38 @@ class SegTrainer
                                 const SegDataset *test = nullptr);
 
     /** Scale applied to |U|^2 before comparing against masks. */
-    Real intensityScale() const { return intensity_scale_; }
+    Real intensityScale() const;
 
-    /**
-     * Predicted mask: detector-plane intensity auto-exposed so its mean
-     * matches the expected mask brightness (camera exposure control;
-     * also bridges the training-only LayerNorm scale at inference).
-     */
+    /** Predicted mask (auto-exposed detector-plane intensity). */
     RealMap predictMask(const RealMap &image);
 
-    /**
-     * Mean intersection-over-union of thresholded predictions, the
-     * segmentation quality metric reported for Fig. 13.
-     */
+    /** Mean IoU of thresholded predictions (Fig. 13 metric). */
     Real evaluateIou(const SegDataset &data, Real threshold = 0.5);
 
     /** Mean per-pixel MSE against the masks. */
     Real evaluateMse(const SegDataset &data);
 
   private:
+    Session &ensure(const SegDataset &train, const SegDataset *test);
+    SegmentationTask &taskFor(const SegDataset &data);
+
     DonnModel &model_;
     TrainConfig config_;
-    Adam optimizer_;
-    Rng rng_;
-    Real intensity_scale_ = 1.0;
-    Real mask_mean_ = 0.25; ///< expected mask brightness (auto-exposure)
+    const SegDataset *bound_train_ = nullptr;
     bool calibrated_ = false;
+    std::unique_ptr<SegmentationTask> task_;
+    std::unique_ptr<Session> session_;
 };
 
-/** Multi-channel RGB classification trainer (Section 5.6.1). */
+/**
+ * @deprecated Compatibility shim over RgbTask + Session.
+ * Use those directly in new code.
+ */
 class RgbTrainer
 {
   public:
     RgbTrainer(MultiChannelDonn &model, TrainConfig config);
+    ~RgbTrainer();
 
     void calibrate(const RgbDataset &data, std::size_t probe = 8);
 
@@ -191,18 +123,14 @@ class RgbTrainer
                                 const RgbDataset *test = nullptr);
 
   private:
+    Session &ensure(const RgbDataset &train, const RgbDataset *test);
+
     MultiChannelDonn &model_;
     TrainConfig config_;
-    Adam optimizer_;
-    Rng rng_;
+    const RgbDataset *bound_train_ = nullptr;
     bool calibrated_ = false;
+    std::unique_ptr<RgbTask> task_;
+    std::unique_ptr<Session> session_;
 };
-
-/** Top-1 accuracy for an RGB model. */
-Real evaluateRgbAccuracy(MultiChannelDonn &model, const RgbDataset &data);
-
-/** Top-k accuracy for an RGB model (Table 5 reports top-1/3/5). */
-Real evaluateRgbTopK(MultiChannelDonn &model, const RgbDataset &data,
-                     std::size_t k);
 
 } // namespace lightridge

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "core/trainer.hpp"
+#include "core/session.hpp"
 #include "data/synth_digits.hpp"
 #include "utils/log.hpp"
 
@@ -54,8 +54,8 @@ evaluateDesign(const DesignPoint &point, const QuickEvalConfig &config)
     tc.batch = 32;
     tc.lr = config.lr;
     tc.seed = config.seed + 3;
-    Trainer trainer(model, tc);
-    trainer.fit(train);
+    ClassificationTask task(model, train);
+    Session(task, tc).fit();
     return evaluateAccuracy(model, test);
 }
 
@@ -188,8 +188,8 @@ sensitivityAnalysis(const DesignPoint &base, const QuickEvalConfig &config,
     tc.batch = 32;
     tc.lr = config.lr;
     tc.seed = config.seed + 3;
-    Trainer trainer(base_model, tc);
-    trainer.fit(train);
+    ClassificationTask task(base_model, train);
+    Session(task, tc).fit();
 
     // Capture trained phases + detector calibration.
     std::vector<RealMap> phases;

@@ -12,7 +12,7 @@
 #include "core/layer_norm.hpp"
 #include "core/model.hpp"
 #include "core/skip.hpp"
-#include "core/trainer.hpp"
+#include "core/session.hpp"
 #include "utils/rng.hpp"
 
 namespace lightridge {
@@ -365,8 +365,8 @@ TEST(Gradients, TrainingReducesLossOnTinyProblem)
     cfg.batch = 6;
     cfg.lr = 0.05;
     cfg.seed = 5;
-    Trainer trainer(model, cfg);
-    auto history = trainer.fit(data);
+    ClassificationTask task(model, data);
+    auto history = Session(task, cfg).fit();
     EXPECT_LT(history.back().train_loss, history.front().train_loss * 0.7);
     EXPECT_GE(history.back().train_acc, 0.5);
 }

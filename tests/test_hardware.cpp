@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/trainer.hpp"
+#include "core/session.hpp"
 #include "data/synth_digits.hpp"
 #include "hardware/deploy.hpp"
 #include "hardware/energy.hpp"
@@ -131,8 +131,8 @@ struct DeployFixture
         TrainConfig tc;
         tc.epochs = 2;
         tc.lr = 0.05;
-        Trainer trainer(model, tc);
-        trainer.fit(train);
+        ClassificationTask task(model, train);
+        Session(task, tc).fit();
         return model;
     }
 };

@@ -13,7 +13,7 @@
 
 #include "core/layer_norm.hpp"
 #include "core/skip.hpp"
-#include "core/trainer.hpp"
+#include "core/session.hpp"
 #include "data/synth_city.hpp"
 #include "data/synth_digits.hpp"
 #include "data/synth_scenes.hpp"
@@ -48,7 +48,8 @@ TEST(Integration, TrainBeatsUntrainedAndChance)
     TrainConfig tc;
     tc.epochs = 3;
     tc.lr = 0.03;
-    Trainer(model, tc).fit(train);
+    ClassificationTask task(model, train);
+    Session(task, tc).fit();
     Real after = evaluateAccuracy(model, test);
 
     EXPECT_GT(after, before);
@@ -67,7 +68,8 @@ TEST(Integration, SaveLoadPreservesTrainedAccuracy)
     TrainConfig tc;
     tc.epochs = 2;
     tc.lr = 0.03;
-    Trainer(model, tc).fit(train);
+    ClassificationTask task(model, train);
+    Session(task, tc).fit();
     Real acc = evaluateAccuracy(model, test);
 
     const std::string path = "/tmp/lr_integration_model.json";
@@ -90,7 +92,8 @@ TEST(Integration, TrainingIsSeedDeterministic)
         tc.epochs = 1;
         tc.lr = 0.05;
         tc.seed = 42;
-        Trainer(model, tc).fit(train);
+        ClassificationTask task(model, train);
+        Session(task, tc).fit();
         Field input = model.encode(train.images[0]);
         return model.forwardLogits(input, false);
     };
@@ -119,7 +122,8 @@ TEST(Integration, CodesignClosesTheDeploymentGap)
                         .diffractiveLayers(2, 1.0, &rng)
                         .detectorGrid(10, 3)
                         .build();
-    Trainer(raw, tc).fit(train);
+    ClassificationTask raw_task(raw, train);
+    Session(raw_task, tc).fit();
     Real raw_sim = evaluateAccuracy(raw, test);
 
     Rng grng(15);
@@ -132,7 +136,8 @@ TEST(Integration, CodesignClosesTheDeploymentGap)
         static_cast<CodesignLayer *>(codesign.layer(i))
             ->initFromPhase(
                 static_cast<DiffractiveLayer *>(raw.layer(i))->phase());
-    Trainer(codesign, tc).fit(train);
+    ClassificationTask cd_task(codesign, train);
+    Session(cd_task, tc).fit();
     Real cd_sim = evaluateAccuracy(codesign, test);
 
     Rng hw_rng(17);
@@ -168,7 +173,8 @@ TEST(Integration, CodesignTauAnnealsAcrossFit)
     tc.lr = 0.05;
     tc.tau_start = 2.0;
     tc.tau_end = 0.5;
-    Trainer(model, tc).fit(train);
+    ClassificationTask task(model, train);
+    Session(task, tc).fit();
     auto *layer = dynamic_cast<CodesignLayer *>(model.layer(0));
     ASSERT_NE(layer, nullptr);
     EXPECT_NEAR(layer->tau(), 0.5, 1e-9); // ended at tau_end
@@ -202,11 +208,11 @@ TEST(Integration, SegmentationTrainingReducesLoss)
     tc.epochs = 4;
     tc.lr = 0.08;
     tc.batch = 8;
-    SegTrainer trainer(model, tc);
-    auto history = trainer.fit(train);
+    SegmentationTask task(model, train);
+    auto history = Session(task, tc).fit();
     EXPECT_LT(history.back().train_loss, history.front().train_loss);
     // Predicted masks are valid probability-ish maps.
-    RealMap mask = trainer.predictMask(train.images[0]);
+    RealMap mask = task.predictMask(train.images[0]);
     EXPECT_GE(mask.min(), 0.0);
 }
 
@@ -231,7 +237,8 @@ TEST(Integration, RgbTrainingBeatsChance)
     TrainConfig tc;
     tc.epochs = 3;
     tc.lr = 0.03;
-    RgbTrainer(model, tc).fit(train);
+    RgbTask task(model, train);
+    Session(task, tc).fit();
     Real top1 = evaluateRgbTopK(model, test, 1);
     EXPECT_GT(top1, 1.5 / train.num_classes); // beats chance with margin
     // top-k is monotone in k.
@@ -292,7 +299,8 @@ TEST(Integration, NoiseDegradationIsMonotoneOnAverage)
     TrainConfig tc;
     tc.epochs = 2;
     tc.lr = 0.03;
-    Trainer(model, tc).fit(train);
+    ClassificationTask task(model, train);
+    Session(task, tc).fit();
 
     Rng n1(1), n2(1);
     Real clean = evaluateAccuracy(model, test);

@@ -60,6 +60,24 @@ TEST(ModelBuilder, BuildsRequestedStack)
     EXPECT_EQ(model.layer(3)->kind(), "layernorm");
 }
 
+TEST(ModelBuilder, BuildWithoutDetectorThrows)
+{
+    // The detector-less failure used to surface only at the first
+    // forwardLogits call; build() now fails fast instead.
+    Rng rng(1);
+    ModelBuilder builder(smallSpec(), Laser{});
+    builder.diffractiveLayers(2, 1.0, &rng);
+    EXPECT_THROW(builder.build(), std::logic_error);
+}
+
+TEST(ModelBuilder, BuildWithDetectorSucceeds)
+{
+    Rng rng(1);
+    ModelBuilder builder(smallSpec(), Laser{});
+    builder.diffractiveLayers(1, 1.0, &rng).detectorGrid(4, 3);
+    EXPECT_NO_THROW(builder.build());
+}
+
 TEST(DonnModel, EncodeResizesToSystemGrid)
 {
     DonnModel model = ModelBuilder(smallSpec(), Laser{})

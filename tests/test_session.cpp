@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Session engine behaviours across task kinds: bit-for-bit parity of the
+ * workers=1 serial path against the legacy trainer recipes (reimplemented
+ * here as explicit reference loops), data-parallel replica training for
+ * segmentation/RGB, top-k reporting, per-epoch callbacks, and the
+ * deprecated trainer shims delegating faithfully.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/session.hpp"
+#include "core/trainer.hpp"
+#include "data/synth_city.hpp"
+#include "data/synth_digits.hpp"
+#include "data/synth_scenes.hpp"
+#include "optics/diffraction.hpp"
+
+namespace lightridge {
+namespace {
+
+SystemSpec
+spec16()
+{
+    SystemSpec spec;
+    spec.size = 16;
+    spec.pixel = 36e-6;
+    spec.distance = idealDistanceHalfCone(Grid{16, 36e-6}, 532e-9);
+    return spec;
+}
+
+DonnModel
+classModel(uint64_t seed)
+{
+    Rng rng(seed);
+    return ModelBuilder(spec16(), Laser{})
+        .diffractiveLayers(2, 1.0, &rng)
+        .detectorGrid(10, 1)
+        .build();
+}
+
+DonnModel
+segModel(uint64_t seed)
+{
+    Rng rng(seed);
+    DonnModel model(spec16(), Laser{});
+    for (int l = 0; l < 2; ++l)
+        model.addLayer(std::make_unique<DiffractiveLayer>(
+            model.hopPropagator(), 1.0, &rng));
+    model.setDetector(DetectorPlane(DetectorPlane::gridLayout(16, 2, 2)));
+    return model;
+}
+
+MultiChannelDonn
+rgbModel(uint64_t seed, std::size_t classes)
+{
+    Rng rng(seed);
+    std::vector<std::unique_ptr<DonnModel>> channels;
+    for (int ch = 0; ch < 3; ++ch)
+        channels.push_back(std::make_unique<DonnModel>(
+            ModelBuilder(spec16(), Laser{})
+                .diffractiveLayers(1, 1.0, &rng)
+                .detectorGrid(classes, 1)
+                .build()));
+    return MultiChannelDonn(std::move(channels));
+}
+
+/** Shuffled index order, identical to the engine's per-epoch recipe. */
+std::vector<std::size_t>
+refOrder(std::size_t n, Rng *rng)
+{
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::shuffle(order.begin(), order.end(), rng->engine());
+    return order;
+}
+
+/**
+ * Reference reimplementation of the legacy serial SegTrainer:
+ * calibration (probe 8), shuffled per-sample forward/backward with
+ * batch-accumulated gradients and an Adam step per batch.
+ */
+std::vector<Real>
+legacySegLosses(DonnModel &model, const SegDataset &train,
+                const TrainConfig &cfg)
+{
+    Adam optimizer(cfg.lr);
+    optimizer.attach(model.params());
+    Rng rng(cfg.seed);
+
+    Real intensity_scale = 1.0;
+    Real mask_mean = 0.25;
+    std::size_t probe = std::min<std::size_t>(8, train.size());
+    Real mean_intensity = 0, mean_mask = 0;
+    for (std::size_t i = 0; i < probe; ++i) {
+        Field u = model.forwardField(model.encode(train.images[i]), true);
+        mean_intensity += u.intensity().mean();
+        mean_mask += train.masks[i].mean();
+    }
+    mean_intensity /= static_cast<Real>(probe);
+    mean_mask /= static_cast<Real>(probe);
+    if (mean_mask > 0)
+        mask_mean = mean_mask;
+    if (mean_intensity > 0)
+        intensity_scale = mask_mean / mean_intensity;
+
+    const Grid grid = model.spec().grid();
+    std::vector<Real> losses;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        std::vector<std::size_t> order = refOrder(train.size(), &rng);
+        Real loss_sum = 0;
+        std::size_t in_batch = 0;
+        model.zeroGrad();
+        for (std::size_t idx : order) {
+            Field u = model.forwardField(model.encode(train.images[idx]),
+                                         true);
+            RealMap target = (train.masks[idx].rows() == grid.n)
+                                 ? train.masks[idx]
+                                 : resizeBilinear(train.masks[idx], grid.n,
+                                                  grid.n);
+            FieldLossResult loss =
+                intensityMseLoss(u, target, intensity_scale);
+            loss_sum += loss.value;
+            model.backwardField(loss.grad);
+            if (++in_batch == cfg.batch) {
+                optimizer.step();
+                model.zeroGrad();
+                in_batch = 0;
+            }
+        }
+        if (in_batch > 0) {
+            optimizer.step();
+            model.zeroGrad();
+        }
+        losses.push_back(loss_sum / train.size());
+    }
+    return losses;
+}
+
+/**
+ * Reference reimplementation of the legacy serial RgbTrainer:
+ * calibration (probe 8, shared amp factor), shuffled per-sample
+ * forward/backward, Adam step per batch.
+ */
+std::vector<Real>
+legacyRgbLosses(MultiChannelDonn &model, const RgbDataset &train,
+                const TrainConfig &cfg)
+{
+    Adam optimizer(cfg.lr);
+    optimizer.attach(model.params());
+    Rng rng(cfg.seed);
+
+    std::size_t probe = std::min<std::size_t>(8, train.size());
+    Real mean_top = 0;
+    for (std::size_t ch = 0; ch < model.numChannels(); ++ch)
+        model.channel(ch).detector().setAmpFactor(1.0);
+    for (std::size_t i = 0; i < probe; ++i) {
+        std::vector<Real> logits =
+            model.forwardLogits(model.encode(train.images[i]), false);
+        mean_top += *std::max_element(logits.begin(), logits.end());
+    }
+    mean_top /= static_cast<Real>(probe);
+    if (mean_top > 0)
+        for (std::size_t ch = 0; ch < model.numChannels(); ++ch)
+            model.channel(ch).detector().setAmpFactor(cfg.calib_target /
+                                                      mean_top);
+
+    std::vector<Real> losses;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        std::vector<std::size_t> order = refOrder(train.size(), &rng);
+        Real loss_sum = 0;
+        std::size_t in_batch = 0;
+        model.zeroGrad();
+        for (std::size_t idx : order) {
+            std::vector<Real> logits =
+                model.forwardLogits(model.encode(train.images[idx]), true);
+            LossResult loss =
+                classificationLoss(cfg.loss, logits, train.labels[idx]);
+            loss_sum += loss.value;
+            model.backwardFromLogits(loss.dlogits);
+            if (++in_batch == cfg.batch) {
+                optimizer.step();
+                model.zeroGrad();
+                in_batch = 0;
+            }
+        }
+        if (in_batch > 0) {
+            optimizer.step();
+            model.zeroGrad();
+        }
+        losses.push_back(loss_sum / train.size());
+    }
+    return losses;
+}
+
+TEST(SessionParity, SegmentationSerialMatchesLegacyBitForBit)
+{
+    CityConfig ccfg;
+    ccfg.image_size = 16;
+    SegDataset train = makeSynthCity(10, 1, ccfg);
+
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch = 4;
+    cfg.lr = 0.08;
+    cfg.seed = 11;
+    cfg.workers = 1;
+
+    DonnModel ref_model = segModel(5);
+    std::vector<Real> ref = legacySegLosses(ref_model, train, cfg);
+
+    DonnModel model = segModel(5);
+    SegmentationTask task(model, train);
+    std::vector<EpochStats> history = Session(task, cfg).fit();
+
+    ASSERT_EQ(history.size(), ref.size());
+    for (std::size_t e = 0; e < ref.size(); ++e)
+        EXPECT_EQ(history[e].train_loss, ref[e]) << "epoch " << e;
+}
+
+TEST(SessionParity, RgbSerialMatchesLegacyBitForBit)
+{
+    SceneConfig scfg;
+    scfg.image_size = 16;
+    RgbDataset train = makeSynthScenes(12, 1, scfg);
+
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch = 4;
+    cfg.lr = 0.03;
+    cfg.seed = 13;
+    cfg.workers = 1;
+
+    MultiChannelDonn ref_model = rgbModel(5, train.num_classes);
+    std::vector<Real> ref = legacyRgbLosses(ref_model, train, cfg);
+
+    MultiChannelDonn model = rgbModel(5, train.num_classes);
+    RgbTask task(model, train);
+    std::vector<EpochStats> history = Session(task, cfg).fit();
+
+    ASSERT_EQ(history.size(), ref.size());
+    for (std::size_t e = 0; e < ref.size(); ++e)
+        EXPECT_EQ(history[e].train_loss, ref[e]) << "epoch " << e;
+}
+
+TEST(SessionParity, ShimsDelegateToSession)
+{
+    // The deprecated trainers must produce bit-identical histories to a
+    // directly constructed Task + Session.
+    ClassDataset train = makeSynthDigits(30, 3);
+
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch = 8;
+    cfg.workers = 1;
+
+    DonnModel direct_model = classModel(9);
+    ClassificationTask task(direct_model, train);
+    std::vector<EpochStats> direct = Session(task, cfg).fit();
+
+    DonnModel shim_model = classModel(9);
+    std::vector<EpochStats> shim = Trainer(shim_model, cfg).fit(train);
+
+    ASSERT_EQ(direct.size(), shim.size());
+    for (std::size_t e = 0; e < direct.size(); ++e) {
+        EXPECT_EQ(direct[e].train_loss, shim[e].train_loss);
+        EXPECT_EQ(direct[e].train_acc, shim[e].train_acc);
+    }
+}
+
+TEST(SessionParallel, SegmentationWorkersTrainAsWellAsSerial)
+{
+    CityConfig ccfg;
+    ccfg.image_size = 16;
+    SegDataset train = makeSynthCity(16, 1, ccfg);
+
+    auto run = [&](std::size_t workers) {
+        DonnModel model = segModel(7);
+        TrainConfig cfg;
+        cfg.epochs = 2;
+        cfg.batch = 8;
+        cfg.lr = 0.08;
+        cfg.workers = workers;
+        SegmentationTask task(model, train);
+        return Session(task, cfg).fit();
+    };
+
+    auto serial = run(1);
+    auto parallel = run(3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_LE(parallel.back().train_loss, parallel.front().train_loss);
+    for (const EpochStats &stats : parallel)
+        EXPECT_TRUE(std::isfinite(stats.train_loss));
+    EXPECT_NEAR(parallel.back().train_loss, serial.back().train_loss,
+                0.5 * std::abs(serial.back().train_loss) + 0.05);
+}
+
+TEST(SessionParallel, RgbWorkersTrainAsWellAsSerial)
+{
+    SceneConfig scfg;
+    scfg.image_size = 16;
+    RgbDataset train = makeSynthScenes(18, 1, scfg);
+
+    auto run = [&](std::size_t workers) {
+        MultiChannelDonn model = rgbModel(7, train.num_classes);
+        TrainConfig cfg;
+        cfg.epochs = 2;
+        cfg.batch = 6;
+        cfg.lr = 0.03;
+        cfg.workers = workers;
+        RgbTask task(model, train);
+        return Session(task, cfg).fit();
+    };
+
+    auto serial = run(1);
+    auto parallel = run(3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const EpochStats &stats : parallel)
+        EXPECT_TRUE(std::isfinite(stats.train_loss));
+    EXPECT_NEAR(parallel.back().train_loss, serial.back().train_loss,
+                0.5 * std::abs(serial.back().train_loss) + 0.05);
+}
+
+TEST(SessionMetrics, TopKReportedAndMonotone)
+{
+    ClassDataset train = makeSynthDigits(40, 1);
+    ClassDataset test = makeSynthDigits(20, 2);
+    DonnModel model = classModel(3);
+
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.workers = 1;
+    ClassificationTask task(model, train, &test);
+    std::vector<EpochStats> history = Session(task, cfg).fit();
+
+    for (const EpochStats &stats : history) {
+        EXPECT_GE(stats.test_top3, stats.test_acc);
+        EXPECT_LE(stats.test_top3, 1.0);
+    }
+
+    Real top1 = evaluateTopK(model, test, 1);
+    Real top3 = evaluateTopK(model, test, 3);
+    EXPECT_EQ(top1, evaluateAccuracy(model, test));
+    EXPECT_GE(top3, top1);
+    EXPECT_EQ(evaluateTopK(model, test, 10), 1.0); // k = all classes
+}
+
+TEST(SessionCallbacks, EarlyStopTruncatesHistory)
+{
+    ClassDataset train = makeSynthDigits(20, 1);
+    DonnModel model = classModel(3);
+
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.workers = 1;
+    ClassificationTask task(model, train);
+    Session session(task, cfg);
+    session.addCallback(
+        [](const EpochStats &stats, Session &) { return stats.epoch < 1; });
+    std::vector<EpochStats> history = session.fit();
+    EXPECT_EQ(history.size(), 2u); // stopped after epoch 1
+}
+
+TEST(SessionCallbacks, CheckpointCallbackSavesModel)
+{
+    ClassDataset train = makeSynthDigits(20, 1);
+    ClassDataset test = makeSynthDigits(10, 2);
+    DonnModel model = classModel(3);
+
+    const std::string path = "/tmp/lr_session_checkpoint.json";
+    std::remove(path.c_str());
+
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.workers = 1;
+    ClassificationTask task(model, train, &test);
+    Session session(task, cfg);
+    session.addCallback(checkpointBestCallback(path));
+    session.fit();
+
+    DonnModel restored = DonnModel::load(path);
+    EXPECT_EQ(restored.depth(), model.depth());
+    std::remove(path.c_str());
+}
+
+TEST(SessionCallbacks, EarlyStopCallbackStopsOnPlateau)
+{
+    ClassDataset train = makeSynthDigits(20, 1);
+    DonnModel model = classModel(3);
+
+    TrainConfig cfg;
+    cfg.epochs = 40;
+    cfg.lr = 0.0;        // zero step size: loss plateaus immediately
+    cfg.shuffle = false; // fixed accumulation order => exactly equal loss
+    cfg.workers = 1;
+    ClassificationTask task(model, train);
+    Session session(task, cfg);
+    session.addCallback(earlyStopCallback(2));
+    std::vector<EpochStats> history = session.fit();
+    EXPECT_LT(history.size(), 40u);
+}
+
+TEST(SessionParity, ShimCalibrateZeroProbeIsNoOp)
+{
+    // Legacy trainers treated probe = 0 as "skip": no amp calibration,
+    // and fit() still calibrates later.
+    ClassDataset data = makeSynthDigits(20, 1);
+    DonnModel model = classModel(3);
+    Real amp_before = model.detector().ampFactor();
+
+    TrainConfig cfg;
+    Trainer trainer(model, cfg);
+    trainer.calibrate(data, 0);
+    EXPECT_EQ(model.detector().ampFactor(), amp_before);
+}
+
+TEST(SessionParity, SegShimCarriesCalibrationAcrossDatasetRebind)
+{
+    // calibrate(A) then fit(B) must train with A's intensity scale, like
+    // the legacy SegTrainer whose calibration lived in member state.
+    CityConfig ccfg;
+    ccfg.image_size = 16;
+    SegDataset calib_set = makeSynthCity(8, 1, ccfg);
+    SegDataset train_set = makeSynthCity(8, 2, ccfg);
+
+    DonnModel model = segModel(5);
+    TrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.workers = 1;
+    SegTrainer trainer(model, cfg);
+    trainer.calibrate(calib_set);
+    Real scale = trainer.intensityScale();
+    EXPECT_NE(scale, 1.0);
+    trainer.fit(train_set);
+    EXPECT_EQ(trainer.intensityScale(), scale);
+}
+
+TEST(SessionMultiChannel, CloneIsIndependent)
+{
+    MultiChannelDonn model = rgbModel(1, 6);
+    MultiChannelDonn copy = model.clone();
+    ASSERT_EQ(copy.numChannels(), model.numChannels());
+
+    // Perturb the copy; the original's parameters stay untouched.
+    std::vector<ParamView> params = copy.params();
+    ASSERT_FALSE(params.empty());
+    (*params[0].value)[0] += 1.0;
+    std::vector<ParamView> orig = model.params();
+    EXPECT_NE((*params[0].value)[0], (*orig[0].value)[0]);
+}
+
+} // namespace
+} // namespace lightridge

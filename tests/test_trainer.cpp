@@ -1,13 +1,14 @@
 /**
  * @file
- * Trainer-level behaviours: calibration effects, epoch accounting,
- * evaluation metrics, DSE sweep/guided-search plumbing.
+ * Session-level behaviours on the classification task: calibration
+ * effects, epoch accounting, evaluation metrics, DSE sweep/guided-search
+ * plumbing.
  */
 #include <gtest/gtest.h>
 
 #include <cmath>
 
-#include "core/trainer.hpp"
+#include "core/session.hpp"
 #include "data/synth_digits.hpp"
 #include "dse/dse.hpp"
 
@@ -24,7 +25,7 @@ spec16()
     return spec;
 }
 
-TEST(TrainerBehaviour, CalibrationSetsHealthyLogitScale)
+TEST(SessionBehaviour, CalibrationSetsHealthyLogitScale)
 {
     ClassDataset data = makeSynthDigits(40, 1);
     Rng rng(2);
@@ -34,8 +35,9 @@ TEST(TrainerBehaviour, CalibrationSetsHealthyLogitScale)
                           .build();
     TrainConfig tc;
     tc.calib_target = 4.0;
-    Trainer trainer(model, tc);
-    trainer.calibrate(data);
+    ClassificationTask task(model, data);
+    Session session(task, tc);
+    session.calibrate();
 
     // Mean top logit over probe samples lands near the target.
     Real mean_top = 0;
@@ -48,7 +50,7 @@ TEST(TrainerBehaviour, CalibrationSetsHealthyLogitScale)
     EXPECT_NEAR(mean_top, 4.0, 1.5);
 }
 
-TEST(TrainerBehaviour, ParallelWorkersTrainAsWellAsSerial)
+TEST(SessionBehaviour, ParallelWorkersTrainAsWellAsSerial)
 {
     ClassDataset train = makeSynthDigits(60, 3);
 
@@ -62,8 +64,8 @@ TEST(TrainerBehaviour, ParallelWorkersTrainAsWellAsSerial)
         tc.epochs = 3;
         tc.batch = 8;
         tc.workers = workers;
-        Trainer trainer(model, tc);
-        return trainer.fit(train);
+        ClassificationTask task(model, train);
+        return Session(task, tc).fit();
     };
 
     auto serial = runFit(1);
@@ -83,7 +85,7 @@ TEST(TrainerBehaviour, ParallelWorkersTrainAsWellAsSerial)
     }
 }
 
-TEST(TrainerBehaviour, FitReturnsOneStatPerEpoch)
+TEST(SessionBehaviour, FitReturnsOneStatPerEpoch)
 {
     ClassDataset train = makeSynthDigits(30, 3);
     ClassDataset test = makeSynthDigits(20, 4);
@@ -94,8 +96,8 @@ TEST(TrainerBehaviour, FitReturnsOneStatPerEpoch)
                           .build();
     TrainConfig tc;
     tc.epochs = 4;
-    Trainer trainer(model, tc);
-    auto history = trainer.fit(train, &test);
+    ClassificationTask task(model, train, &test);
+    auto history = Session(task, tc).fit();
     ASSERT_EQ(history.size(), 4u);
     for (int e = 0; e < 4; ++e) {
         EXPECT_EQ(history[e].epoch, e);
@@ -105,7 +107,7 @@ TEST(TrainerBehaviour, FitReturnsOneStatPerEpoch)
     }
 }
 
-TEST(TrainerBehaviour, EvaluateOnEmptyDatasetIsZero)
+TEST(SessionBehaviour, EvaluateOnEmptyDatasetIsZero)
 {
     Rng rng(7);
     DonnModel model = ModelBuilder(spec16(), Laser{})
@@ -117,7 +119,7 @@ TEST(TrainerBehaviour, EvaluateOnEmptyDatasetIsZero)
     EXPECT_EQ(evaluateAccuracy(model, empty), 0.0);
 }
 
-TEST(TrainerBehaviour, ConfidenceIsProbability)
+TEST(SessionBehaviour, ConfidenceIsProbability)
 {
     ClassDataset data = makeSynthDigits(20, 9);
     Rng rng(11);
