@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "utils/thread_pool.hpp"
+
 namespace lightridge {
 
 namespace {
@@ -30,6 +32,29 @@ factorize(std::size_t n)
     return factors;
 }
 
+/**
+ * Radix sequence for the SIMD engine: pairs of 2s fuse into radix-4
+ * levels (half the combine passes over the dominant power-of-two part),
+ * any leftover 2 and the odd prime factors follow unchanged.
+ */
+std::vector<std::size_t>
+groupFactorsForSimd(const std::vector<std::size_t> &factors)
+{
+    std::size_t twos = 0;
+    std::vector<std::size_t> grouped;
+    for (std::size_t p : factors) {
+        if (p == 2)
+            ++twos;
+        else
+            grouped.push_back(p);
+    }
+    std::vector<std::size_t> out(twos / 2, 4);
+    if (twos % 2 != 0)
+        out.push_back(2);
+    out.insert(out.end(), grouped.begin(), grouped.end());
+    return out;
+}
+
 /** Thread-local scratch buffer, grown on demand. */
 Complex *
 tlsScratch(std::size_t n)
@@ -40,12 +65,45 @@ tlsScratch(std::size_t n)
     return buffer.data();
 }
 
+/**
+ * Thread-local split real/imag scratch for the SoA engine: recursion
+ * output and a generic-radix staging block. One set per thread suffices
+ * because plan execution uses it strictly nested (a combine finishes with
+ * the staging block before its parent starts).
+ */
+struct SoaScratch
+{
+    std::vector<Real> out_re, out_im;
+    std::vector<Real> stage_re, stage_im;
+
+    void
+    ensure(std::size_t n)
+    {
+        if (out_re.size() >= n)
+            return;
+        out_re.resize(n);
+        out_im.resize(n);
+        stage_re.resize(n);
+        stage_im.resize(n);
+    }
+};
+
+SoaScratch &
+tlsSoaScratch(std::size_t n)
+{
+    static thread_local SoaScratch scratch;
+    scratch.ensure(n);
+    return scratch;
+}
+
 } // namespace
 
 /**
  * Plan internals. Two strategies:
  *  - Mixed radix: recursion over 'factors', with a per-level twiddle table
- *    tw[level][i] = exp(-j*2*pi*i / n_level).
+ *    tw[level][i] = exp(-j*2*pi*i / n_level). The SIMD engine runs the
+ *    same recursion over a radix-grouped factor sequence with split
+ *    real/imag twiddle sub-tables feeding the SoA kernels.
  *  - Bluestein: chirp-z over an internal power-of-two mixed-radix plan.
  */
 struct FftPlan::Impl
@@ -53,10 +111,20 @@ struct FftPlan::Impl
     std::size_t n = 0;
     bool bluestein = false;
 
-    // Mixed-radix state.
+    // Mixed-radix state (scalar reference path).
     std::vector<std::size_t> factors;
     std::vector<std::size_t> level_sizes;
     std::vector<std::vector<Complex>> twiddles; // per level, length n_level
+
+    // Mixed-radix state for the SoA/SIMD engine. Per level with radix p
+    // over blocks of length n_level = p * m:
+    //  - simd_tw holds p-1 unit-stride sub-tables of length m each,
+    //    tw[(j-1)*m + k] = exp(-j*2*pi*(j*k)/n_level), j in 1..p-1;
+    //  - simd_dft holds the p*p DFT matrix exp(-j*2*pi*t*j/p) for the
+    //    generic-radix kernel (unused for the specialized p = 2 and 4).
+    std::vector<std::size_t> simd_factors;
+    std::vector<std::vector<Real>> simd_tw_re, simd_tw_im;
+    std::vector<std::vector<Real>> simd_dft_re, simd_dft_im;
 
     // Bluestein state.
     std::size_t m = 0;                      // power-of-two conv length
@@ -65,12 +133,19 @@ struct FftPlan::Impl
     std::shared_ptr<const FftPlan> inner;   // power-of-two plan of length m
 
     void buildMixedRadix();
+    void buildSimdTables();
     void buildBluestein();
     void executeMixed(Complex *data) const;
     void recurse(const Complex *in, std::size_t in_stride, Complex *out,
                  std::size_t n_cur, std::size_t level) const;
     void combine(Complex *out, std::size_t n_cur, std::size_t p,
                  std::size_t level) const;
+    void executeMixedSimd(Complex *data) const;
+    void recurseSoa(const Real *in, std::size_t in_stride, Real *out_re,
+                    Real *out_im, std::size_t n_cur, std::size_t level,
+                    SoaScratch *scratch) const;
+    void combineSoa(Real *re, Real *im, std::size_t n_cur, std::size_t p,
+                    std::size_t level, SoaScratch *scratch) const;
     void executeBluestein(Complex *data) const;
 };
 
@@ -89,6 +164,47 @@ FftPlan::Impl::buildMixedRadix()
         }
         twiddles.push_back(std::move(table));
         cur /= p;
+    }
+    if (simdKernelsCompiled())
+        buildSimdTables();
+}
+
+void
+FftPlan::Impl::buildSimdTables()
+{
+    simd_factors = groupFactorsForSimd(factors);
+    std::size_t cur = n;
+    for (std::size_t p : simd_factors) {
+        const std::size_t m_cur = cur / p;
+        std::vector<Real> tw_re((p - 1) * m_cur);
+        std::vector<Real> tw_im((p - 1) * m_cur);
+        for (std::size_t j = 1; j < p; ++j)
+            for (std::size_t k = 0; k < m_cur; ++k) {
+                std::size_t idx = (j * k) % cur; // keep the argument small
+                Real angle = -kTwoPi * static_cast<Real>(idx) /
+                             static_cast<Real>(cur);
+                tw_re[(j - 1) * m_cur + k] = std::cos(angle);
+                tw_im[(j - 1) * m_cur + k] = std::sin(angle);
+            }
+        simd_tw_re.push_back(std::move(tw_re));
+        simd_tw_im.push_back(std::move(tw_im));
+
+        std::vector<Real> dft_re, dft_im;
+        if (p != 2 && p != 4) {
+            dft_re.resize(p * p);
+            dft_im.resize(p * p);
+            for (std::size_t t = 0; t < p; ++t)
+                for (std::size_t j = 0; j < p; ++j) {
+                    Real angle = -kTwoPi *
+                                 static_cast<Real>((t * j) % p) /
+                                 static_cast<Real>(p);
+                    dft_re[t * p + j] = std::cos(angle);
+                    dft_im[t * p + j] = std::sin(angle);
+                }
+        }
+        simd_dft_re.push_back(std::move(dft_re));
+        simd_dft_im.push_back(std::move(dft_im));
+        cur = m_cur;
     }
 }
 
@@ -119,7 +235,11 @@ FftPlan::Impl::buildBluestein()
         if (k != 0)
             kernel[m - k] = b;
     }
-    inner->forward(kernel.data());
+    // The spectrum is baked into the (process-wide cached) plan, so it is
+    // computed with the scalar reference kernels unconditionally: cached
+    // plan data stays identical whatever kernel mode happens to be active
+    // when the plan is first constructed.
+    inner->impl_->executeMixed(kernel.data());
     chirp_spectrum = std::move(kernel);
 }
 
@@ -191,19 +311,148 @@ FftPlan::Impl::executeMixed(Complex *data) const
 }
 
 void
+FftPlan::Impl::combineSoa(Real *re, Real *im, std::size_t n_cur,
+                          std::size_t p, std::size_t level,
+                          SoaScratch *scratch) const
+{
+    const std::size_t m_cur = n_cur / p;
+    const Real *tw_re = simd_tw_re[level].data();
+    const Real *tw_im = simd_tw_im[level].data();
+
+    if (p == 2) {
+        kernels::radix2Pass(re, im, tw_re, tw_im, m_cur);
+        return;
+    }
+    if (p == 4) {
+        kernels::radix4Pass(re, im, tw_re, tw_im, m_cur);
+        return;
+    }
+
+    // Generic radix: stage b_j = a_j * tw_j (b_0 = a_0), then accumulate
+    // the p-point DFT rows y_t = sum_j W_p^{tj} * b_j as vectorized
+    // constant-complex axpy passes over unit-stride lanes.
+    Real *b_re = scratch->stage_re.data();
+    Real *b_im = scratch->stage_im.data();
+    std::copy(re, re + m_cur, b_re);
+    std::copy(im, im + m_cur, b_im);
+    for (std::size_t j = 1; j < p; ++j)
+        kernels::cmulSoa(b_re + j * m_cur, b_im + j * m_cur, re + j * m_cur,
+                         im + j * m_cur, tw_re + (j - 1) * m_cur,
+                         tw_im + (j - 1) * m_cur, m_cur);
+    const Real *dft_re = simd_dft_re[level].data();
+    const Real *dft_im = simd_dft_im[level].data();
+    for (std::size_t t = 0; t < p; ++t) {
+        Real *y_re = re + t * m_cur;
+        Real *y_im = im + t * m_cur;
+        std::copy(b_re, b_re + m_cur, y_re); // W_p^{t*0} = 1
+        std::copy(b_im, b_im + m_cur, y_im);
+        for (std::size_t j = 1; j < p; ++j)
+            kernels::caxpySoa(y_re, y_im, b_re + j * m_cur, b_im + j * m_cur,
+                              dft_re[t * p + j], dft_im[t * p + j], m_cur);
+    }
+}
+
+/**
+ * SoA recursion over interleaved input: `in` points at complex sample 0
+ * of the sub-transform, strided by `in_stride` complex samples. Reading
+ * the interleaved data directly at the gather points saves a full
+ * deinterleave pass, and the deepest levels (twiddle-free 2- and 4-point
+ * transforms) are unrolled to cut leaf-call overhead.
+ */
+void
+FftPlan::Impl::recurseSoa(const Real *in, std::size_t in_stride,
+                          Real *out_re, Real *out_im, std::size_t n_cur,
+                          std::size_t level, SoaScratch *scratch) const
+{
+    const std::size_t step = 2 * in_stride; // Reals per complex stride
+    if (n_cur == 1) {
+        out_re[0] = in[0];
+        out_im[0] = in[1];
+        return;
+    }
+    if (n_cur == 2) { // last level is always radix-2, twiddles are 1
+        Real a0r = in[0], a0i = in[1];
+        Real a1r = in[step], a1i = in[step + 1];
+        out_re[0] = a0r + a1r;
+        out_im[0] = a0i + a1i;
+        out_re[1] = a0r - a1r;
+        out_im[1] = a0i - a1i;
+        return;
+    }
+    const std::size_t p = simd_factors[level];
+    if (n_cur == 4 && p == 4) { // twiddle-free 4-point leaf (W_4 = -j)
+        Real a0r = in[0], a0i = in[1];
+        Real a1r = in[step], a1i = in[step + 1];
+        Real a2r = in[2 * step], a2i = in[2 * step + 1];
+        Real a3r = in[3 * step], a3i = in[3 * step + 1];
+        Real s0r = a0r + a2r, s0i = a0i + a2i;
+        Real s1r = a0r - a2r, s1i = a0i - a2i;
+        Real s2r = a1r + a3r, s2i = a1i + a3i;
+        Real s3r = a1r - a3r, s3i = a1i - a3i;
+        out_re[0] = s0r + s2r;
+        out_im[0] = s0i + s2i;
+        out_re[1] = s1r + s3i;
+        out_im[1] = s1i - s3r;
+        out_re[2] = s0r - s2r;
+        out_im[2] = s0i - s2i;
+        out_re[3] = s1r - s3i;
+        out_im[3] = s1i + s3r;
+        return;
+    }
+    const std::size_t m_cur = n_cur / p;
+    for (std::size_t j = 0; j < p; ++j)
+        recurseSoa(in + j * step, in_stride * p, out_re + j * m_cur,
+                   out_im + j * m_cur, m_cur, level + 1, scratch);
+    combineSoa(out_re, out_im, n_cur, p, level, scratch);
+}
+
+void
+FftPlan::Impl::executeMixedSimd(Complex *data) const
+{
+    SoaScratch &scratch = tlsSoaScratch(n);
+    Real *interleaved = reinterpret_cast<Real *>(data);
+    recurseSoa(interleaved, 1, scratch.out_re.data(), scratch.out_im.data(),
+               n, 0, &scratch);
+    kernels::interleave(scratch.out_re.data(), scratch.out_im.data(),
+                        interleaved, n);
+}
+
+void
 FftPlan::Impl::executeBluestein(Complex *data) const
 {
     // Scratch must not collide with the inner plan's own thread-local use,
     // so the convolution buffer is allocated past the inner plan's needs.
+    const bool simd = simdKernelsCompiled() &&
+                      fftKernelMode() == FftKernelMode::Simd;
     std::vector<Complex> buffer(m, Complex{0, 0});
-    for (std::size_t k = 0; k < n; ++k)
-        buffer[k] = data[k] * chirp[k];
+    if (simd) {
+        kernels::cmulInterleavedOut(
+            reinterpret_cast<Real *>(buffer.data()),
+            reinterpret_cast<const Real *>(data),
+            reinterpret_cast<const Real *>(chirp.data()), n);
+    } else {
+        for (std::size_t k = 0; k < n; ++k)
+            buffer[k] = data[k] * chirp[k];
+    }
     inner->forward(buffer.data());
-    for (std::size_t k = 0; k < m; ++k)
-        buffer[k] *= chirp_spectrum[k];
+    if (simd) {
+        kernels::cmulInterleaved(
+            reinterpret_cast<Real *>(buffer.data()),
+            reinterpret_cast<const Real *>(chirp_spectrum.data()), m);
+    } else {
+        for (std::size_t k = 0; k < m; ++k)
+            buffer[k] *= chirp_spectrum[k];
+    }
     inner->inverse(buffer.data());
-    for (std::size_t k = 0; k < n; ++k)
-        data[k] = buffer[k] * chirp[k];
+    if (simd) {
+        kernels::cmulInterleavedOut(
+            reinterpret_cast<Real *>(data),
+            reinterpret_cast<const Real *>(buffer.data()),
+            reinterpret_cast<const Real *>(chirp.data()), n);
+    } else {
+        for (std::size_t k = 0; k < n; ++k)
+            data[k] = buffer[k] * chirp[k];
+    }
 }
 
 FftPlan::FftPlan(std::size_t n) : impl_(std::make_unique<Impl>())
@@ -235,8 +484,12 @@ FftPlan::forward(Complex *data) const
 {
     if (impl_->n == 1)
         return;
-    if (impl_->bluestein)
+    if (impl_->bluestein) {
         impl_->executeBluestein(data);
+        return;
+    }
+    if (simdKernelsCompiled() && fftKernelMode() == FftKernelMode::Simd)
+        impl_->executeMixedSimd(data);
     else
         impl_->executeMixed(data);
 }
@@ -269,6 +522,24 @@ planCache()
 {
     static PlanCache cache;
     return cache;
+}
+
+/**
+ * Resolve the pool Fft2d should shard 1-D transforms across, or nullptr
+ * for serial execution. Serial whenever the pool has no real workers,
+ * the caller is itself a pool worker (sample-parallel batches already
+ * saturate the pool; nesting would deadlock the queue), or the grid is
+ * too small to amortize a wake/join.
+ */
+ThreadPool *
+fft2dPool(ThreadPool *pool, std::size_t elements)
+{
+    if (elements < kFft2dParallelMinElements)
+        return nullptr;
+    if (ThreadPool::insideWorker())
+        return nullptr;
+    ThreadPool *chosen = pool ? pool : &ThreadPool::global();
+    return chosen->workerCount() > 1 ? chosen : nullptr;
 }
 
 } // namespace
@@ -314,54 +585,80 @@ Fft2d::Fft2d(std::size_t rows, std::size_t cols)
 {}
 
 void
-Fft2d::transformColumns(Field *field, bool inverse) const
+Fft2d::transformRows(Field *field, bool inverse, ThreadPool *pool) const
 {
-    std::vector<Complex> column(rows_);
-    for (std::size_t c = 0; c < cols_; ++c) {
-        for (std::size_t r = 0; r < rows_; ++r)
-            column[r] = (*field)(r, c);
+    Complex *data = field->data();
+    auto one_row = [&](std::size_t r) {
         if (inverse)
-            col_plan_->inverse(column.data());
+            row_plan_->inverse(data + r * cols_);
         else
-            col_plan_->forward(column.data());
-        for (std::size_t r = 0; r < rows_; ++r)
-            (*field)(r, c) = column[r];
+            row_plan_->forward(data + r * cols_);
+    };
+    if (ThreadPool *p = fft2dPool(pool, rows_ * cols_)) {
+        p->parallelFor(rows_, one_row);
+        return;
     }
+    for (std::size_t r = 0; r < rows_; ++r)
+        one_row(r);
 }
 
 void
-Fft2d::forward(Field *field) const
+Fft2d::transformColumns(Field *field, bool inverse, ThreadPool *pool) const
 {
-    assert(field->rows() == rows_ && field->cols() == cols_);
-    for (std::size_t r = 0; r < rows_; ++r)
-        row_plan_->forward(field->data() + r * cols_);
-    transformColumns(field, false);
-}
-
-void
-Fft2d::inverse(Field *field) const
-{
-    assert(field->rows() == rows_ && field->cols() == cols_);
-    for (std::size_t r = 0; r < rows_; ++r)
-        row_plan_->inverse(field->data() + r * cols_);
-    transformColumns(field, true);
-}
-
-std::vector<Complex>
-naiveDft(const std::vector<Complex> &input, int sign)
-{
-    const std::size_t n = input.size();
-    std::vector<Complex> output(n, Complex{0, 0});
-    for (std::size_t k = 0; k < n; ++k) {
-        Complex acc{0, 0};
-        for (std::size_t t = 0; t < n; ++t) {
-            Real angle = sign * kTwoPi * static_cast<Real>((k * t) % n) /
-                         static_cast<Real>(n);
-            acc += input[t] * Complex{std::cos(angle), std::sin(angle)};
+    // Columns are transformed in tiles of adjacent columns: the gather
+    // then reads kColumnTile consecutive samples per row (full cache
+    // lines) instead of one strided sample per pass, which is what makes
+    // the column half of fft2 memory-friendly on large grids. Each tile
+    // is staged column-contiguous so the 1-D plans run on unit stride.
+    constexpr std::size_t kColumnTile = 8;
+    Complex *data = field->data();
+    const std::size_t tiles = (cols_ + kColumnTile - 1) / kColumnTile;
+    auto one_tile = [&](std::size_t t) {
+        // Per-thread staging buffer, reused across a worker's tiles.
+        static thread_local std::vector<Complex> stage;
+        if (stage.size() < rows_ * kColumnTile)
+            stage.resize(rows_ * kColumnTile);
+        const std::size_t c0 = t * kColumnTile;
+        const std::size_t width = std::min(kColumnTile, cols_ - c0);
+        for (std::size_t r = 0; r < rows_; ++r) {
+            const Complex *src = data + r * cols_ + c0;
+            for (std::size_t j = 0; j < width; ++j)
+                stage[j * rows_ + r] = src[j];
         }
-        output[k] = acc;
+        for (std::size_t j = 0; j < width; ++j) {
+            if (inverse)
+                col_plan_->inverse(stage.data() + j * rows_);
+            else
+                col_plan_->forward(stage.data() + j * rows_);
+        }
+        for (std::size_t r = 0; r < rows_; ++r) {
+            Complex *dst = data + r * cols_ + c0;
+            for (std::size_t j = 0; j < width; ++j)
+                dst[j] = stage[j * rows_ + r];
+        }
+    };
+    if (ThreadPool *p = fft2dPool(pool, rows_ * cols_)) {
+        p->parallelFor(tiles, one_tile);
+        return;
     }
-    return output;
+    for (std::size_t t = 0; t < tiles; ++t)
+        one_tile(t);
+}
+
+void
+Fft2d::forward(Field *field, ThreadPool *pool) const
+{
+    assert(field->rows() == rows_ && field->cols() == cols_);
+    transformRows(field, false, pool);
+    transformColumns(field, false, pool);
+}
+
+void
+Fft2d::inverse(Field *field, ThreadPool *pool) const
+{
+    assert(field->rows() == rows_ && field->cols() == cols_);
+    transformRows(field, true, pool);
+    transformColumns(field, true, pool);
 }
 
 namespace {

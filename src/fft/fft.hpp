@@ -13,6 +13,17 @@
  *    factor run Bluestein's chirp-z algorithm over a power-of-two plan.
  *  - Plans are immutable after construction and safe to share across
  *    threads; per-call scratch lives in thread-local storage.
+ *  - Inner loops run through the kernel-dispatch layer (fft/kernels.hpp):
+ *    the default Simd mode executes split real/imag structure-of-arrays
+ *    butterflies (radix-2/4 specialized, generic radix through SoA
+ *    twiddle products) and vectorized chirp/Hadamard products; Scalar
+ *    mode keeps the original std::complex loops as the bit-reference.
+ *  - Fft2d shards the independent 1-D row and column transforms of one
+ *    large grid across the process thread pool (row-parallel FFT2). The
+ *    split is deterministic: results are bitwise-identical to the serial
+ *    path regardless of worker count, and execution degrades gracefully
+ *    to serial on single-thread hosts, inside pool workers (no nested
+ *    parallelism), and for small grids.
  *
  * The "LightPipes-like" baseline in src/baseline deliberately omits the
  * planning/caching/fusion done here, which is exactly the delta the
@@ -24,10 +35,13 @@
 #include <memory>
 #include <vector>
 
+#include "fft/kernels.hpp"
 #include "tensor/field.hpp"
 #include "utils/types.hpp"
 
 namespace lightridge {
+
+class ThreadPool;
 
 /**
  * Immutable 1-D FFT plan for a fixed transform length.
@@ -65,6 +79,14 @@ class FftPlan
 /**
  * 2-D FFT over a Field: rows then columns, both via shared 1-D plans.
  * Thread-safe; scratch space is thread-local.
+ *
+ * Large grids are row/column-parallel: the independent 1-D transforms are
+ * sharded across a thread pool. Passing pool = nullptr uses the global
+ * pool. The parallel split never changes numerics (each 1-D transform is
+ * computed identically on whichever thread runs it), and the engine runs
+ * serially when the pool has <= 1 worker, when already executing inside a
+ * pool worker (the batched sample-parallel path), or when the grid is
+ * below the parallel threshold.
  */
 class Fft2d
 {
@@ -76,19 +98,27 @@ class Fft2d
     std::size_t cols() const { return cols_; }
 
     /** In-place forward 2-D DFT. Field shape must match the plan. */
-    void forward(Field *field) const;
+    void forward(Field *field, ThreadPool *pool = nullptr) const;
 
     /** In-place inverse 2-D DFT (scaled by 1/(rows*cols)). */
-    void inverse(Field *field) const;
+    void inverse(Field *field, ThreadPool *pool = nullptr) const;
 
   private:
-    void transformColumns(Field *field, bool inverse) const;
+    void transformRows(Field *field, bool inverse, ThreadPool *pool) const;
+    void transformColumns(Field *field, bool inverse, ThreadPool *pool) const;
 
     std::size_t rows_;
     std::size_t cols_;
     std::shared_ptr<const FftPlan> row_plan_; // length == cols
     std::shared_ptr<const FftPlan> col_plan_; // length == rows
 };
+
+/**
+ * Grid-element threshold below which Fft2d stays serial: sharding 1-D
+ * transforms only pays off once a transform batch outweighs the pool's
+ * wake/join cost (empirically around a 128x128 grid).
+ */
+inline constexpr std::size_t kFft2dParallelMinElements = 128 * 128;
 
 /**
  * Process-wide FFT plan cache.
@@ -108,12 +138,6 @@ std::size_t fftPlanCacheSize();
 
 /** Drop all cached plans (live shared_ptr holders keep theirs alive). */
 void clearFftPlanCache();
-
-/**
- * Reference O(n^2) DFT used by tests to validate the fast engine and by
- * documentation examples. sign=-1 forward, sign=+1 inverse (unscaled).
- */
-std::vector<Complex> naiveDft(const std::vector<Complex> &input, int sign);
 
 /** Centered spectrum reordering (swap half-spaces); returns a new field. */
 Field fftshift(const Field &in);

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Kernel-dispatch layer for the FFT engine and element-wise complex math.
+ *
+ * The propagation hot path (FFT2 -> transfer-function Hadamard -> iFFT2)
+ * spends essentially all of its time in a handful of inner loops: radix
+ * butterflies, twiddle multiplies, Bluestein chirp products, and the
+ * element-wise complex Hadamard multiply. This header exposes those loops
+ * as explicitly vectorizable kernels in two flavours:
+ *
+ *  - Scalar: the original std::complex loops, kept verbatim as the
+ *    bit-reference. std::complex multiplies lower to __muldc3 (a libcall
+ *    with inf/nan fixups) on GCC/Clang, which blocks vectorization.
+ *  - Simd: structure-of-arrays (split real/imag) and interleaved-pair
+ *    loops over plain Real arithmetic with contiguous unit strides,
+ *    annotated for vectorization. Compiled only when the configure-time
+ *    option LIGHTRIDGE_SIMD is on (the default); the build adds
+ *    -fopenmp-simd so the `omp simd` annotations are honoured without
+ *    pulling in an OpenMP runtime.
+ *
+ * Dispatch is a process-wide runtime switch so one binary can execute and
+ * cross-check both kernel sets (the property suites do exactly that).
+ * Reassociated reductions mean Simd results are not bitwise equal to
+ * Scalar results; the contract, enforced by tests, is agreement within
+ * kFftKernelTolerance * n for unit-magnitude inputs of length n. Within
+ * one mode, results are deterministic and independent of thread count.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+/** Which inner-loop kernel set the FFT/Hadamard engine executes. */
+enum class FftKernelMode
+{
+    Scalar, ///< reference std::complex loops (pre-dispatch behaviour)
+    Simd,   ///< vectorizable SoA/interleaved kernels (needs LIGHTRIDGE_SIMD)
+};
+
+/** True when the SIMD kernel set was compiled in (LIGHTRIDGE_SIMD=ON). */
+bool simdKernelsCompiled();
+
+/** Currently active kernel mode (process-wide). */
+FftKernelMode fftKernelMode();
+
+/**
+ * Select the kernel mode. Requesting Simd in a build without the SIMD
+ * kernels falls back to Scalar; the return value is the mode actually in
+ * effect.
+ */
+FftKernelMode setFftKernelMode(FftKernelMode mode);
+
+/**
+ * Scalar-vs-SIMD agreement bound: for inputs with |x_i| <= 1, transforms
+ * of length n (or n*n fields) from the two kernel sets agree within
+ * kFftKernelTolerance * n in max absolute difference. Pinned by the
+ * property and propagator suites; loosening it is an API change.
+ */
+inline constexpr Real kFftKernelTolerance = 1e-11;
+
+/** RAII guard: set a kernel mode for one scope, restore on exit. */
+class FftKernelModeGuard
+{
+  public:
+    explicit FftKernelModeGuard(FftKernelMode mode)
+        : previous_(fftKernelMode())
+    {
+        setFftKernelMode(mode);
+    }
+    ~FftKernelModeGuard() { setFftKernelMode(previous_); }
+
+    FftKernelModeGuard(const FftKernelModeGuard &) = delete;
+    FftKernelModeGuard &operator=(const FftKernelModeGuard &) = delete;
+
+  private:
+    FftKernelMode previous_;
+};
+
+/**
+ * The vectorizable kernels themselves. All pointers must be non-aliasing
+ * unless a parameter is documented as in/out; SoA variants take split
+ * real/imag arrays, interleaved variants take (re, im) pairs as laid out
+ * by std::complex<Real> arrays.
+ */
+namespace kernels {
+
+/**
+ * Radix-2 butterfly pass over one combine block.
+ * data layout: x0 = (re[k], im[k]), x1 = (re[m+k], im[m+k]), k in [0, m).
+ * Computes x0' = x0 + tw[k]*x1, x1' = x0 - tw[k]*x1 in place.
+ */
+void radix2Pass(Real *re, Real *im, const Real *tw_re, const Real *tw_im,
+                std::size_t m);
+
+/**
+ * Radix-4 butterfly pass over one combine block of length 4m.
+ * Twiddle arrays hold three unit-stride sub-tables of length m each:
+ * tw_re[j*m + k] = Re(W_{4m}^{(j+1)k}) for j in {0,1,2}.
+ */
+void radix4Pass(Real *re, Real *im, const Real *tw_re, const Real *tw_im,
+                std::size_t m);
+
+/** out = a * b, element-wise complex multiply over split arrays. */
+void cmulSoa(Real *out_re, Real *out_im, const Real *a_re, const Real *a_im,
+             const Real *b_re, const Real *b_im, std::size_t n);
+
+/** y += c * x for a complex constant c over split arrays. */
+void caxpySoa(Real *y_re, Real *y_im, const Real *x_re, const Real *x_im,
+              Real c_re, Real c_im, std::size_t n);
+
+/**
+ * a *= b element-wise over interleaved complex arrays of n samples
+ * (2n Reals). This is the transfer-function Hadamard multiply of the
+ * propagator and the Bluestein chirp product.
+ */
+void cmulInterleaved(Real *a, const Real *b, std::size_t n);
+
+/** a *= conj(b) element-wise over interleaved complex arrays. */
+void cmulConjInterleaved(Real *a, const Real *b, std::size_t n);
+
+/**
+ * dst = a * b element-wise over interleaved complex arrays (out of
+ * place; dst must not alias a or b). Used where the product lands in a
+ * different buffer anyway — the Bluestein chirp products — to avoid a
+ * copy-then-multiply double pass.
+ */
+void cmulInterleavedOut(Real *dst, const Real *a, const Real *b,
+                        std::size_t n);
+
+/** Merge re[]/im[] back into n interleaved complex samples. */
+void interleave(const Real *re, const Real *im, Real *dst, std::size_t n);
+
+} // namespace kernels
+
+} // namespace lightridge

@@ -218,10 +218,14 @@ Propagator::convolve(const Field &in, bool conjugate_kernel) const
     } else {
         work = Field(padded_n_, padded_n_);
         for (std::size_t r = 0; r < n; ++r)
-            for (std::size_t c = 0; c < n; ++c)
-                work(r, c) = in(r, c);
+            std::copy(in.data() + r * n, in.data() + (r + 1) * n,
+                      work.data() + r * padded_n_);
     }
 
+    // FFT2 -> transfer-function Hadamard -> iFFT2, all through the kernel
+    // dispatch layer: the 2-D transforms shard rows/columns across the
+    // thread pool for large grids, and the element-wise kernel multiply
+    // runs the vectorized interleaved complex product in Simd mode.
     fft_->forward(&work);
     if (conjugate_kernel)
         work.hadamardConj(*kernel_);
@@ -233,8 +237,8 @@ Propagator::convolve(const Field &in, bool conjugate_kernel) const
         return work;
     Field out(n, n);
     for (std::size_t r = 0; r < n; ++r)
-        for (std::size_t c = 0; c < n; ++c)
-            out(r, c) = work(r, c);
+        std::copy(work.data() + r * padded_n_,
+                  work.data() + r * padded_n_ + n, out.data() + r * n);
     return out;
 }
 

@@ -127,7 +127,13 @@ class Field
     /** Elementwise in-place subtract. */
     Field &operator-=(const Field &other);
 
-    /** Elementwise in-place Hadamard product (complex MM of the paper). */
+    /**
+     * Elementwise in-place Hadamard product (complex MM of the paper).
+     * Dispatches through the FFT kernel layer: the Simd mode runs the
+     * vectorized interleaved complex-multiply kernel, Scalar the
+     * reference std::complex loop (see fft/kernels.hpp for the
+     * agreement contract between the two).
+     */
     Field &hadamard(const Field &other);
 
     /** Elementwise in-place product with the conjugate of other. */

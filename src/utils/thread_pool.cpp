@@ -4,6 +4,18 @@
 
 namespace lightridge {
 
+namespace {
+
+thread_local bool t_inside_worker = false;
+
+} // namespace
+
+bool
+ThreadPool::insideWorker()
+{
+    return t_inside_worker;
+}
+
 ThreadPool::ThreadPool(std::size_t workers)
 {
     if (workers == 0) {
@@ -30,6 +42,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop()
 {
+    t_inside_worker = true;
     for (;;) {
         std::function<void()> job;
         {

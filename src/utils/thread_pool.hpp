@@ -47,6 +47,14 @@ class ThreadPool
     /** Shared process-wide pool sized from hardware concurrency. */
     static ThreadPool &global();
 
+    /**
+     * True when the calling thread is a worker of any ThreadPool. Used by
+     * layers that parallelize internally (row-parallel FFT2) to fall back
+     * to serial execution instead of nesting parallelFor — a nested wait
+     * inside a worker could deadlock the queue and oversubscribes cores.
+     */
+    static bool insideWorker();
+
   private:
     void workerLoop();
 
