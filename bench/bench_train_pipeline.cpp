@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Training hot-path benchmark for the zero-allocation workspace engine
+ * and the pipelined data-parallel session.
+ *
+ * Emits bench_results/BENCH_train.json with two sections:
+ *
+ *  - "workspace": steady-state single-thread train-step throughput
+ *    (samples/sec) of the in-place workspace pipeline versus a faithful
+ *    re-implementation of the pre-workspace allocating path (per-sample
+ *    source-profile recompute, fresh pad/crop/return buffers and cache
+ *    copies per layer — exactly the churn the workspace engine removes).
+ *    Both paths compute bitwise-identical losses, which the harness
+ *    asserts. Gate: >= 1.2x at the best measured size, single-thread, so
+ *    it applies on every host.
+ *  - "pipeline": epoch wall time of TrainConfig::pipeline on vs off at
+ *    several worker counts. The gate (no regression, equal losses) only
+ *    applies when the host has >= 4 hardware threads; single-CPU runners
+ *    report without failing, per the hardware-conditioning convention.
+ */
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/model.hpp"
+#include "core/session.hpp"
+#include "data/synth_digits.hpp"
+#include "optics/laser.hpp"
+#include "utils/json.hpp"
+#include "utils/thread_pool.hpp"
+#include "utils/timer.hpp"
+
+using namespace lightridge;
+
+namespace {
+
+struct BenchModel
+{
+    DonnModel model;
+    std::vector<RealMap> images;
+    std::vector<int> labels;
+};
+
+BenchModel
+makeBenchModel(std::size_t n, std::size_t depth, std::size_t samples)
+{
+    SystemSpec spec;
+    spec.size = n;
+    spec.pixel = 36e-6;
+    spec.distance = idealDistanceHalfCone(Grid{n, 36e-6}, 532e-9);
+    Laser laser;
+    laser.profile = BeamProfile::Gaussian; // realistic non-trivial beam
+    Rng rng(7);
+    DonnModel model = ModelBuilder(spec, laser)
+                          .diffractiveLayers(depth, 1.0, &rng)
+                          .detectorGrid(10, std::max<std::size_t>(n / 8, 1))
+                          .build();
+    std::vector<RealMap> images;
+    std::vector<int> labels;
+    for (std::size_t s = 0; s < samples; ++s) {
+        RealMap image(n, n);
+        for (std::size_t i = 0; i < image.size(); ++i)
+            image[i] = rng.uniform(0, 1);
+        images.push_back(std::move(image));
+        labels.push_back(static_cast<int>(s % 10));
+    }
+    return BenchModel{std::move(model), std::move(images),
+                      std::move(labels)};
+}
+
+/**
+ * One train step over every sample through the in-place workspace
+ * pipeline (what ClassificationTask::sampleStep runs). Returns the loss
+ * sum for the cross-check against the allocating path.
+ */
+Real
+workspaceSweep(BenchModel &bm)
+{
+    PropagationWorkspace &workspace = PropagationWorkspace::threadLocal();
+    const Grid grid = bm.model.spec().grid();
+    Real loss_sum = 0;
+    for (std::size_t s = 0; s < bm.images.size(); ++s) {
+        WorkspaceField u(workspace, grid.n, grid.n);
+        bm.model.encodeInto(bm.images[s], u.get());
+        std::vector<Real> logits =
+            bm.model.forwardLogitsInPlace(u.get(), true, workspace);
+        LossResult loss = classificationLoss(LossKind::SoftmaxMse, logits,
+                                             bm.labels[s]);
+        loss_sum += loss.value;
+        bm.model.backwardFromLogitsInPlace(loss.dlogits, u.get(),
+                                           workspace);
+    }
+    bm.model.zeroGrad();
+    return loss_sum;
+}
+
+/**
+ * Faithful re-creation of the pre-workspace per-sample train step: the
+ * source profile is recomputed per encode, every layer allocates its
+ * diffracted/output fields and copies them into activation caches, and
+ * the backward pass allocates a fresh gradient field per hop — the exact
+ * data flow (and allocation pattern) of the seed DiffractiveLayer /
+ * DonnModel code. Numerics are bitwise-identical to the workspace path.
+ */
+struct AllocatingLayerCache
+{
+    Field diffracted;
+    Field out;
+    RealMap phase_grad;
+};
+
+Real
+allocatingSweep(BenchModel &bm, std::vector<AllocatingLayerCache> &caches)
+{
+    const Grid grid = bm.model.spec().grid();
+    const Laser &laser = bm.model.laser();
+    const Propagator &prop = *bm.model.hopPropagator();
+    const std::size_t depth = bm.model.depth();
+    caches.resize(depth);
+    Real loss_sum = 0;
+
+    for (std::size_t s = 0; s < bm.images.size(); ++s) {
+        // Seed encode: profile transcendentals evaluated per sample.
+        Field input = encodeInput(bm.images[s], laser, grid);
+
+        // Forward: fresh buffers + cache copies per layer, as the
+        // pre-workspace DiffractiveLayer::forward did.
+        Field u = input;
+        for (std::size_t l = 0; l < depth; ++l) {
+            auto *layer =
+                dynamic_cast<DiffractiveLayer *>(bm.model.layer(l));
+            Field diffracted = prop.forward(u);
+            Field out(grid.n, grid.n);
+            const RealMap &phase = layer->phase();
+            for (std::size_t i = 0; i < out.size(); ++i)
+                out[i] = diffracted[i] * std::polar(Real(1), phase[i]);
+            caches[l].diffracted = std::move(diffracted);
+            caches[l].out = out;
+            u = std::move(out);
+        }
+        Field det = prop.forward(u);
+
+        std::vector<Real> logits = bm.model.detector().forward(det);
+        LossResult loss = classificationLoss(LossKind::SoftmaxMse, logits,
+                                             bm.labels[s]);
+        loss_sum += loss.value;
+
+        // Backward: fresh gradient field per hop, as the seed did.
+        Field g = bm.model.detector().backward(loss.dlogits);
+        g = prop.adjoint(g);
+        for (std::size_t l = depth; l-- > 0;) {
+            auto *layer =
+                dynamic_cast<DiffractiveLayer *>(bm.model.layer(l));
+            const RealMap &phase = layer->phase();
+            RealMap &pg = caches[l].phase_grad;
+            if (pg.size() != phase.size())
+                pg = RealMap(grid.n, grid.n);
+            for (std::size_t i = 0; i < pg.size(); ++i) {
+                Complex tangent = kJ * caches[l].out[i];
+                pg[i] += std::real(std::conj(g[i]) * tangent);
+            }
+            Field grad_diff(grid.n, grid.n);
+            for (std::size_t i = 0; i < grad_diff.size(); ++i)
+                grad_diff[i] = g[i] * std::polar(Real(1), -phase[i]);
+            g = prop.adjoint(grad_diff);
+        }
+    }
+    for (AllocatingLayerCache &cache : caches)
+        cache.phase_grad.fill(0);
+    return loss_sum;
+}
+
+double
+medianMs(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Train pipeline: workspace reuse + overlapped replicas",
+                  "ROADMAP perf: zero-alloc hot path, merge/forward overlap");
+
+    const std::size_t depth = 5;
+    const std::size_t sweep_samples = scaled<std::size_t>(12, 24);
+    std::vector<std::size_t> sizes =
+        benchFullScale() ? std::vector<std::size_t>{32, 64, 96, 128}
+                         : std::vector<std::size_t>{32, 64, 96};
+
+    CsvWriter csv;
+    csv.header({"size", "allocating_ms", "workspace_ms", "speedup",
+                "workspace_samples_per_sec"});
+
+    std::printf("\nsingle-thread steady-state train step, depth=%zu "
+                "(per-sample ms)\n",
+                depth);
+    std::printf("%-8s %14s %14s %9s %14s\n", "size", "allocating_ms",
+                "workspace_ms", "speedup", "samples/sec");
+
+    Json workspace_rows;
+    Real best_speedup = 0;
+    bool losses_identical = true;
+    for (std::size_t n : sizes) {
+        BenchModel bm = makeBenchModel(n, depth, sweep_samples);
+        std::vector<AllocatingLayerCache> caches;
+
+        // Warm both paths (plans, kernels, caches, arena) and pin the
+        // bitwise cross-check before timing.
+        Real ws_loss = workspaceSweep(bm);
+        Real alloc_loss = allocatingSweep(bm, caches);
+        bm.model.zeroGrad();
+        losses_identical = losses_identical && (ws_loss == alloc_loss);
+
+        const int reps = n <= 64 ? 5 : 3;
+        std::vector<double> ws_ms, alloc_ms;
+        for (int r = 0; r < reps; ++r) {
+            WallTimer t1;
+            workspaceSweep(bm);
+            ws_ms.push_back(t1.milliseconds());
+            WallTimer t2;
+            allocatingSweep(bm, caches);
+            alloc_ms.push_back(t2.milliseconds());
+            bm.model.zeroGrad();
+        }
+        double ws_per_sample = medianMs(ws_ms) / sweep_samples;
+        double alloc_per_sample = medianMs(alloc_ms) / sweep_samples;
+        double speedup = alloc_per_sample / ws_per_sample;
+        double samples_per_sec = 1e3 / ws_per_sample;
+        best_speedup = std::max<Real>(best_speedup, speedup);
+        std::printf("%-8zu %14.3f %14.3f %8.2fx %14.1f\n", n,
+                    alloc_per_sample, ws_per_sample, speedup,
+                    samples_per_sec);
+
+        csv.rowNumeric({static_cast<double>(n), alloc_per_sample,
+                        ws_per_sample, speedup, samples_per_sec});
+        Json row;
+        row["size"] = Json(n);
+        row["depth"] = Json(depth);
+        row["allocating_ms_per_sample"] = Json(alloc_per_sample);
+        row["workspace_ms_per_sample"] = Json(ws_per_sample);
+        row["speedup"] = Json(speedup);
+        row["workspace_samples_per_sec"] = Json(samples_per_sec);
+        row["loss_bitwise_identical"] = Json(ws_loss == alloc_loss);
+        workspace_rows.push(std::move(row));
+    }
+    std::printf("paths bitwise-identical: %s\n",
+                losses_identical ? "yes" : "NO");
+
+    // ----------------------------------------------------------------
+    // Pipelined session: TrainConfig::pipeline on vs off. The overlap
+    // hides the main thread's gradient merge + Adam step behind the next
+    // batch's forwards, so the win grows with parameter count and worker
+    // count; on oversubscribed or single-CPU hosts it degrades to the
+    // synchronous schedule.
+    // ----------------------------------------------------------------
+    const std::size_t hw_threads = ThreadPool::global().workerCount();
+    const std::size_t train_n = 48;
+    const std::size_t train_depth = 3;
+    ClassDataset train = makeSynthDigits(scaled<std::size_t>(48, 96), 1);
+
+    auto runSession = [&](std::size_t workers, bool pipeline) {
+        SystemSpec spec;
+        spec.size = train_n;
+        spec.pixel = 36e-6;
+        spec.distance =
+            idealDistanceHalfCone(Grid{train_n, 36e-6}, 532e-9);
+        Rng rng(3);
+        DonnModel model = ModelBuilder(spec, Laser{})
+                              .diffractiveLayers(train_depth, 1.0, &rng)
+                              .detectorGrid(10, train_n / 8)
+                              .build();
+        TrainConfig cfg;
+        cfg.epochs = 2;
+        cfg.batch = 24;
+        cfg.lr = 0.05;
+        cfg.workers = workers;
+        cfg.pipeline = pipeline;
+        ClassificationTask task(model, train);
+        return Session(task, cfg).fit();
+    };
+
+    std::printf("\npipelined session (pipeline on vs off, n=%zu depth=%zu, "
+                "hw_threads=%zu)\n",
+                train_n, train_depth, hw_threads);
+    std::printf("%-10s %12s %12s %9s %12s\n", "workers", "sync_ms",
+                "pipeline_ms", "speedup", "loss_match");
+
+    Json pipeline_rows;
+    Real best_pipeline_speedup = 0;
+    bool pipeline_losses_match = true;
+    // workers = hw-1 leaves a core free for the merging main thread;
+    // workers = 4 shows the fully subscribed schedule. The gate takes
+    // the best of two timing repetitions per config so one noisy run on
+    // a shared CI box cannot fail it.
+    std::vector<std::size_t> worker_counts{4};
+    if (hw_threads >= 4 && hw_threads - 1 != 4)
+        worker_counts.push_back(hw_threads - 1);
+    for (std::size_t workers : worker_counts) {
+        double sync_ms = 1e300, pipe_ms = 1e300;
+        Real sync_loss = 0, pipe_loss = 0;
+        bool match = true;
+        for (int rep = 0; rep < 2; ++rep) {
+            auto sync = runSession(workers, false);
+            auto pipelined = runSession(workers, true);
+            sync_ms = std::min(
+                sync_ms, 1e3 * std::min(sync[0].seconds,
+                                        sync[1].seconds));
+            pipe_ms = std::min(
+                pipe_ms, 1e3 * std::min(pipelined[0].seconds,
+                                        pipelined[1].seconds));
+            sync_loss = sync.back().train_loss;
+            pipe_loss = pipelined.back().train_loss;
+            match = match && std::abs(pipe_loss - sync_loss) <=
+                                 0.5 * std::abs(sync_loss) + 0.05;
+        }
+        double speedup = sync_ms / pipe_ms;
+        best_pipeline_speedup =
+            std::max<Real>(best_pipeline_speedup, speedup);
+        pipeline_losses_match = pipeline_losses_match && match;
+        std::printf("%-10zu %12.1f %12.1f %8.2fx %12s\n", workers, sync_ms,
+                    pipe_ms, speedup, match ? "yes" : "NO");
+        Json row;
+        row["workers"] = Json(workers);
+        row["sync_ms"] = Json(sync_ms);
+        row["pipeline_ms"] = Json(pipe_ms);
+        row["speedup"] = Json(speedup);
+        row["sync_loss"] = Json(sync_loss);
+        row["pipeline_loss"] = Json(pipe_loss);
+        row["loss_match"] = Json(match);
+        pipeline_rows.push(std::move(row));
+    }
+
+    // Gates. Workspace reuse is single-thread, so it applies everywhere;
+    // the pipeline gate needs real cores to mean anything.
+    const bool workspace_gate_pass =
+        best_speedup >= 1.2 && losses_identical;
+    const bool pipeline_gate_applies = hw_threads >= 4;
+    const bool pipeline_gate_pass =
+        !pipeline_gate_applies ||
+        (best_pipeline_speedup >= 0.9 && pipeline_losses_match);
+
+    std::printf("\ngate: workspace >= 1.2x single-thread (best size), "
+                "bitwise losses -> %s (%.2fx)\n",
+                workspace_gate_pass ? "PASS" : "FAIL", best_speedup);
+    std::printf("gate: pipeline no-regression + equal losses at >= 4 hw "
+                "threads -> %s (%.2fx%s)\n",
+                pipeline_gate_pass ? "PASS" : "FAIL",
+                best_pipeline_speedup,
+                pipeline_gate_applies ? ""
+                                      : ", skipped: < 4 hw threads");
+
+    bench::saveCsv(csv, "train_pipeline");
+    Json artifact;
+    artifact["bench"] = Json("train_pipeline");
+    artifact["scale"] = Json(benchFullScale() ? "full" : "quick");
+    artifact["hw_threads"] = Json(hw_threads);
+    artifact["alloc_stats_compiled"] = Json(fieldAllocStatsEnabled());
+    artifact["workspace"] = std::move(workspace_rows);
+    artifact["pipeline"] = std::move(pipeline_rows);
+    Json gates;
+    gates["workspace_best_speedup"] = Json(best_speedup);
+    gates["workspace_losses_bitwise"] = Json(losses_identical);
+    gates["workspace_gate_pass"] = Json(workspace_gate_pass);
+    gates["pipeline_gate_applies"] = Json(pipeline_gate_applies);
+    gates["pipeline_best_speedup"] = Json(best_pipeline_speedup);
+    gates["pipeline_losses_match"] = Json(pipeline_losses_match);
+    gates["pipeline_gate_pass"] = Json(pipeline_gate_pass);
+    artifact["gates"] = std::move(gates);
+    const std::string json_path = bench::resultsDir() + "/BENCH_train.json";
+    if (artifact.save(json_path))
+        std::printf("[json] %s\n", json_path.c_str());
+
+    return (workspace_gate_pass && pipeline_gate_pass) ? 0 : 1;
+}

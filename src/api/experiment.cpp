@@ -281,6 +281,7 @@ trainConfigToJson(const TrainConfig &config)
     j["tau_start"] = Json(config.tau_start);
     j["tau_end"] = Json(config.tau_end);
     j["workers"] = Json(config.workers);
+    j["pipeline"] = Json(config.pipeline);
     j["verbose"] = Json(config.verbose);
     return j;
 }
@@ -291,7 +292,7 @@ trainConfigFromJson(const Json &j)
     expectKeys(j,
                {"epochs", "batch", "lr", "loss", "seed", "shuffle",
                 "calibrate", "calib_target", "calib_probe", "gamma",
-                "tau_start", "tau_end", "workers", "verbose"},
+                "tau_start", "tau_end", "workers", "pipeline", "verbose"},
                "train config");
     TrainConfig config;
     config.epochs = static_cast<int>(j.numberOr("epochs", config.epochs));
@@ -311,6 +312,8 @@ trainConfigFromJson(const Json &j)
     config.tau_start = j.numberOr("tau_start", config.tau_start);
     config.tau_end = j.numberOr("tau_end", config.tau_end);
     config.workers = sizeOr(j, "workers", config.workers);
+    if (j.has("pipeline"))
+        config.pipeline = j.at("pipeline").asBool();
     if (j.has("verbose"))
         config.verbose = j.at("verbose").asBool();
     return config;

@@ -51,13 +51,32 @@ CodesignLayer::unitSoftmax(std::size_t i, bool with_noise, Real *out)
 Field
 CodesignLayer::forward(const Field &in, bool training)
 {
-    if (!training)
-        return infer(in);
+    Field u = in;
+    forwardInPlace(u, training, PropagationWorkspace::threadLocal());
+    return u;
+}
+
+Field
+CodesignLayer::infer(const Field &in) const
+{
+    Field u = in;
+    inferInPlace(u, PropagationWorkspace::threadLocal());
+    return u;
+}
+
+void
+CodesignLayer::forwardInPlace(Field &u, bool training,
+                              PropagationWorkspace &workspace)
+{
+    if (!training) {
+        inferInPlace(u, workspace);
+        return;
+    }
 
     const std::size_t n = sideLength();
     const std::size_t k = lut_.size();
-    Field diffracted = propagator_->forward(in);
-    Field modulation(n, n);
+    propagator_->forwardInto(u, cached_diffracted_, workspace);
+    ensureFieldShape(cached_modulation_, n, n);
 
     cached_probs_.resize(n * n * k);
     for (std::size_t i = 0; i < n * n; ++i) {
@@ -66,33 +85,27 @@ CodesignLayer::forward(const Field &in, bool training)
         Complex m{0, 0};
         for (std::size_t j = 0; j < k; ++j)
             m += p[j] * lut_.levels[j];
-        modulation[i] = m;
+        cached_modulation_[i] = m;
     }
 
-    Field out(n, n);
-    for (std::size_t i = 0; i < out.size(); ++i)
-        out[i] = gamma_ * diffracted[i] * modulation[i];
-
-    cached_diffracted_ = std::move(diffracted);
-    cached_modulation_ = std::move(modulation);
-    return out;
+    ensureFieldShape(u, n, n);
+    for (std::size_t i = 0; i < u.size(); ++i)
+        u[i] = gamma_ * cached_diffracted_[i] * cached_modulation_[i];
 }
 
-Field
-CodesignLayer::infer(const Field &in) const
+void
+CodesignLayer::inferInPlace(Field &u, PropagationWorkspace &workspace) const
 {
     const std::size_t n = sideLength();
     const std::size_t k = lut_.size();
-    Field diffracted = propagator_->forward(in);
+    propagator_->forwardInto(u, u, workspace);
 
     // Deployment: exact argmax device state per unit.
-    Field out(n, n);
     for (std::size_t i = 0; i < n * n; ++i) {
         const Real *l = logits_.data() + i * k;
         std::size_t best = std::max_element(l, l + k) - l;
-        out[i] = gamma_ * diffracted[i] * lut_.levels[best];
+        u[i] = gamma_ * u[i] * lut_.levels[best];
     }
-    return out;
 }
 
 LayerPtr
@@ -106,6 +119,14 @@ CodesignLayer::clone() const
 Field
 CodesignLayer::backward(const Field &grad_out)
 {
+    Field g = grad_out;
+    backwardInPlace(g, PropagationWorkspace::threadLocal());
+    return g;
+}
+
+void
+CodesignLayer::backwardInPlace(Field &g, PropagationWorkspace &workspace)
+{
     const std::size_t n = sideLength();
     const std::size_t k = lut_.size();
     if (cached_probs_.size() != n * n * k)
@@ -115,11 +136,11 @@ CodesignLayer::backward(const Field &grad_out)
     for (std::size_t i = 0; i < n * n; ++i) {
         // dL/dp_j = Re(conj(G_out) * gamma * U_diff * m_j)
         Complex base = gamma_ * cached_diffracted_[i];
-        Complex g = std::conj(grad_out[i]);
+        Complex gc = std::conj(g[i]);
         Real inner = 0;
         const Real *p = cached_probs_.data() + i * k;
         for (std::size_t j = 0; j < k; ++j) {
-            dldp[j] = std::real(g * base * lut_.levels[j]);
+            dldp[j] = std::real(gc * base * lut_.levels[j]);
             inner += p[j] * dldp[j];
         }
         // Softmax Jacobian with the 1/tau factor of the relaxation.
@@ -128,11 +149,9 @@ CodesignLayer::backward(const Field &grad_out)
             lg[j] += p[j] * (dldp[j] - inner) / tau_;
     }
 
-    Field grad_diff(n, n);
-    for (std::size_t i = 0; i < grad_diff.size(); ++i)
-        grad_diff[i] =
-            grad_out[i] * std::conj(gamma_ * cached_modulation_[i]);
-    return propagator_->adjoint(grad_diff);
+    for (std::size_t i = 0; i < g.size(); ++i)
+        g[i] = g[i] * std::conj(gamma_ * cached_modulation_[i]);
+    propagator_->adjointInto(g, g, workspace);
 }
 
 std::vector<ParamView>

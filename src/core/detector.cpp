@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "optics/workspace.hpp"
+
 namespace lightridge {
 
 DetectorPlane::DetectorPlane(std::vector<DetectorRegion> regions,
@@ -70,18 +72,38 @@ DetectorPlane::forward(const Field &u)
 Field
 DetectorPlane::backward(const std::vector<Real> &dlogits) const
 {
-    if (cached_u_.empty())
-        throw std::logic_error("DetectorPlane::backward before forward");
-    return backwardFor(cached_u_, dlogits);
+    Field grad;
+    backwardInto(dlogits, grad);
+    return grad;
 }
 
 Field
 DetectorPlane::backwardFor(const Field &u,
                            const std::vector<Real> &dlogits) const
 {
+    Field grad;
+    backwardForInto(u, dlogits, grad);
+    return grad;
+}
+
+void
+DetectorPlane::backwardInto(const std::vector<Real> &dlogits,
+                            Field &grad) const
+{
+    if (cached_u_.empty())
+        throw std::logic_error("DetectorPlane::backward before forward");
+    backwardForInto(cached_u_, dlogits, grad);
+}
+
+void
+DetectorPlane::backwardForInto(const Field &u,
+                               const std::vector<Real> &dlogits,
+                               Field &grad) const
+{
     if (dlogits.size() != regions_.size())
         throw std::invalid_argument("DetectorPlane: dlogits size mismatch");
-    Field grad(u.rows(), u.cols(), Complex{0, 0});
+    ensureFieldShape(grad, u.rows(), u.cols());
+    grad.fill(Complex{0, 0});
     for (std::size_t k = 0; k < regions_.size(); ++k) {
         const DetectorRegion &reg = regions_[k];
         // logit = amp * sum |u|^2  =>  G = 2 * amp * dlogit * u.
@@ -90,7 +112,6 @@ DetectorPlane::backwardFor(const Field &u,
             for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
                 grad(r, c) += scale * u(r, c);
     }
-    return grad;
 }
 
 std::vector<DetectorRegion>

@@ -79,6 +79,17 @@ class DetectorPlane
                       const std::vector<Real> &dlogits) const;
 
     /**
+     * In-place backward: writes the Wirtinger gradient into `grad`
+     * (resized at most once; allocation-free in steady state). `grad`
+     * must not alias the cached forward field.
+     */
+    void backwardInto(const std::vector<Real> &dlogits, Field &grad) const;
+
+    /** In-place backwardFor(); `grad` must not alias `u`. */
+    void backwardForInto(const Field &u, const std::vector<Real> &dlogits,
+                         Field &grad) const;
+
+    /**
      * Evenly spaced grid layout: num_classes square regions of det_size
      * pixels arranged in near-square rows across an n-by-n plane, mirroring
      * the paper's "10 pre-defined detector regions placed evenly".

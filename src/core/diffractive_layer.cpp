@@ -1,6 +1,7 @@
 #include "core/diffractive_layer.hpp"
 
 #include <cmath>
+#include <cstring>
 
 namespace lightridge {
 
@@ -23,25 +24,64 @@ DiffractiveLayer::DiffractiveLayer(
 Field
 DiffractiveLayer::forward(const Field &in, bool training)
 {
-    if (!training)
-        return infer(in);
-    Field diffracted = propagator_->forward(in);
-    Field out(diffracted.rows(), diffracted.cols());
-    for (std::size_t i = 0; i < out.size(); ++i)
-        out[i] = gamma_ * diffracted[i] * std::polar(Real(1), phase_[i]);
-    cached_diffracted_ = std::move(diffracted);
-    cached_out_ = out;
-    return out;
+    Field u = in;
+    forwardInPlace(u, training, PropagationWorkspace::threadLocal());
+    return u;
 }
 
 Field
 DiffractiveLayer::infer(const Field &in) const
 {
-    Field diffracted = propagator_->forward(in);
-    Field out(diffracted.rows(), diffracted.cols());
-    for (std::size_t i = 0; i < out.size(); ++i)
-        out[i] = gamma_ * diffracted[i] * std::polar(Real(1), phase_[i]);
-    return out;
+    Field u = in;
+    inferInPlace(u, PropagationWorkspace::threadLocal());
+    return u;
+}
+
+void
+DiffractiveLayer::ensureModulation()
+{
+    const std::size_t size = phase_.size();
+    if (modulation_.size() == size &&
+        std::memcmp(modulation_phase_.data(), phase_.data(),
+                    size * sizeof(Real)) == 0)
+        return;
+    ensureFieldShape(modulation_, phase_.rows(), phase_.cols());
+    ensureFieldShape(modulation_conj_, phase_.rows(), phase_.cols());
+    for (std::size_t i = 0; i < size; ++i) {
+        modulation_[i] = std::polar(Real(1), phase_[i]);
+        modulation_conj_[i] = std::polar(Real(1), -phase_[i]);
+    }
+    modulation_phase_ = phase_;
+}
+
+void
+DiffractiveLayer::forwardInPlace(Field &u, bool training,
+                                 PropagationWorkspace &workspace)
+{
+    if (!training) {
+        inferInPlace(u, workspace);
+        return;
+    }
+    ensureModulation();
+    propagator_->forwardInto(u, cached_diffracted_, workspace);
+    ensureFieldShape(cached_out_, cached_diffracted_.rows(),
+                     cached_diffracted_.cols());
+    ensureFieldShape(u, cached_diffracted_.rows(),
+                     cached_diffracted_.cols());
+    for (std::size_t i = 0; i < cached_out_.size(); ++i) {
+        Complex v = gamma_ * cached_diffracted_[i] * modulation_[i];
+        cached_out_[i] = v;
+        u[i] = v;
+    }
+}
+
+void
+DiffractiveLayer::inferInPlace(Field &u,
+                               PropagationWorkspace &workspace) const
+{
+    propagator_->forwardInto(u, u, workspace);
+    for (std::size_t i = 0; i < u.size(); ++i)
+        u[i] = gamma_ * u[i] * std::polar(Real(1), phase_[i]);
 }
 
 LayerPtr
@@ -53,20 +93,27 @@ DiffractiveLayer::clone() const
 Field
 DiffractiveLayer::backward(const Field &grad_out)
 {
+    Field g = grad_out;
+    backwardInPlace(g, PropagationWorkspace::threadLocal());
+    return g;
+}
+
+void
+DiffractiveLayer::backwardInPlace(Field &g, PropagationWorkspace &workspace)
+{
+    ensureModulation();
     // dL/dphi = Re(conj(G_out) * j * U_out): the phase rotates the output
     // in the complex plane, so its gradient is the tangential component.
     for (std::size_t i = 0; i < phase_grad_.size(); ++i) {
         Complex tangent = kJ * cached_out_[i];
-        phase_grad_[i] += std::real(std::conj(grad_out[i]) * tangent);
+        phase_grad_[i] += std::real(std::conj(g[i]) * tangent);
     }
 
     // G before modulation: G_diff = G_out * conj(gamma * e^{j phi}).
-    Field grad_diff(grad_out.rows(), grad_out.cols());
-    for (std::size_t i = 0; i < grad_diff.size(); ++i)
-        grad_diff[i] =
-            grad_out[i] * gamma_ * std::polar(Real(1), -phase_[i]);
+    for (std::size_t i = 0; i < g.size(); ++i)
+        g[i] = g[i] * gamma_ * modulation_conj_[i];
 
-    return propagator_->adjoint(grad_diff);
+    propagator_->adjointInto(g, g, workspace);
 }
 
 std::vector<ParamView>

@@ -35,6 +35,11 @@ class DiffractiveLayer : public Layer
     Field forward(const Field &in, bool training) override;
     Field backward(const Field &grad_out) override;
     Field infer(const Field &in) const override;
+    void forwardInPlace(Field &u, bool training,
+                        PropagationWorkspace &workspace) override;
+    void backwardInPlace(Field &g, PropagationWorkspace &workspace) override;
+    void inferInPlace(Field &u,
+                      PropagationWorkspace &workspace) const override;
     LayerPtr clone() const override;
     std::vector<ParamView> params() override;
     Json toJson() const override;
@@ -54,10 +59,27 @@ class DiffractiveLayer : public Layer
     fromJson(const Json &j, std::shared_ptr<const Propagator> propagator);
 
   private:
+    /**
+     * Rebuild the cached modulation tables exp(j*phi) / exp(-j*phi) if
+     * the phase mask changed since they were built (bitwise snapshot
+     * compare). Evaluating sincos over the full mask per sample
+     * dominated the train step; with the cache it runs once per
+     * optimizer step. Values are the exact std::polar results the
+     * uncached loops produced, so training stays bitwise-identical.
+     * Training-path only: infer() keeps computing polar directly and
+     * stays safe for concurrent use of a shared instance.
+     */
+    void ensureModulation();
+
     std::shared_ptr<const Propagator> propagator_;
     Real gamma_;
     RealMap phase_;
     RealMap phase_grad_;
+
+    // Modulation cache (training only; see ensureModulation()).
+    Field modulation_;
+    Field modulation_conj_;
+    RealMap modulation_phase_; ///< snapshot the tables were built from
 
     // Activation caches (training only).
     Field cached_diffracted_;

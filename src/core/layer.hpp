@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "optics/workspace.hpp"
 #include "tensor/field.hpp"
 #include "utils/json.hpp"
 #include "utils/rng.hpp"
@@ -59,6 +60,37 @@ class Layer
      * identical to forward(in, false).
      */
     virtual Field infer(const Field &in) const = 0;
+
+    /**
+     * In-place forward: `u` holds the input on entry and the layer output
+     * on return, with propagation scratch leased from the workspace so
+     * steady-state execution allocates nothing. Bitwise-identical to
+     * forward(). The default delegates to the by-value path; the optical
+     * layers override it with true zero-allocation pipelines.
+     */
+    virtual void
+    forwardInPlace(Field &u, bool training, PropagationWorkspace &workspace)
+    {
+        (void)workspace;
+        u = forward(u, training);
+    }
+
+    /** In-place backward: `g` holds dL/d(out) on entry, dL/d(in) on
+     *  return. Bitwise-identical to backward(). */
+    virtual void
+    backwardInPlace(Field &g, PropagationWorkspace &workspace)
+    {
+        (void)workspace;
+        g = backward(g);
+    }
+
+    /** In-place thread-safe inference; bitwise-identical to infer(). */
+    virtual void
+    inferInPlace(Field &u, PropagationWorkspace &workspace) const
+    {
+        (void)workspace;
+        u = infer(u);
+    }
 
     /**
      * Deep copy of the layer: parameters and gradients are copied,

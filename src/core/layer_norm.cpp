@@ -7,57 +7,72 @@ namespace lightridge {
 Field
 LayerNormLayer::forward(const Field &in, bool training)
 {
+    Field u = in;
+    forwardInPlace(u, training, PropagationWorkspace::threadLocal());
+    return u;
+}
+
+void
+LayerNormLayer::forwardInPlace(Field &u, bool training,
+                               PropagationWorkspace &)
+{
     if (!training) {
         active_ = false;
-        return in;
+        return;
     }
-    const std::size_t n = in.size();
+    const std::size_t n = u.size();
     Complex mean{0, 0};
     if (subtract_mean_) {
         for (std::size_t i = 0; i < n; ++i)
-            mean += in[i];
+            mean += u[i];
         mean /= static_cast<Real>(n);
     }
 
     Real var = 0;
     for (std::size_t i = 0; i < n; ++i)
-        var += std::norm(in[i] - mean);
+        var += std::norm(u[i] - mean);
     var /= static_cast<Real>(n);
 
     cached_sigma_ = std::sqrt(var + eps_);
-    Field out(in.rows(), in.cols());
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = (in[i] - mean) / cached_sigma_;
-    cached_y_ = out;
+    ensureFieldShape(cached_y_, u.rows(), u.cols());
+    for (std::size_t i = 0; i < n; ++i) {
+        Complex y = (u[i] - mean) / cached_sigma_;
+        cached_y_[i] = y;
+        u[i] = y;
+    }
     active_ = true;
-    return out;
 }
 
 Field
 LayerNormLayer::backward(const Field &grad_out)
 {
+    Field g = grad_out;
+    backwardInPlace(g, PropagationWorkspace::threadLocal());
+    return g;
+}
+
+void
+LayerNormLayer::backwardInPlace(Field &g, PropagationWorkspace &)
+{
     if (!active_)
-        return grad_out;
+        return;
     // Wirtinger adjoint. Mean-subtracting mode (y = (x - mu)/sigma):
     //   G_x = (1/sigma) * (G_y - S/N - rho * y / N),
     // RMS mode (y = x/sigma, sigma^2 = mean|x|^2):
     //   G_x = (1/sigma) * (G_y - rho * y / N),
     // with S = sum(G_y) and rho = Re(sum conj(G_y) * y).
-    const std::size_t n = grad_out.size();
+    const std::size_t n = g.size();
     Complex s{0, 0};
     Real rho = 0;
     for (std::size_t i = 0; i < n; ++i) {
         if (subtract_mean_)
-            s += grad_out[i];
-        rho += std::real(std::conj(grad_out[i]) * cached_y_[i]);
+            s += g[i];
+        rho += std::real(std::conj(g[i]) * cached_y_[i]);
     }
     const Real inv_n = Real(1) / static_cast<Real>(n);
-    Field grad_in(grad_out.rows(), grad_out.cols());
     for (std::size_t i = 0; i < n; ++i)
-        grad_in[i] = (grad_out[i] - s * inv_n -
-                      rho * cached_y_[i] * inv_n) /
-                     cached_sigma_;
-    return grad_in;
+        g[i] = (g[i] - s * inv_n - rho * cached_y_[i] * inv_n) /
+               cached_sigma_;
 }
 
 Json

@@ -34,6 +34,10 @@ class LayerNormLayer : public Layer
     Field backward(const Field &grad_out) override;
     /** Inference is the identity: the optical system cannot normalize. */
     Field infer(const Field &in) const override { return in; }
+    void forwardInPlace(Field &u, bool training,
+                        PropagationWorkspace &workspace) override;
+    void backwardInPlace(Field &g, PropagationWorkspace &workspace) override;
+    void inferInPlace(Field &, PropagationWorkspace &) const override {}
     LayerPtr clone() const override
     {
         return std::make_unique<LayerNormLayer>(*this);

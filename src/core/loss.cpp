@@ -72,19 +72,27 @@ classificationLoss(LossKind kind, const std::vector<Real> &logits, int target)
 FieldLossResult
 intensityMseLoss(const Field &u, const RealMap &target, Real scale)
 {
+    FieldLossResult out;
+    out.grad = u;
+    out.value = intensityMseLossInPlace(out.grad, target, scale);
+    return out;
+}
+
+Real
+intensityMseLossInPlace(Field &u, const RealMap &target, Real scale)
+{
     if (u.size() != target.size())
         throw std::invalid_argument("intensityMseLoss: shape mismatch");
-    FieldLossResult out;
-    out.grad = Field(u.rows(), u.cols());
+    Real value = 0;
     const Real inv_n = Real(1) / static_cast<Real>(u.size());
     for (std::size_t i = 0; i < u.size(); ++i) {
         Real intensity = scale * std::norm(u[i]);
         Real diff = intensity - target[i];
-        out.value += diff * diff * inv_n;
+        value += diff * diff * inv_n;
         // dL/dI = 2 diff / N; G = dL/dI * scale * 2 * u.
-        out.grad[i] = Real(4) * diff * inv_n * scale * u[i];
+        u[i] = Real(4) * diff * inv_n * scale * u[i];
     }
-    return out;
+    return value;
 }
 
 Real

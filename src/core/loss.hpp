@@ -55,6 +55,13 @@ FieldLossResult intensityMseLoss(const Field &u, const RealMap &target,
                                  Real scale);
 
 /**
+ * In-place variant for the zero-allocation training pipeline: overwrites
+ * `u` with the Wirtinger gradient of the loss and returns the loss value.
+ * Bitwise-identical to intensityMseLoss().
+ */
+Real intensityMseLossInPlace(Field &u, const RealMap &target, Real scale);
+
+/**
  * Prediction confidence: softmax probability assigned to the argmax class.
  * Figure 7 reports this as a function of DONN depth.
  */

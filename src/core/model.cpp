@@ -45,6 +45,7 @@ DonnModel::DonnModel(SystemSpec spec, Laser laser)
     config.method = spec_.method;
     config.pad_factor = spec_.pad_factor;
     propagator_ = std::make_shared<Propagator>(config);
+    source_profile_ = sourceProfile(laser_, spec_.grid());
 }
 
 void
@@ -62,31 +63,63 @@ DonnModel::setDetector(DetectorPlane detector)
 Field
 DonnModel::encode(const RealMap &image) const
 {
+    Field out;
+    encodeInto(image, out);
+    return out;
+}
+
+void
+DonnModel::encodeInto(const RealMap &image, Field &out) const
+{
     const Grid grid = spec_.grid();
-    if (image.rows() == grid.n && image.cols() == grid.n)
-        return encodeInput(image, laser_, grid);
+    ensureFieldShape(out, grid.n, grid.n);
+    auto window = [&](const RealMap &img) {
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = source_profile_[i] * Complex{img[i], 0};
+    };
+    if (image.rows() == grid.n && image.cols() == grid.n) {
+        window(image);
+        return;
+    }
     RealMap resized = resizeBilinear(image, grid.n, grid.n);
-    return encodeInput(resized, laser_, grid);
+    window(resized);
 }
 
 Field
 DonnModel::forwardField(const Field &input, bool training)
 {
-    if (!training)
-        return inferField(input);
     Field u = input;
+    forwardFieldInPlace(u, training, PropagationWorkspace::threadLocal());
+    return u;
+}
+
+void
+DonnModel::forwardFieldInPlace(Field &u, bool training,
+                               PropagationWorkspace &workspace)
+{
+    if (!training) {
+        inferFieldInPlace(u, workspace);
+        return;
+    }
     for (LayerPtr &layer : layers_)
-        u = layer->forward(u, training);
-    return propagator_->forward(u);
+        layer->forwardInPlace(u, training, workspace);
+    propagator_->forwardInto(u, u, workspace);
 }
 
 Field
 DonnModel::inferField(const Field &input) const
 {
     Field u = input;
+    inferFieldInPlace(u, PropagationWorkspace::threadLocal());
+    return u;
+}
+
+void
+DonnModel::inferFieldInPlace(Field &u, PropagationWorkspace &workspace) const
+{
     for (const LayerPtr &layer : layers_)
-        u = layer->infer(u);
-    return propagator_->forward(u);
+        layer->inferInPlace(u, workspace);
+    propagator_->forwardInto(u, u, workspace);
 }
 
 std::vector<Field>
@@ -97,7 +130,10 @@ DonnModel::forwardFieldBatch(const std::vector<Field> &inputs,
     if (pool == nullptr)
         pool = &ThreadPool::global();
     pool->parallelFor(inputs.size(), [&](std::size_t i) {
-        outputs[i] = inferField(inputs[i]);
+        // Each pool worker leases scratch from its own thread-local
+        // arena, so concurrent samples never contend on buffers.
+        outputs[i] = inputs[i];
+        inferFieldInPlace(outputs[i], PropagationWorkspace::threadLocal());
     });
     return outputs;
 }
@@ -112,7 +148,13 @@ DonnModel::forwardLogitsBatch(const std::vector<Field> &inputs,
     if (pool == nullptr)
         pool = &ThreadPool::global();
     pool->parallelFor(inputs.size(), [&](std::size_t i) {
-        logits[i] = detector_.readout(inferField(inputs[i]));
+        PropagationWorkspace &workspace =
+            PropagationWorkspace::threadLocal();
+        WorkspaceField u(workspace, inputs[i].rows(), inputs[i].cols());
+        std::copy(inputs[i].data(), inputs[i].data() + inputs[i].size(),
+                  u->data());
+        inferFieldInPlace(u.get(), workspace);
+        logits[i] = detector_.readout(u.get());
     });
     return logits;
 }
@@ -141,11 +183,37 @@ DonnModel::backwardFromLogits(const std::vector<Real> &dlogits)
 }
 
 void
+DonnModel::backwardFromLogitsInPlace(const std::vector<Real> &dlogits,
+                                     Field &g,
+                                     PropagationWorkspace &workspace)
+{
+    detector_.backwardInto(dlogits, g);
+    backwardFieldInPlace(g, workspace);
+}
+
+std::vector<Real>
+DonnModel::forwardLogitsInPlace(Field &u, bool training,
+                                PropagationWorkspace &workspace)
+{
+    forwardFieldInPlace(u, training, workspace);
+    if (detector_.numClasses() == 0)
+        throw std::logic_error("DonnModel: detector not configured");
+    return training ? detector_.forward(u) : detector_.readout(u);
+}
+
+void
 DonnModel::backwardField(const Field &grad_at_detector)
 {
-    Field g = propagator_->adjoint(grad_at_detector);
+    Field g = grad_at_detector;
+    backwardFieldInPlace(g, PropagationWorkspace::threadLocal());
+}
+
+void
+DonnModel::backwardFieldInPlace(Field &g, PropagationWorkspace &workspace)
+{
+    propagator_->adjointInto(g, g, workspace);
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-        g = (*it)->backward(g);
+        (*it)->backwardInPlace(g, workspace);
 }
 
 DonnModel::DonnModel(SystemSpec spec, Laser laser,
@@ -157,6 +225,7 @@ DonnModel
 DonnModel::clone() const
 {
     DonnModel copy(spec_, laser_, propagator_); // share, don't rebuild
+    copy.source_profile_ = source_profile_;     // immutable, copy not rebuild
     copy.layers_.reserve(layers_.size());
     for (const LayerPtr &layer : layers_)
         copy.layers_.push_back(layer->clone());

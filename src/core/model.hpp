@@ -72,12 +72,45 @@ class DonnModel
 
     /**
      * Resize a native-resolution image to the system grid and encode it
-     * onto the source beam (data_to_cplex).
+     * onto the source beam (data_to_cplex). The source profile is
+     * computed once at construction and cached, so per-sample encoding
+     * no longer re-evaluates the beam transcendentals.
      */
     Field encode(const RealMap &image) const;
 
+    /** In-place encode into a reused buffer (resized at most once). */
+    void encodeInto(const RealMap &image, Field &out) const;
+
     /** Field at the detector plane (after the final hop). */
     Field forwardField(const Field &input, bool training = false);
+
+    /**
+     * In-place forward through the stack: `u` holds the encoded input on
+     * entry and the detector-plane field on return. With a warm
+     * workspace the full pass performs zero heap allocations.
+     */
+    void forwardFieldInPlace(Field &u, bool training,
+                             PropagationWorkspace &workspace);
+
+    /** In-place thread-safe inference counterpart. */
+    void inferFieldInPlace(Field &u, PropagationWorkspace &workspace) const;
+
+    /** In-place detector logits over forwardFieldInPlace(); `u` is left
+     *  holding the detector-plane field. */
+    std::vector<Real> forwardLogitsInPlace(Field &u, bool training,
+                                           PropagationWorkspace &workspace);
+
+    /**
+     * In-place backprop from dL/dlogits: `g` is used as the gradient
+     * carrier (its entry contents are ignored and overwritten with the
+     * detector-plane gradient before the stack unwind). Must not alias
+     * the detector's cached forward field.
+     */
+    void backwardFromLogitsInPlace(const std::vector<Real> &dlogits,
+                                   Field &g, PropagationWorkspace &workspace);
+
+    /** In-place backprop from a detector-plane Wirtinger gradient. */
+    void backwardFieldInPlace(Field &g, PropagationWorkspace &workspace);
 
     /**
      * Thread-safe inference forward: numerically identical to
@@ -148,6 +181,7 @@ class DonnModel
     SystemSpec spec_;
     Laser laser_;
     std::shared_ptr<const Propagator> propagator_;
+    Field source_profile_; ///< cached illumination profile of the laser
     std::vector<LayerPtr> layers_;
     DetectorPlane detector_;
 };

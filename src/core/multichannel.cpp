@@ -49,6 +49,41 @@ MultiChannelDonn::forwardLogits(const std::vector<Field> &inputs,
 }
 
 std::vector<Real>
+MultiChannelDonn::trainForwardLogitsInPlace(
+    const std::array<RealMap, 3> &rgb, PropagationWorkspace &workspace)
+{
+    std::vector<Real> logits(channels_[0]->detector().numClasses(), 0.0);
+    cached_fields_.resize(channels_.size());
+    for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+        // The persistent activation cache doubles as the flow buffer:
+        // encode into it, propagate in place, and leave it holding the
+        // detector-plane field the backward pass needs.
+        Field &u = cached_fields_[ch];
+        channels_[ch]->encodeInto(rgb[ch % 3], u);
+        channels_[ch]->forwardFieldInPlace(u, /*training=*/true,
+                                           workspace);
+        std::vector<Real> part = channels_[ch]->detector().readout(u);
+        for (std::size_t k = 0; k < logits.size(); ++k)
+            logits[k] += part[k];
+    }
+    return logits;
+}
+
+void
+MultiChannelDonn::backwardFromLogitsInPlace(
+    const std::vector<Real> &dlogits, PropagationWorkspace &workspace)
+{
+    if (cached_fields_.size() != channels_.size())
+        throw std::logic_error("MultiChannelDonn: backward before forward");
+    for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+        const Field &u = cached_fields_[ch];
+        WorkspaceField g(workspace, u.rows(), u.cols());
+        channels_[ch]->detector().backwardForInto(u, dlogits, g.get());
+        channels_[ch]->backwardFieldInPlace(g.get(), workspace);
+    }
+}
+
+std::vector<Real>
 MultiChannelDonn::inferLogits(const std::vector<Field> &inputs) const
 {
     if (inputs.size() != channels_.size())

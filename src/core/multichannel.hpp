@@ -41,6 +41,21 @@ class MultiChannelDonn
                                     bool training = false);
 
     /**
+     * In-place training forward for the zero-allocation pipeline:
+     * encodes each channel directly into its persistent activation
+     * buffer, propagates in place, and reads the merged logits — no
+     * per-sample Field allocations in steady state. Numerically
+     * identical to encode() + forwardLogits(inputs, true).
+     */
+    std::vector<Real>
+    trainForwardLogitsInPlace(const std::array<RealMap, 3> &rgb,
+                              PropagationWorkspace &workspace);
+
+    /** In-place counterpart of backwardFromLogits(). */
+    void backwardFromLogitsInPlace(const std::vector<Real> &dlogits,
+                                   PropagationWorkspace &workspace);
+
+    /**
      * Thread-safe inference logits: numerically identical to
      * forwardLogits(inputs, false) but const and cache-free, so
      * independent samples can be evaluated concurrently.

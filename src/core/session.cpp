@@ -1,8 +1,11 @@
 #include "core/session.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <numeric>
 
 #include "utils/log.hpp"
@@ -71,9 +74,26 @@ Session::trainEpoch()
     workers = std::min({workers, config_.batch, task_.trainSize()});
     std::vector<std::size_t> order =
         epochOrder(task_.trainSize(), config_.shuffle, &rng_);
+    if (workers >= 2 && config_.pipeline)
+        return trainEpochPipelined(order, workers);
     if (workers >= 2)
         return trainEpochParallel(order, workers);
     return trainEpochSerial(order);
+}
+
+std::vector<uint64_t>
+Session::replicaSeeds(std::size_t workers) const
+{
+    // Per-epoch replica seeds: epoch and replica index occupy disjoint
+    // bit ranges so no two (epoch, replica) pairs ever alias to the same
+    // noise stream.
+    std::vector<uint64_t> seeds(workers);
+    for (std::size_t r = 0; r < workers; ++r) {
+        uint64_t tag = (static_cast<uint64_t>(epoch_counter_) << 32) |
+                       static_cast<uint64_t>(r + 1);
+        seeds[r] = config_.seed ^ (0x9e3779b97f4a7c15ull * tag);
+    }
+    return seeds;
 }
 
 EpochStats
@@ -114,16 +134,8 @@ Session::trainEpochParallel(const std::vector<std::size_t> &order,
     EpochStats stats;
     WallTimer timer;
 
-    // Per-epoch replica seeds: epoch and replica index occupy disjoint
-    // bit ranges so no two (epoch, replica) pairs ever alias to the same
-    // noise stream.
-    std::vector<uint64_t> seeds(workers);
-    for (std::size_t r = 0; r < workers; ++r) {
-        uint64_t tag = (static_cast<uint64_t>(epoch_counter_) << 32) |
-                       static_cast<uint64_t>(r + 1);
-        seeds[r] = config_.seed ^ (0x9e3779b97f4a7c15ull * tag);
-    }
-    task_.buildReplicas(seeds); // clones carry current params/calibration
+    task_.buildReplicas(replicaSeeds(workers)); // clones carry current
+                                                // params/calibration
     std::vector<ParamView> main_params = task_.params();
     ThreadPool &pool = ThreadPool::global();
 
@@ -172,6 +184,185 @@ Session::trainEpochParallel(const std::vector<std::size_t> &order,
         task_.zeroGrad();
         task_.syncReplicas();
     }
+
+    const std::size_t n = std::max<std::size_t>(order.size(), 1);
+    stats.train_loss /= n;
+    stats.train_acc = static_cast<Real>(correct) / n;
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+EpochStats
+Session::trainEpochPipelined(const std::vector<std::size_t> &order,
+                             std::size_t workers)
+{
+    // Software-pipelined replica engine: while the main thread merges
+    // batch t's staged gradients and runs the Adam step, the pool is
+    // already computing batch t+1's forward/backward passes. Replicas
+    // therefore see parameters one step stale (classic delayed data
+    // parallelism); everything else — round-robin sample assignment,
+    // fixed-order merge, per-epoch replica seeds — matches the
+    // synchronous engine, so results are deterministic for a fixed
+    // worker count regardless of thread timing or core count.
+    EpochStats stats;
+    WallTimer timer;
+
+    task_.buildReplicas(replicaSeeds(workers));
+    std::vector<ParamView> main_params = task_.params();
+    ThreadPool &pool = ThreadPool::global();
+
+    const std::size_t num_batches =
+        (order.size() + config_.batch - 1) / config_.batch;
+
+    // Double-buffered per-replica gradient staging: batch t writes slot
+    // t % 2 while the main thread drains slot (t - 1) % 2, so a replica
+    // never overwrites gradients that are still being merged.
+    struct ReplicaStage
+    {
+        std::vector<std::vector<Real>> grads;
+        Real loss = 0;
+        std::size_t correct = 0;
+    };
+    std::array<std::vector<ReplicaStage>, 2> stages;
+    for (auto &slot : stages) {
+        slot.resize(workers);
+        for (ReplicaStage &stage : slot) {
+            stage.grads.resize(main_params.size());
+            for (std::size_t p = 0; p < main_params.size(); ++p)
+                stage.grads[p].resize(main_params[p].grad->size());
+        }
+    }
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::array<std::size_t, 2> pending{0, 0};
+    std::exception_ptr error;
+
+    auto batchShape = [&](std::size_t t, std::size_t &start,
+                          std::size_t &batch, std::size_t &active) {
+        start = t * config_.batch;
+        batch = std::min(config_.batch, order.size() - start);
+        active = std::min(workers, batch);
+    };
+
+    auto replicaJob = [this, &stages, &mutex, &cv, &pending, &error,
+                       &order](std::size_t slot, std::size_t r,
+                               std::size_t start, std::size_t batch,
+                               std::size_t active) {
+        try {
+            ReplicaStage &stage = stages[slot][r];
+            stage.loss = 0;
+            stage.correct = 0;
+            for (std::size_t j = r; j < batch; j += active) {
+                SampleResult sample =
+                    task_.trainSampleOn(r, order[start + j]);
+                stage.loss += sample.loss;
+                if (sample.hit)
+                    ++stage.correct;
+            }
+            // Stage the accumulated gradients and clear the replica so
+            // it can start the next batch immediately.
+            std::vector<ParamView> rep_params = task_.replicaParams(r);
+            for (std::size_t p = 0; p < rep_params.size(); ++p)
+                stage.grads[p] = *rep_params[p].grad;
+            task_.zeroReplicaGrad(r);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!error)
+                error = std::current_exception();
+            --pending[slot];
+            cv.notify_all();
+            return;
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        --pending[slot];
+        cv.notify_all();
+    };
+
+    auto launch = [&](std::size_t t) {
+        std::size_t start = 0, batch = 0, active = 0;
+        batchShape(t, start, batch, active);
+        const std::size_t slot = t % 2;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            pending[slot] = active;
+        }
+        for (std::size_t r = 0; r < active; ++r) {
+            try {
+                pool.enqueue([&replicaJob, slot, r, start, batch, active] {
+                    replicaJob(slot, r, start, batch, active);
+                });
+            } catch (...) {
+                // Jobs r..active-1 never made it into the queue: take
+                // their completions off the latch so the drain guard
+                // (and any waiter) sees a consistent count.
+                std::lock_guard<std::mutex> lock(mutex);
+                pending[slot] -= active - r;
+                cv.notify_all();
+                throw;
+            }
+        }
+    };
+
+    // Unwind safety: the pool jobs reference the locals above, so if
+    // anything on THIS thread throws while a batch is in flight
+    // (enqueue's std::function allocation, the optimizer, a task hook),
+    // the frame must not die before the jobs drain. Declared last so it
+    // is destroyed — and waits — before anything the jobs touch.
+    struct DrainGuard
+    {
+        std::mutex &mutex;
+        std::condition_variable &cv;
+        std::array<std::size_t, 2> &pending;
+
+        ~DrainGuard()
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock,
+                    [this] { return pending[0] == 0 && pending[1] == 0; });
+        }
+    } drain{mutex, cv, pending};
+
+    std::size_t correct = 0;
+    task_.zeroGrad();
+    launch(0);
+    for (std::size_t t = 0; t < num_batches; ++t) {
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return pending[t % 2] == 0; });
+            if (error) {
+                // A replica failed; the other slot's jobs (if any) must
+                // drain before the stages/latch leave scope.
+                cv.wait(lock, [&] {
+                    return pending[0] == 0 && pending[1] == 0;
+                });
+                std::rethrow_exception(error);
+            }
+        }
+        // The pool is idle between batches: publish the parameters from
+        // the last optimizer step, then put it back to work on batch t+1
+        // while this thread merges batch t and steps.
+        task_.syncReplicas();
+        if (t + 1 < num_batches)
+            launch(t + 1);
+
+        std::size_t start = 0, batch = 0, active = 0;
+        batchShape(t, start, batch, active);
+        for (std::size_t r = 0; r < active; ++r) {
+            ReplicaStage &stage = stages[t % 2][r];
+            stats.train_loss += stage.loss;
+            correct += stage.correct;
+            for (std::size_t p = 0; p < main_params.size(); ++p) {
+                const std::vector<Real> &src = stage.grads[p];
+                std::vector<Real> &dst = *main_params[p].grad;
+                for (std::size_t i = 0; i < dst.size(); ++i)
+                    dst[i] += src[i];
+            }
+        }
+        optimizer_.step();
+        task_.zeroGrad();
+    }
+    task_.syncReplicas();
 
     const std::size_t n = std::max<std::size_t>(order.size(), 1);
     stats.train_loss /= n;

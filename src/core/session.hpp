@@ -55,7 +55,9 @@ class Session
     /**
      * One pass over the training set; returns loss/accuracy. Runs the
      * data-parallel batch pipeline when config.workers allows (see
-     * TrainConfig::workers), otherwise the reference serial loop.
+     * TrainConfig::workers), otherwise the reference serial loop. With
+     * config.pipeline set, replica forwards for batch t+1 overlap the
+     * main thread's merge + optimizer step for batch t.
      */
     EpochStats trainEpoch();
 
@@ -67,9 +69,12 @@ class Session
 
   private:
     void annealTau(int epoch);
+    std::vector<uint64_t> replicaSeeds(std::size_t workers) const;
     EpochStats trainEpochSerial(const std::vector<std::size_t> &order);
     EpochStats trainEpochParallel(const std::vector<std::size_t> &order,
                                   std::size_t workers);
+    EpochStats trainEpochPipelined(const std::vector<std::size_t> &order,
+                                   std::size_t workers);
 
     Task &task_;
     TrainConfig config_;

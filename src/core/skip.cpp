@@ -1,5 +1,6 @@
 #include "core/skip.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/codesign_layer.hpp"
@@ -20,29 +21,48 @@ OpticalSkipLayer::OpticalSkipLayer(std::vector<LayerPtr> inner,
 Field
 OpticalSkipLayer::forward(const Field &in, bool training)
 {
-    Field branch = in;
-    for (LayerPtr &layer : inner_)
-        branch = layer->forward(branch, training);
-    Field shortcut = shortcut_->forward(in);
-
-    Field out(branch.rows(), branch.cols());
-    for (std::size_t i = 0; i < out.size(); ++i)
-        out[i] = alpha_ * branch[i] + beta_ * shortcut[i];
-    return out;
+    Field u = in;
+    forwardInPlace(u, training, PropagationWorkspace::threadLocal());
+    return u;
 }
 
 Field
 OpticalSkipLayer::infer(const Field &in) const
 {
-    Field branch = in;
-    for (const LayerPtr &layer : inner_)
-        branch = layer->infer(branch);
-    Field shortcut = shortcut_->forward(in);
+    Field u = in;
+    inferInPlace(u, PropagationWorkspace::threadLocal());
+    return u;
+}
 
-    Field out(branch.rows(), branch.cols());
-    for (std::size_t i = 0; i < out.size(); ++i)
-        out[i] = alpha_ * branch[i] + beta_ * shortcut[i];
-    return out;
+void
+OpticalSkipLayer::forwardInPlace(Field &u, bool training,
+                                 PropagationWorkspace &workspace)
+{
+    // The shortcut needs the block input after the branch has overwritten
+    // u, so it is staged in a leased buffer held across the inner layers'
+    // own workspace use (the arena supports nested leases).
+    WorkspaceField shortcut(workspace, u.rows(), u.cols());
+    std::copy(u.data(), u.data() + u.size(), shortcut->data());
+    for (LayerPtr &layer : inner_)
+        layer->forwardInPlace(u, training, workspace);
+    shortcut_->forwardInto(shortcut.get(), shortcut.get(), workspace);
+
+    for (std::size_t i = 0; i < u.size(); ++i)
+        u[i] = alpha_ * u[i] + beta_ * shortcut.get()[i];
+}
+
+void
+OpticalSkipLayer::inferInPlace(Field &u,
+                               PropagationWorkspace &workspace) const
+{
+    WorkspaceField shortcut(workspace, u.rows(), u.cols());
+    std::copy(u.data(), u.data() + u.size(), shortcut->data());
+    for (const LayerPtr &layer : inner_)
+        layer->inferInPlace(u, workspace);
+    shortcut_->forwardInto(shortcut.get(), shortcut.get(), workspace);
+
+    for (std::size_t i = 0; i < u.size(); ++i)
+        u[i] = alpha_ * u[i] + beta_ * shortcut.get()[i];
 }
 
 LayerPtr
@@ -59,19 +79,28 @@ OpticalSkipLayer::clone() const
 Field
 OpticalSkipLayer::backward(const Field &grad_out)
 {
+    Field g = grad_out;
+    backwardInPlace(g, PropagationWorkspace::threadLocal());
+    return g;
+}
+
+void
+OpticalSkipLayer::backwardInPlace(Field &g, PropagationWorkspace &workspace)
+{
+    // Stage the shortcut gradient before the branch unwind overwrites g.
+    WorkspaceField g_short(workspace, g.rows(), g.cols());
+    std::copy(g.data(), g.data() + g.size(), g_short->data());
+
     // Branch path: scale by alpha, then unwind the inner block.
-    Field g_branch = grad_out;
-    g_branch *= alpha_;
+    g *= alpha_;
     for (auto it = inner_.rbegin(); it != inner_.rend(); ++it)
-        g_branch = (*it)->backward(g_branch);
+        (*it)->backwardInPlace(g, workspace);
 
     // Shortcut path: adjoint of the bypass propagator.
-    Field g_short = grad_out;
-    g_short *= beta_;
-    g_short = shortcut_->adjoint(g_short);
+    g_short.get() *= beta_;
+    shortcut_->adjointInto(g_short.get(), g_short.get(), workspace);
 
-    g_branch += g_short;
-    return g_branch;
+    g += g_short.get();
 }
 
 std::vector<ParamView>

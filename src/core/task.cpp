@@ -148,16 +148,23 @@ ClassificationTask::calibrate()
 SampleResult
 ClassificationTask::sampleStep(DonnModel &model, std::size_t index)
 {
+    // The whole forward/backward pass runs in one leased buffer from the
+    // calling thread's workspace: encode -> stack -> logits -> gradient ->
+    // adjoint unwind, with zero heap allocations in steady state.
     SampleResult result;
-    Field input = model.encode(train_.images[index]);
-    std::vector<Real> logits = model.forwardLogits(input, true);
+    PropagationWorkspace &workspace = PropagationWorkspace::threadLocal();
+    const Grid grid = model.spec().grid();
+    WorkspaceField u(workspace, grid.n, grid.n);
+    model.encodeInto(train_.images[index], u.get());
+    std::vector<Real> logits = model.forwardLogitsInPlace(u.get(), true,
+                                                          workspace);
     LossResult loss =
         classificationLoss(config_.loss, logits, train_.labels[index]);
     result.loss = loss.value;
     int pred = static_cast<int>(
         std::max_element(logits.begin(), logits.end()) - logits.begin());
     result.hit = pred == train_.labels[index];
-    model.backwardFromLogits(loss.dlogits);
+    model.backwardFromLogitsInPlace(loss.dlogits, u.get(), workspace);
     return result;
 }
 
@@ -227,16 +234,21 @@ SampleResult
 SegmentationTask::sampleStep(DonnModel &model, std::size_t index)
 {
     SampleResult result;
+    PropagationWorkspace &workspace = PropagationWorkspace::threadLocal();
     const Grid grid = model.spec().grid();
-    Field input = model.encode(train_.images[index]);
-    Field u = model.forwardField(input, true);
-    RealMap target = (train_.masks[index].rows() == grid.n)
-                         ? train_.masks[index]
-                         : resizeBilinear(train_.masks[index], grid.n,
-                                          grid.n);
-    FieldLossResult loss = intensityMseLoss(u, target, intensity_scale_);
-    result.loss = loss.value;
-    model.backwardField(loss.grad);
+    WorkspaceField u(workspace, grid.n, grid.n);
+    model.encodeInto(train_.images[index], u.get());
+    model.forwardFieldInPlace(u.get(), true, workspace);
+    const RealMap *target = &train_.masks[index];
+    RealMap resized;
+    if (target->rows() != grid.n) {
+        resized = resizeBilinear(*target, grid.n, grid.n);
+        target = &resized;
+    }
+    // Overwrites u with the Wirtinger loss gradient, then unwinds.
+    result.loss =
+        intensityMseLossInPlace(u.get(), *target, intensity_scale_);
+    model.backwardFieldInPlace(u.get(), workspace);
     return result;
 }
 
@@ -366,15 +378,16 @@ SampleResult
 RgbTask::sampleStep(MultiChannelDonn &model, std::size_t index)
 {
     SampleResult result;
-    std::vector<Field> inputs = model.encode(train_.images[index]);
-    std::vector<Real> logits = model.forwardLogits(inputs, true);
+    PropagationWorkspace &workspace = PropagationWorkspace::threadLocal();
+    std::vector<Real> logits =
+        model.trainForwardLogitsInPlace(train_.images[index], workspace);
     LossResult loss =
         classificationLoss(config_.loss, logits, train_.labels[index]);
     result.loss = loss.value;
     int pred = static_cast<int>(
         std::max_element(logits.begin(), logits.end()) - logits.begin());
     result.hit = pred == train_.labels[index];
-    model.backwardFromLogits(loss.dlogits);
+    model.backwardFromLogitsInPlace(loss.dlogits, workspace);
     return result;
 }
 

@@ -69,6 +69,21 @@ struct TrainConfig
      */
     std::size_t workers = 0;
 
+    /**
+     * Overlap the main thread's gradient merge + Adam step for batch t
+     * with the replica pool's forward/backward passes for batch t+1
+     * (software pipelining of the data-parallel engine). Replicas then
+     * compute batch t+1 against parameters that are one optimizer step
+     * stale — standard one-step-delayed data parallelism, so pipelined
+     * losses are NOT bitwise-equal to the synchronous schedule (they
+     * converge equivalently; see tests/test_session.cpp). Results remain
+     * deterministic for a fixed worker count, independent of machine and
+     * thread timing. Off by default: pipeline=false keeps today's fully
+     * synchronous, bitwise-reproducible behaviour. Requires workers >= 2
+     * to have any effect.
+     */
+    bool pipeline = false;
+
     /** Print per-epoch progress lines. */
     bool verbose = false;
 };

@@ -420,11 +420,17 @@ FftPlan::Impl::executeMixedSimd(Complex *data) const
 void
 FftPlan::Impl::executeBluestein(Complex *data) const
 {
-    // Scratch must not collide with the inner plan's own thread-local use,
-    // so the convolution buffer is allocated past the inner plan's needs.
+    // Scratch must not collide with the inner plan's own thread-local use;
+    // the convolution buffer lives in its own thread-local pool (the inner
+    // plan is always mixed-radix, so Bluestein execution never nests) and
+    // is grown once per length — steady-state execution allocates nothing.
     const bool simd = simdKernelsCompiled() &&
                       fftKernelMode() == FftKernelMode::Simd;
-    std::vector<Complex> buffer(m, Complex{0, 0});
+    static thread_local std::vector<Complex> chirp_buffer;
+    if (chirp_buffer.size() < m)
+        chirp_buffer.resize(m);
+    std::fill_n(chirp_buffer.begin(), m, Complex{0, 0});
+    std::vector<Complex> &buffer = chirp_buffer;
     if (simd) {
         kernels::cmulInterleavedOut(
             reinterpret_cast<Real *>(buffer.data()),

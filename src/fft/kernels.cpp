@@ -179,5 +179,32 @@ interleave(const Real *re, const Real *im, Real *dst, std::size_t n)
     }
 }
 
+void
+copySignAlternating(Real *dst, const Real *src, std::size_t n,
+                    bool negate_first)
+{
+    const Real even = negate_first ? Real(-1) : Real(1);
+    const Real odd = -even;
+    LR_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+        const Real s = (i % 2 == 0) ? even : odd;
+        dst[2 * i] = s * src[2 * i];
+        dst[2 * i + 1] = s * src[2 * i + 1];
+    }
+}
+
+void
+scaleSignAlternating(Real *a, Real scale, std::size_t n, bool negate_first)
+{
+    const Real even = negate_first ? -scale : scale;
+    const Real odd = -even;
+    LR_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+        const Real s = (i % 2 == 0) ? even : odd;
+        a[2 * i] *= s;
+        a[2 * i + 1] *= s;
+    }
+}
+
 } // namespace kernels
 } // namespace lightridge

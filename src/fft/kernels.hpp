@@ -133,6 +133,24 @@ void cmulInterleavedOut(Real *dst, const Real *a, const Real *b,
 /** Merge re[]/im[] back into n interleaved complex samples. */
 void interleave(const Real *re, const Real *im, Real *dst, std::size_t n);
 
+/**
+ * dst = +/- src over n interleaved complex samples with the sign
+ * alternating per sample, starting negative when negate_first is set.
+ * This is one row of the Fraunhofer centered-DFT sign checkerboard
+ * (-1)^(r+c); negation is exact, so the kernel is bitwise-identical to
+ * the scalar complex-times-sign loop. dst may alias src.
+ */
+void copySignAlternating(Real *dst, const Real *src, std::size_t n,
+                         bool negate_first);
+
+/**
+ * a *= +/- scale over n interleaved complex samples with the sign
+ * alternating per sample (the Fraunhofer adjoint's fused sign and N^2
+ * rescale). Bitwise-identical to the scalar loop for the same reason.
+ */
+void scaleSignAlternating(Real *a, Real scale, std::size_t n,
+                          bool negate_first);
+
 } // namespace kernels
 
 } // namespace lightridge

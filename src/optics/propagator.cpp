@@ -3,9 +3,12 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <list>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "fft/kernels.hpp"
 
 namespace lightridge {
 
@@ -58,22 +61,37 @@ struct KernelKeyHash
  * tuples it will never revisit; without a cap every padded n^2 kernel
  * would stay resident for the life of the process. Evicted kernels stay
  * alive as long as some Propagator still holds the shared_ptr.
+ *
+ * Recency is an intrusive list in MRU->LRU order; each map entry holds its
+ * list position, so a hit is an O(1) splice and eviction pops the tail —
+ * the old linear scan over every entry on insert is gone.
  */
 constexpr std::size_t kMaxCachedKernels = 64;
 
 struct KernelEntry
 {
     std::shared_ptr<const Field> kernel;
-    std::uint64_t last_used = 0;
+    std::list<KernelKey>::iterator lru_pos;
 };
 
 struct KernelCache
 {
     std::mutex mutex;
     std::unordered_map<KernelKey, KernelEntry, KernelKeyHash> kernels;
-    std::uint64_t clock = 0;
+    std::list<KernelKey> lru; // front = most recently used
+    std::size_t capacity = kMaxCachedKernels;
     std::size_t hits = 0;
     std::size_t misses = 0;
+
+    /** Drop least-recently-used entries down to the capacity. */
+    void
+    evictExcess()
+    {
+        while (kernels.size() > capacity && !lru.empty()) {
+            kernels.erase(lru.back());
+            lru.pop_back();
+        }
+    }
 };
 
 KernelCache &
@@ -97,7 +115,8 @@ acquireTransferFunction(Diffraction approx, PropagationMethod method,
         auto it = cache.kernels.find(key);
         if (it != cache.kernels.end()) {
             ++cache.hits;
-            it->second.last_used = ++cache.clock;
+            cache.lru.splice(cache.lru.begin(), cache.lru,
+                             it->second.lru_pos);
             return it->second.kernel;
         }
         ++cache.misses;
@@ -108,18 +127,19 @@ acquireTransferFunction(Diffraction approx, PropagationMethod method,
     auto kernel = std::make_shared<const Field>(
         transferFunction(approx, method, grid, wavelength, z));
     std::lock_guard<std::mutex> lock(cache.mutex);
-    auto [it, inserted] =
-        cache.kernels.emplace(key, KernelEntry{std::move(kernel), 0});
-    it->second.last_used = ++cache.clock;
-    if (inserted && cache.kernels.size() > kMaxCachedKernels) {
-        auto lru = cache.kernels.begin();
-        for (auto e = cache.kernels.begin(); e != cache.kernels.end(); ++e)
-            if (e->second.last_used < lru->second.last_used)
-                lru = e;
-        if (lru != it)
-            cache.kernels.erase(lru);
+    auto it = cache.kernels.find(key);
+    if (it != cache.kernels.end()) {
+        // Another thread won the race; adopt its entry.
+        cache.lru.splice(cache.lru.begin(), cache.lru, it->second.lru_pos);
+        return it->second.kernel;
     }
-    return it->second.kernel;
+    cache.lru.push_front(key);
+    it = cache.kernels
+             .emplace(key, KernelEntry{std::move(kernel), cache.lru.begin()})
+             .first;
+    std::shared_ptr<const Field> result = it->second.kernel;
+    cache.evictExcess();
+    return result;
 }
 
 TransferFunctionCacheStats
@@ -136,9 +156,31 @@ clearTransferFunctionCache()
     KernelCache &cache = kernelCache();
     std::lock_guard<std::mutex> lock(cache.mutex);
     cache.kernels.clear();
-    cache.clock = 0;
+    cache.lru.clear();
     cache.hits = 0;
     cache.misses = 0;
+}
+
+std::size_t
+transferFunctionCacheCapacity()
+{
+    KernelCache &cache = kernelCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.capacity;
+}
+
+std::size_t
+setTransferFunctionCacheCapacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        throw std::invalid_argument(
+            "setTransferFunctionCacheCapacity: capacity must be >= 1");
+    KernelCache &cache = kernelCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    std::size_t previous = cache.capacity;
+    cache.capacity = capacity;
+    cache.evictExcess();
+    return previous;
 }
 
 Propagator::Propagator(const PropagatorConfig &config) : config_(config)
@@ -205,92 +247,152 @@ Propagator::outputPitch() const
     return config_.grid.pitch;
 }
 
-Field
-Propagator::convolve(const Field &in, bool conjugate_kernel) const
+void
+Propagator::convolveInto(const Field &in, Field &out, bool conjugate_kernel,
+                         PropagationWorkspace &workspace) const
 {
     const std::size_t n = config_.grid.n;
     if (in.rows() != n || in.cols() != n)
         throw std::invalid_argument("Propagator: field shape mismatch");
 
-    Field work;
     if (padded_n_ == n) {
-        work = in;
-    } else {
-        work = Field(padded_n_, padded_n_);
-        for (std::size_t r = 0; r < n; ++r)
-            std::copy(in.data() + r * n, in.data() + (r + 1) * n,
-                      work.data() + r * padded_n_);
+        // Same-size spectral algorithm: transform directly in the output
+        // buffer (after a copy when the caller passed distinct buffers).
+        if (&out != &in) {
+            ensureFieldShape(out, n, n);
+            std::copy(in.data(), in.data() + in.size(), out.data());
+        }
+        fft_->forward(&out);
+        if (conjugate_kernel)
+            out.hadamardConj(*kernel_);
+        else
+            out.hadamard(*kernel_);
+        fft_->inverse(&out);
+        return;
     }
+
+    // Padded path: lease the padded scratch from the workspace. The pad
+    // region is rewritten to zero every call (the previous iFFT left
+    // nonzero spill there), which matches the zero-initialized fresh
+    // buffer of the allocating path bit for bit.
+    WorkspaceField work(workspace, padded_n_, padded_n_);
+    Complex *w = work->data();
+    const Complex *src = in.data();
+    for (std::size_t r = 0; r < n; ++r) {
+        std::copy(src + r * n, src + (r + 1) * n, w + r * padded_n_);
+        std::fill(w + r * padded_n_ + n, w + (r + 1) * padded_n_,
+                  Complex{0, 0});
+    }
+    std::fill(w + n * padded_n_, w + padded_n_ * padded_n_, Complex{0, 0});
 
     // FFT2 -> transfer-function Hadamard -> iFFT2, all through the kernel
     // dispatch layer: the 2-D transforms shard rows/columns across the
     // thread pool for large grids, and the element-wise kernel multiply
     // runs the vectorized interleaved complex product in Simd mode.
-    fft_->forward(&work);
+    fft_->forward(&work.get());
     if (conjugate_kernel)
-        work.hadamardConj(*kernel_);
+        work->hadamardConj(*kernel_);
     else
-        work.hadamard(*kernel_);
-    fft_->inverse(&work);
+        work->hadamard(*kernel_);
+    fft_->inverse(&work.get());
 
-    if (padded_n_ == n)
-        return work;
-    Field out(n, n);
+    ensureFieldShape(out, n, n);
     for (std::size_t r = 0; r < n; ++r)
-        std::copy(work.data() + r * padded_n_,
-                  work.data() + r * padded_n_ + n, out.data() + r * n);
-    return out;
+        std::copy(w + r * padded_n_, w + r * padded_n_ + n,
+                  out.data() + r * n);
 }
 
-Field
-Propagator::fraunhoferForward(const Field &in) const
+void
+Propagator::fraunhoferForwardInto(const Field &in, Field &out) const
 {
     const std::size_t n = config_.grid.n;
     if (in.rows() != n || in.cols() != n)
         throw std::invalid_argument("Propagator: field shape mismatch");
-    Field work(n, n);
-    for (std::size_t r = 0; r < n; ++r)
-        for (std::size_t c = 0; c < n; ++c) {
-            Real sign = ((r + c) % 2 == 0) ? Real(1) : Real(-1);
-            work(r, c) = in(r, c) * sign;
-        }
-    fft_->forward(&work);
-    work.hadamard(quad_phase_);
-    return work;
+    if (&out != &in)
+        ensureFieldShape(out, n, n);
+    if (fftKernelMode() == FftKernelMode::Simd) {
+        for (std::size_t r = 0; r < n; ++r)
+            kernels::copySignAlternating(
+                reinterpret_cast<Real *>(out.data() + r * n),
+                reinterpret_cast<const Real *>(in.data() + r * n), n,
+                /*negate_first=*/(r % 2) != 0);
+    } else {
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c) {
+                Real sign = ((r + c) % 2 == 0) ? Real(1) : Real(-1);
+                out(r, c) = in(r, c) * sign;
+            }
+    }
+    fft_->forward(&out);
+    out.hadamard(quad_phase_);
 }
 
-Field
-Propagator::fraunhoferAdjoint(const Field &grad_out) const
+void
+Propagator::fraunhoferAdjointInto(const Field &grad_out, Field &out) const
 {
     const std::size_t n = config_.grid.n;
-    Field work = grad_out;
-    work.hadamardConj(quad_phase_);
-    fft_->inverse(&work);
+    if (grad_out.rows() != n || grad_out.cols() != n)
+        throw std::invalid_argument("Propagator: field shape mismatch");
+    if (&out != &grad_out) {
+        ensureFieldShape(out, n, n);
+        std::copy(grad_out.data(), grad_out.data() + grad_out.size(),
+                  out.data());
+    }
+    out.hadamardConj(quad_phase_);
+    fft_->inverse(&out);
     const Real n2 = static_cast<Real>(n) * static_cast<Real>(n);
-    for (std::size_t r = 0; r < n; ++r)
-        for (std::size_t c = 0; c < n; ++c) {
-            Real sign = ((r + c) % 2 == 0) ? Real(1) : Real(-1);
-            // inverse() scales by 1/N^2; the adjoint of an unnormalized
-            // forward DFT is N^2 times the inverse.
-            work(r, c) *= sign * n2;
-        }
-    return work;
+    // inverse() scales by 1/N^2; the adjoint of an unnormalized forward
+    // DFT is N^2 times the inverse, fused here with the sign checkerboard.
+    if (fftKernelMode() == FftKernelMode::Simd) {
+        for (std::size_t r = 0; r < n; ++r)
+            kernels::scaleSignAlternating(
+                reinterpret_cast<Real *>(out.data() + r * n), n2, n,
+                /*negate_first=*/(r % 2) != 0);
+    } else {
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c) {
+                Real sign = ((r + c) % 2 == 0) ? Real(1) : Real(-1);
+                out(r, c) *= sign * n2;
+            }
+    }
+}
+
+void
+Propagator::forwardInto(const Field &in, Field &out,
+                        PropagationWorkspace &workspace) const
+{
+    if (config_.approx == Diffraction::Fraunhofer) {
+        fraunhoferForwardInto(in, out);
+        return;
+    }
+    convolveInto(in, out, /*conjugate_kernel=*/false, workspace);
+}
+
+void
+Propagator::adjointInto(const Field &grad_out, Field &out,
+                        PropagationWorkspace &workspace) const
+{
+    if (config_.approx == Diffraction::Fraunhofer) {
+        fraunhoferAdjointInto(grad_out, out);
+        return;
+    }
+    convolveInto(grad_out, out, /*conjugate_kernel=*/true, workspace);
 }
 
 Field
 Propagator::forward(const Field &in) const
 {
-    if (config_.approx == Diffraction::Fraunhofer)
-        return fraunhoferForward(in);
-    return convolve(in, false);
+    Field out;
+    forwardInto(in, out, PropagationWorkspace::threadLocal());
+    return out;
 }
 
 Field
 Propagator::adjoint(const Field &grad_out) const
 {
-    if (config_.approx == Diffraction::Fraunhofer)
-        return fraunhoferAdjoint(grad_out);
-    return convolve(grad_out, true);
+    Field out;
+    adjointInto(grad_out, out, PropagationWorkspace::threadLocal());
+    return out;
 }
 
 } // namespace lightridge

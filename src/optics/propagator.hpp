@@ -19,6 +19,7 @@
 #include "fft/fft.hpp"
 #include "optics/diffraction.hpp"
 #include "optics/grid.hpp"
+#include "optics/workspace.hpp"
 #include "tensor/field.hpp"
 
 namespace lightridge {
@@ -46,15 +47,38 @@ class Propagator
 
     const PropagatorConfig &config() const { return config_; }
 
-    /** Propagate a field over the hop. Input shape must match the grid. */
+    /**
+     * Propagate a field over the hop. Input shape must match the grid.
+     *
+     * Thin wrapper over forwardInto() using the calling thread's
+     * workspace: it still allocates the returned Field, so hot loops
+     * (per-sample training, batched inference) should prefer
+     * forwardInto() with a reused output buffer. Bitwise-identical to
+     * the in-place path.
+     */
     Field forward(const Field &in) const;
 
     /**
      * Apply the conjugate transpose of forward() to a Wirtinger gradient
      * field. For unit-modulus kernels this equals propagation backward
-     * over -z.
+     * over -z. Same deprecation status for hot loops as forward():
+     * prefer adjointInto().
      */
     Field adjoint(const Field &grad_out) const;
+
+    /**
+     * Propagate `in` over the hop into `out`, running the full
+     * pad -> FFT2 -> Hadamard -> iFFT2 -> crop pipeline with zero heap
+     * allocations in steady state: padded scratch is leased from the
+     * workspace and `out` is resized at most once. `out` may alias `in`
+     * (the layer pipeline propagates fields fully in place).
+     */
+    void forwardInto(const Field &in, Field &out,
+                     PropagationWorkspace &workspace) const;
+
+    /** Adjoint counterpart of forwardInto(); `out` may alias the input. */
+    void adjointInto(const Field &grad_out, Field &out,
+                     PropagationWorkspace &workspace) const;
 
     /** Sample pitch of the output plane (differs for Fraunhofer). */
     Real outputPitch() const;
@@ -63,9 +87,10 @@ class Propagator
     const Field &kernel() const;
 
   private:
-    Field convolve(const Field &in, bool conjugate_kernel) const;
-    Field fraunhoferForward(const Field &in) const;
-    Field fraunhoferAdjoint(const Field &grad_out) const;
+    void convolveInto(const Field &in, Field &out, bool conjugate_kernel,
+                      PropagationWorkspace &workspace) const;
+    void fraunhoferForwardInto(const Field &in, Field &out) const;
+    void fraunhoferAdjointInto(const Field &grad_out, Field &out) const;
 
     PropagatorConfig config_;
     std::size_t padded_n_ = 0;  ///< working size (>= grid.n)
@@ -99,5 +124,16 @@ TransferFunctionCacheStats transferFunctionCacheStats();
 
 /** Drop all cached kernels and reset the hit/miss counters. */
 void clearTransferFunctionCache();
+
+/** Current transfer-function cache capacity (entries). */
+std::size_t transferFunctionCacheCapacity();
+
+/**
+ * Set the cache capacity; returns the previous value. Excess entries are
+ * evicted immediately in LRU order. Used by tests (to make eviction
+ * observable at small sizes) and long DSE sweeps that want a larger
+ * resident set.
+ */
+std::size_t setTransferFunctionCacheCapacity(std::size_t capacity);
 
 } // namespace lightridge

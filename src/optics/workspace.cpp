@@ -1,0 +1,121 @@
+#include "optics/workspace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lightridge {
+
+namespace {
+
+std::size_t
+bufferBytes(const Field &buffer)
+{
+    return buffer.size() * sizeof(Complex);
+}
+
+} // namespace
+
+Field &
+PropagationWorkspace::acquire(std::size_t rows, std::size_t cols)
+{
+    for (Slot &slot : slots_) {
+        if (!slot.leased && slot.buffer->rows() == rows &&
+            slot.buffer->cols() == cols) {
+            slot.leased = true;
+            slot.last_used = ++clock_;
+            return *slot.buffer;
+        }
+    }
+    slots_.push_back(Slot{std::make_unique<Field>(rows, cols),
+                          /*leased=*/true, ++clock_});
+    return *slots_.back().buffer;
+}
+
+void
+PropagationWorkspace::release(const Field &buffer)
+{
+    for (Slot &slot : slots_) {
+        if (slot.buffer.get() == &buffer) {
+            slot.leased = false;
+            slot.last_used = ++clock_;
+            trimIdle();
+            return;
+        }
+    }
+    throw std::logic_error(
+        "PropagationWorkspace::release: buffer not owned by this arena");
+}
+
+void
+PropagationWorkspace::trimIdle()
+{
+    // Free least-recently-used idle buffers until the idle set fits the
+    // budget. Steady-state use of one model's shapes stays well under it
+    // and never reaches this loop's body, so the zero-allocation
+    // guarantee is unaffected; only long sweeps over many shapes shed
+    // their stale scratch.
+    std::size_t idle = idleBytes();
+    while (idle > idle_budget_) {
+        std::size_t victim = slots_.size();
+        for (std::size_t s = 0; s < slots_.size(); ++s) {
+            if (slots_[s].leased)
+                continue;
+            if (victim == slots_.size() ||
+                slots_[s].last_used < slots_[victim].last_used)
+                victim = s;
+        }
+        if (victim == slots_.size())
+            return;
+        idle -= bufferBytes(*slots_[victim].buffer);
+        slots_.erase(slots_.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+    }
+}
+
+std::size_t
+PropagationWorkspace::idleBytes() const
+{
+    std::size_t total = 0;
+    for (const Slot &slot : slots_)
+        if (!slot.leased)
+            total += bufferBytes(*slot.buffer);
+    return total;
+}
+
+std::size_t
+PropagationWorkspace::setIdleByteBudget(std::size_t bytes)
+{
+    std::size_t previous = idle_budget_;
+    idle_budget_ = bytes;
+    trimIdle();
+    return previous;
+}
+
+std::size_t
+PropagationWorkspace::pooledCount() const
+{
+    return slots_.size();
+}
+
+std::size_t
+PropagationWorkspace::leasedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(slots_.begin(), slots_.end(),
+                      [](const Slot &slot) { return slot.leased; }));
+}
+
+void
+PropagationWorkspace::clear()
+{
+    std::erase_if(slots_, [](const Slot &slot) { return !slot.leased; });
+}
+
+PropagationWorkspace &
+PropagationWorkspace::threadLocal()
+{
+    static thread_local PropagationWorkspace workspace;
+    return workspace;
+}
+
+} // namespace lightridge

@@ -1,12 +1,70 @@
 #include "tensor/field.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 #include "fft/kernels.hpp"
 
 namespace lightridge {
+
+#if defined(LIGHTRIDGE_ALLOC_STATS)
+
+namespace {
+
+std::atomic<std::uint64_t> g_field_allocs{0};
+
+} // namespace
+
+namespace detail {
+
+void
+countFieldAllocation()
+{
+    g_field_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+bool
+fieldAllocStatsEnabled()
+{
+    return true;
+}
+
+std::uint64_t
+fieldAllocCount()
+{
+    return g_field_allocs.load(std::memory_order_relaxed);
+}
+
+void
+resetFieldAllocCount()
+{
+    g_field_allocs.store(0, std::memory_order_relaxed);
+}
+
+#else
+
+bool
+fieldAllocStatsEnabled()
+{
+    return false;
+}
+
+std::uint64_t
+fieldAllocCount()
+{
+    return 0;
+}
+
+void
+resetFieldAllocCount()
+{
+}
+
+#endif
 
 void
 RealMap::fill(Real value)

@@ -10,11 +10,76 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "utils/types.hpp"
 
 namespace lightridge {
+
+/**
+ * Debug accounting of Field buffer heap allocations.
+ *
+ * Compiled in under the CMake option LIGHTRIDGE_ALLOC_STATS: every heap
+ * allocation made for a Field's sample buffer bumps a process-wide atomic
+ * counter, which the zero-allocation regression tests read to assert that
+ * steady-state `Propagator::forwardInto` calls and full in-place train
+ * steps allocate nothing. Without the option the counting allocator is
+ * not even instantiated — Field uses a plain std::vector and the counter
+ * functions are constant no-ops, so release builds pay zero cost.
+ */
+bool fieldAllocStatsEnabled();
+
+/** Field buffer allocations since process start / last reset (0 when
+ *  stats are compiled out). */
+std::uint64_t fieldAllocCount();
+
+/** Reset the allocation counter to zero (no-op when compiled out). */
+void resetFieldAllocCount();
+
+#if defined(LIGHTRIDGE_ALLOC_STATS)
+namespace detail {
+
+void countFieldAllocation();
+
+/** std::allocator shim that counts allocations of Field buffers. */
+template <typename T> struct CountingAllocator
+{
+    using value_type = T;
+
+    CountingAllocator() = default;
+    template <typename U>
+    CountingAllocator(const CountingAllocator<U> &)
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        countFieldAllocation();
+        return std::allocator<T>().allocate(n);
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        std::allocator<T>().deallocate(p, n);
+    }
+
+    template <typename U>
+    bool
+    operator==(const CountingAllocator<U> &) const
+    {
+        return true;
+    }
+};
+
+} // namespace detail
+
+using FieldBuffer = std::vector<Complex, detail::CountingAllocator<Complex>>;
+#else
+using FieldBuffer = std::vector<Complex>;
+#endif
 
 /** Dense row-major real-valued 2-D map. */
 class RealMap
@@ -160,7 +225,7 @@ class Field
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<Complex> data_;
+    FieldBuffer data_;
 };
 
 /** Maximum absolute elementwise difference between two fields. */

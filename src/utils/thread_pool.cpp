@@ -58,6 +58,20 @@ ThreadPool::workerLoop()
 }
 
 void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    if (threads_.empty()) {
+        job();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_.push(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
 ThreadPool::parallelFor(std::size_t count,
                         const std::function<void(std::size_t)> &fn)
 {

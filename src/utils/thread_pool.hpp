@@ -44,6 +44,17 @@ class ThreadPool
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Enqueue one fire-and-forget job. Unlike parallelFor this does not
+     * block: the caller arranges its own completion signalling, which is
+     * what lets the pipelined training engine overlap the main thread's
+     * gradient merge with the pool's next-batch forwards. On a pool with
+     * no workers the job runs inline before returning (same side effects,
+     * no concurrency), so single-core hosts degrade gracefully instead of
+     * deadlocking on a queue nobody drains. Jobs must not throw.
+     */
+    void enqueue(std::function<void()> job);
+
     /** Shared process-wide pool sized from hardware concurrency. */
     static ThreadPool &global();
 

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "core/diffractive_layer.hpp"
 #include "core/model.hpp"
@@ -169,6 +170,74 @@ TEST(KernelModeCacheParity, ScalarVsSimdWithinPinnedTolerance)
         << "modes produced identical bits; the SIMD path is likely not "
            "being exercised";
     EXPECT_LE(maxAbsDiff(scalar_out, simd_out), bound);
+}
+
+/**
+ * Eviction follows true LRU order through the O(1) intrusive recency
+ * list: touching an entry protects it, and overflow always drops the
+ * least recently used key — observable through hit/miss deltas at a
+ * small test capacity.
+ */
+TEST(TransferFunctionCache, EvictionFollowsLruOrder)
+{
+    clearTransferFunctionCache();
+    std::size_t previous = setTransferFunctionCacheCapacity(3);
+
+    auto config_at = [](Real distance) {
+        PropagatorConfig config = referenceConfig(8);
+        config.distance = distance;
+        return config;
+    };
+    auto touch = [&](Real distance) {
+        PropagatorConfig c = config_at(distance);
+        acquireTransferFunction(c.approx, c.method, c.grid, c.wavelength,
+                                c.distance);
+    };
+    auto misses = [] { return transferFunctionCacheStats().misses; };
+
+    touch(0.10); // k0
+    touch(0.11); // k1
+    touch(0.12); // k2  -> cache [k2 k1 k0], 3 misses
+    EXPECT_EQ(transferFunctionCacheStats().entries, 3u);
+    EXPECT_EQ(misses(), 3u);
+
+    touch(0.10); // hit: k0 becomes most recent -> [k0 k2 k1]
+    EXPECT_EQ(misses(), 3u);
+    EXPECT_EQ(transferFunctionCacheStats().hits, 1u);
+
+    touch(0.13); // k3 evicts k1 (the LRU), not the just-touched k0
+    EXPECT_EQ(transferFunctionCacheStats().entries, 3u);
+    EXPECT_EQ(misses(), 4u);
+
+    touch(0.10); // k0 still resident
+    touch(0.12); // k2 still resident
+    touch(0.13); // k3 still resident
+    EXPECT_EQ(misses(), 4u);
+
+    touch(0.11); // k1 was evicted -> miss (and k0, LRU by now, goes)
+    EXPECT_EQ(misses(), 5u);
+    EXPECT_EQ(transferFunctionCacheStats().entries, 3u);
+
+    setTransferFunctionCacheCapacity(previous);
+    clearTransferFunctionCache();
+}
+
+TEST(TransferFunctionCache, CapacityShrinkEvictsImmediately)
+{
+    clearTransferFunctionCache();
+    std::size_t previous = setTransferFunctionCacheCapacity(4);
+    for (int i = 0; i < 4; ++i) {
+        PropagatorConfig config = referenceConfig(8);
+        config.distance = 0.2 + 0.01 * i;
+        acquireTransferFunction(config.approx, config.method, config.grid,
+                                config.wavelength, config.distance);
+    }
+    EXPECT_EQ(transferFunctionCacheStats().entries, 4u);
+    setTransferFunctionCacheCapacity(2);
+    EXPECT_EQ(transferFunctionCacheStats().entries, 2u);
+    EXPECT_THROW(setTransferFunctionCacheCapacity(0), std::invalid_argument);
+    setTransferFunctionCacheCapacity(previous);
+    clearTransferFunctionCache();
 }
 
 TEST(TransferFunctionCache, DistinctConfigsGetDistinctKernels)

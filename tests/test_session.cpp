@@ -439,6 +439,207 @@ TEST(SessionParity, SegShimCarriesCalibrationAcrossDatasetRebind)
     EXPECT_EQ(trainer.intensityScale(), scale);
 }
 
+TEST(SessionPipeline, EqualLossConvergenceAcrossWorkerCounts)
+{
+    // The pipelined engine trains with one-step-stale replica parameters;
+    // it must converge to essentially the same loss as the synchronous
+    // schedule at every worker count (workers=1 falls back to the serial
+    // reference loop, so pipeline must be a no-op there).
+    ClassDataset train = makeSynthDigits(32, 1);
+
+    auto run = [&](std::size_t workers, bool pipeline) {
+        DonnModel model = classModel(9);
+        TrainConfig cfg;
+        cfg.epochs = 3;
+        cfg.batch = 8;
+        cfg.lr = 0.05;
+        cfg.workers = workers;
+        cfg.pipeline = pipeline;
+        ClassificationTask task(model, train);
+        return Session(task, cfg).fit();
+    };
+
+    auto reference = run(1, false);
+    for (std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}}) {
+        auto pipelined = run(workers, true);
+        ASSERT_EQ(pipelined.size(), reference.size()) << workers;
+        for (const EpochStats &stats : pipelined)
+            EXPECT_TRUE(std::isfinite(stats.train_loss)) << workers;
+        EXPECT_LE(pipelined.back().train_loss,
+                  pipelined.front().train_loss)
+            << workers << " workers: loss did not decrease";
+        EXPECT_NEAR(pipelined.back().train_loss,
+                    reference.back().train_loss,
+                    0.5 * std::abs(reference.back().train_loss) + 0.05)
+            << workers;
+    }
+}
+
+TEST(SessionPipeline, PipelinedRunsAreDeterministic)
+{
+    // Staleness is part of the schedule, not a race: two pipelined runs
+    // with the same config must agree bit for bit, regardless of thread
+    // timing.
+    ClassDataset train = makeSynthDigits(24, 2);
+    auto run = [&] {
+        DonnModel model = classModel(11);
+        TrainConfig cfg;
+        cfg.epochs = 2;
+        cfg.batch = 6;
+        cfg.workers = 3;
+        cfg.pipeline = true;
+        ClassificationTask task(model, train);
+        return Session(task, cfg).fit();
+    };
+    auto a = run();
+    auto b = run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t e = 0; e < a.size(); ++e) {
+        EXPECT_EQ(a[e].train_loss, b[e].train_loss) << "epoch " << e;
+        EXPECT_EQ(a[e].train_acc, b[e].train_acc) << "epoch " << e;
+    }
+}
+
+/**
+ * Reference reimplementation of the synchronous data-parallel schedule
+ * (the pre-pipeline engine): per epoch, fresh replicas clone the primary;
+ * per batch, replica r trains samples r, r+active, ... sequentially;
+ * replica gradients merge into the primary in fixed replica order; one
+ * Adam step; parameters redistributed. Noise-free layers only, so clone
+ * seeds do not matter.
+ */
+std::vector<Real>
+referenceSyncParallelLosses(DonnModel &model, const ClassDataset &train,
+                            const TrainConfig &cfg, std::size_t workers)
+{
+    Adam optimizer(cfg.lr);
+    optimizer.attach(model.params());
+    Rng rng(cfg.seed);
+    std::vector<ParamView> main_params = model.params();
+
+    std::vector<Real> losses;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        std::vector<std::size_t> order = refOrder(train.size(), &rng);
+        std::vector<DonnModel> replicas;
+        for (std::size_t r = 0; r < workers; ++r)
+            replicas.push_back(model.clone());
+        Real loss_sum = 0;
+        model.zeroGrad();
+        for (std::size_t start = 0; start < order.size();
+             start += cfg.batch) {
+            std::size_t batch = std::min(cfg.batch, order.size() - start);
+            std::size_t active = std::min(workers, batch);
+            std::vector<Real> part(active, 0);
+            for (std::size_t r = 0; r < active; ++r) {
+                for (std::size_t j = r; j < batch; j += active) {
+                    std::size_t idx = order[start + j];
+                    Field input = replicas[r].encode(train.images[idx]);
+                    std::vector<Real> logits =
+                        replicas[r].forwardLogits(input, true);
+                    LossResult loss = classificationLoss(
+                        cfg.loss, logits, train.labels[idx]);
+                    part[r] += loss.value;
+                    replicas[r].backwardFromLogits(loss.dlogits);
+                }
+            }
+            for (std::size_t r = 0; r < active; ++r) {
+                loss_sum += part[r];
+                std::vector<ParamView> rep_params = replicas[r].params();
+                for (std::size_t p = 0; p < main_params.size(); ++p) {
+                    const std::vector<Real> &src = *rep_params[p].grad;
+                    std::vector<Real> &dst = *main_params[p].grad;
+                    for (std::size_t i = 0; i < dst.size(); ++i)
+                        dst[i] += src[i];
+                }
+                replicas[r].zeroGrad();
+            }
+            optimizer.step();
+            model.zeroGrad();
+            for (std::size_t r = 0; r < workers; ++r) {
+                std::vector<ParamView> rep_params = replicas[r].params();
+                for (std::size_t p = 0; p < main_params.size(); ++p)
+                    *rep_params[p].value = *main_params[p].value;
+            }
+        }
+        losses.push_back(loss_sum / train.size());
+    }
+    return losses;
+}
+
+TEST(SessionPipeline, PipelineOffMatchesSynchronousReferenceBitwise)
+{
+    // The escape hatch: pipeline=false must reproduce the synchronous
+    // replica schedule bit for bit, pinned against an independent
+    // reimplementation of that schedule (not against itself).
+    ClassDataset train = makeSynthDigits(13, 1); // ragged final batch
+
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch = 5;
+    cfg.lr = 0.05;
+    cfg.seed = 17;
+    cfg.workers = 2;
+    cfg.calibrate = false; // keep the reference loop minimal
+    EXPECT_FALSE(cfg.pipeline) << "pipeline must default to off";
+
+    DonnModel ref_model = classModel(9);
+    std::vector<Real> reference =
+        referenceSyncParallelLosses(ref_model, train, cfg, cfg.workers);
+
+    DonnModel model = classModel(9);
+    ClassificationTask task(model, train);
+    std::vector<EpochStats> history = Session(task, cfg).fit();
+
+    ASSERT_EQ(history.size(), reference.size());
+    for (std::size_t e = 0; e < reference.size(); ++e)
+        EXPECT_EQ(history[e].train_loss, reference[e]) << "epoch " << e;
+}
+
+TEST(SessionPipeline, SegmentationAndRgbPipelineConverge)
+{
+    CityConfig ccfg;
+    ccfg.image_size = 16;
+    SegDataset seg_train = makeSynthCity(12, 1, ccfg);
+    {
+        DonnModel serial_model = segModel(7);
+        DonnModel pipe_model = segModel(7);
+        TrainConfig cfg;
+        cfg.epochs = 2;
+        cfg.batch = 6;
+        cfg.lr = 0.08;
+        cfg.workers = 1;
+        SegmentationTask serial_task(serial_model, seg_train);
+        auto serial = Session(serial_task, cfg).fit();
+        cfg.workers = 3;
+        cfg.pipeline = true;
+        SegmentationTask pipe_task(pipe_model, seg_train);
+        auto pipelined = Session(pipe_task, cfg).fit();
+        EXPECT_NEAR(pipelined.back().train_loss, serial.back().train_loss,
+                    0.5 * std::abs(serial.back().train_loss) + 0.05);
+    }
+    {
+        SceneConfig scfg;
+        scfg.image_size = 16;
+        RgbDataset rgb_train = makeSynthScenes(12, 1, scfg);
+        MultiChannelDonn serial_model = rgbModel(5, rgb_train.num_classes);
+        MultiChannelDonn pipe_model = rgbModel(5, rgb_train.num_classes);
+        TrainConfig cfg;
+        cfg.epochs = 2;
+        cfg.batch = 6;
+        cfg.lr = 0.03;
+        cfg.workers = 1;
+        RgbTask serial_task(serial_model, rgb_train);
+        auto serial = Session(serial_task, cfg).fit();
+        cfg.workers = 3;
+        cfg.pipeline = true;
+        RgbTask pipe_task(pipe_model, rgb_train);
+        auto pipelined = Session(pipe_task, cfg).fit();
+        EXPECT_NEAR(pipelined.back().train_loss, serial.back().train_loss,
+                    0.5 * std::abs(serial.back().train_loss) + 0.05);
+    }
+}
+
 TEST(SessionMultiChannel, CloneIsIndependent)
 {
     MultiChannelDonn model = rgbModel(1, 6);

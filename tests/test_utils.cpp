@@ -5,8 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <set>
+#include <vector>
 
 #include "utils/cli.hpp"
 #include "utils/csv.hpp"
@@ -180,6 +183,39 @@ TEST(ThreadPool, SerialFallbackWorks)
     pool.parallelFor(10, [&](std::size_t i) { hits[i] += 1; });
     for (int h : hits)
         EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EnqueueRunsJobsWithCallerSignalling)
+{
+    // The pipelined trainer's primitive: fire-and-forget jobs plus a
+    // caller-owned latch. Every job must run exactly once and the wait
+    // must observe all of their writes.
+    ThreadPool pool(4);
+    const std::size_t jobs = 32;
+    std::vector<int> hits(jobs, 0);
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t pending = jobs;
+    for (std::size_t j = 0; j < jobs; ++j) {
+        pool.enqueue([&, j] {
+            hits[j] += 1;
+            std::lock_guard<std::mutex> lock(mutex);
+            --pending;
+            cv.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return pending == 0; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EnqueueRunsInlineWithoutWorkers)
+{
+    ThreadPool pool(1); // no worker threads: enqueue must run inline
+    int ran = 0;
+    pool.enqueue([&] { ++ran; });
+    EXPECT_EQ(ran, 1);
 }
 
 TEST(Timer, MeasuresNonNegativeDurations)
