@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Serving-engine benchmark: dynamic micro-batching versus sequential
+ * per-request dispatch, with bitwise parity against direct inference.
+ *
+ * Emits bench_results/BENCH_serve.json with three sections:
+ *
+ *  - "throughput": requests/sec of the micro-batched engine (submit the
+ *    whole stream asynchronously, gather) versus one-request-at-a-time
+ *    dispatch through the same engine, per model size. Gate: batched
+ *    >= 2x sequential — conditioned on >= 4 hardware threads per the
+ *    repo's hardware-conditioning convention (a single-CPU host has no
+ *    parallelism for the batcher to exploit; it reports without failing).
+ *  - "parity": engine responses are bitwise-equal to direct
+ *    `detector().readout(model.inferField(model.encode(frame)))` calls,
+ *    for every request, both dispatch modes, both registered models.
+ *    Unconditional gate.
+ *  - "alloc": steady-state Field heap allocations of a batched burst
+ *    (only meaningful under LIGHTRIDGE_ALLOC_STATS). One shared
+ *    DonnModel instance serves every worker: zero allocations means no
+ *    per-request clones and no per-request propagation buffers.
+ *    Gate applies only when the counter is compiled in.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/model.hpp"
+#include "data/synth_digits.hpp"
+#include "optics/laser.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "utils/json.hpp"
+#include "utils/thread_pool.hpp"
+#include "utils/timer.hpp"
+
+using namespace lightridge;
+
+namespace {
+
+DonnModel
+makeServeModel(std::size_t n, std::size_t depth, uint64_t seed)
+{
+    SystemSpec spec;
+    spec.size = n;
+    spec.pixel = 36e-6;
+    spec.distance = idealDistanceHalfCone(Grid{n, 36e-6}, 532e-9);
+    Rng rng(seed);
+    return ModelBuilder(spec, Laser{})
+        .diffractiveLayers(depth, 1.0, &rng)
+        .detectorGrid(10, std::max<std::size_t>(n / 8, 1))
+        .build();
+}
+
+/** Direct single-request reference path the engine must match bitwise. */
+std::vector<Real>
+directLogits(const DonnModel &model, const RealMap &frame)
+{
+    Field u = model.inferField(model.encode(frame));
+    return model.detector().readout(u);
+}
+
+double
+medianMs(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Serving engine: micro-batching vs sequential dispatch",
+                  "ISSUE 5 / ROADMAP scale: multi-model serving front end");
+
+    const std::size_t hw_threads = ThreadPool::global().workerCount();
+    const std::size_t depth = 3;
+    const std::size_t requests = scaled<std::size_t>(48, 192);
+    const std::vector<std::size_t> sizes{32, 48};
+
+    // Request frames: deterministic synthetic digits at native 28x28.
+    ClassDataset frames = makeSynthDigits(requests, 11);
+
+    ModelRegistry registry;
+    for (std::size_t n : sizes)
+        registry.registerModel("digits" + std::to_string(n),
+                               makeServeModel(n, depth, 7 + n));
+
+    CsvWriter csv;
+    csv.header({"size", "requests", "sequential_ms", "batched_ms",
+                "speedup", "batched_rps", "mean_batch"});
+    std::printf("\n%zu requests per model, depth=%zu, hw_threads=%zu\n",
+                requests, depth, hw_threads);
+    std::printf("%-8s %14s %12s %9s %12s %11s\n", "size", "sequential_ms",
+                "batched_ms", "speedup", "batched_rps", "mean_batch");
+
+    Json throughput_rows;
+    bool parity_ok = true;
+    Real best_speedup = 0;
+    std::uint64_t steady_allocs = 0;
+    bool alloc_measured = false;
+
+    for (std::size_t n : sizes) {
+        const std::string name = "digits" + std::to_string(n);
+        std::shared_ptr<const DonnModel> model = registry.acquire(name);
+
+        // Reference logits for every frame (also warms the FFT-plan and
+        // transfer-function caches the engine shares).
+        std::vector<std::vector<Real>> direct(requests);
+        for (std::size_t i = 0; i < requests; ++i)
+            direct[i] = directLogits(*model, frames.images[i]);
+
+        BatchingConfig batching;
+        batching.max_batch = 32;
+        InferenceEngine engine(registry, batching);
+
+        auto makeRequest = [&](std::size_t i) {
+            InferRequest request;
+            request.model = name;
+            request.image = frames.images[i];
+            request.id = i;
+            return request;
+        };
+
+        // Warm both dispatch paths (worker arenas, modulation tables).
+        for (std::size_t i = 0; i < std::min<std::size_t>(requests, 8); ++i)
+            parity_ok = parity_ok &&
+                        engine.inferNow(makeRequest(i)).logits == direct[i];
+
+        auto runSequential = [&] {
+            for (std::size_t i = 0; i < requests; ++i) {
+                InferResponse response = engine.inferNow(makeRequest(i));
+                parity_ok = parity_ok && response.logits == direct[i];
+            }
+        };
+        double batched_mean_batch = 0;
+        auto runBatched = [&] {
+            std::vector<std::future<InferResponse>> futures;
+            futures.reserve(requests);
+            for (std::size_t i = 0; i < requests; ++i)
+                futures.push_back(engine.submit(makeRequest(i)));
+            double batch_sum = 0;
+            for (std::size_t i = 0; i < requests; ++i) {
+                InferResponse response = futures[i].get();
+                parity_ok = parity_ok && response.logits == direct[i];
+                batch_sum += static_cast<double>(response.batch_size);
+            }
+            batched_mean_batch = batch_sum / requests;
+        };
+
+        // Steady-state allocation audit on the warmed engine: a batched
+        // burst must lease every buffer from the per-thread arenas and
+        // never clone the shared model (which would rebuild modulation
+        // tables). Only meaningful when the counter is compiled in.
+        if (fieldAllocStatsEnabled() && n == sizes.front()) {
+            runBatched();
+            engine.drain();
+            resetFieldAllocCount();
+            runBatched();
+            engine.drain();
+            steady_allocs = fieldAllocCount();
+            alloc_measured = true;
+        }
+
+        const int reps = 3;
+        std::vector<double> seq_ms, batch_ms;
+        for (int r = 0; r < reps; ++r) {
+            WallTimer t1;
+            runSequential();
+            seq_ms.push_back(t1.milliseconds());
+            WallTimer t2;
+            runBatched();
+            batch_ms.push_back(t2.milliseconds());
+        }
+        const double seq = medianMs(seq_ms);
+        const double bat = medianMs(batch_ms);
+        const double speedup = seq / bat;
+        const double rps = 1e3 * static_cast<double>(requests) / bat;
+        best_speedup = std::max<Real>(best_speedup, speedup);
+        std::printf("%-8zu %14.2f %12.2f %8.2fx %12.1f %11.1f\n", n, seq,
+                    bat, speedup, rps, batched_mean_batch);
+        csv.rowNumeric({static_cast<double>(n),
+                        static_cast<double>(requests), seq, bat, speedup,
+                        rps, batched_mean_batch});
+        Json row;
+        row["size"] = Json(n);
+        row["requests"] = Json(requests);
+        row["sequential_ms"] = Json(seq);
+        row["batched_ms"] = Json(bat);
+        row["speedup"] = Json(speedup);
+        row["batched_rps"] = Json(rps);
+        row["mean_batch"] = Json(batched_mean_batch);
+        throughput_rows.push(std::move(row));
+    }
+
+    std::printf("parity (engine == direct inferField, both modes): %s\n",
+                parity_ok ? "yes" : "NO");
+    if (alloc_measured)
+        std::printf("steady-state field allocs (batched burst): %llu\n",
+                    static_cast<unsigned long long>(steady_allocs));
+
+    // Gates per the hardware-conditioning convention: parity is
+    // unconditional; the throughput gate needs real cores; the alloc
+    // gate needs the counter compiled in.
+    const bool throughput_gate_applies = hw_threads >= 4;
+    const bool throughput_gate_pass =
+        !throughput_gate_applies || best_speedup >= 2.0;
+    const bool alloc_gate_pass = !alloc_measured || steady_allocs == 0;
+
+    std::printf("\ngate: parity bitwise -> %s\n",
+                parity_ok ? "PASS" : "FAIL");
+    std::printf("gate: batched >= 2x sequential at >= 4 hw threads -> %s "
+                "(%.2fx%s)\n",
+                throughput_gate_pass ? "PASS" : "FAIL", best_speedup,
+                throughput_gate_applies ? "" : ", skipped: < 4 hw threads");
+    std::printf("gate: zero steady-state allocs (shared instance, no "
+                "clones) -> %s%s\n",
+                alloc_gate_pass ? "PASS" : "FAIL",
+                alloc_measured ? "" : " (skipped: alloc stats compiled out)");
+
+    bench::saveCsv(csv, "serve");
+    Json artifact;
+    artifact["bench"] = Json("serve");
+    artifact["scale"] = Json(benchFullScale() ? "full" : "quick");
+    artifact["hw_threads"] = Json(hw_threads);
+    artifact["alloc_stats_compiled"] = Json(fieldAllocStatsEnabled());
+    artifact["throughput"] = std::move(throughput_rows);
+    Json gates;
+    gates["parity_pass"] = Json(parity_ok);
+    gates["throughput_gate_applies"] = Json(throughput_gate_applies);
+    gates["best_speedup"] = Json(best_speedup);
+    gates["throughput_gate_pass"] = Json(throughput_gate_pass);
+    gates["alloc_gate_applies"] = Json(alloc_measured);
+    gates["steady_state_field_allocs"] =
+        Json(static_cast<std::size_t>(steady_allocs));
+    gates["alloc_gate_pass"] = Json(alloc_gate_pass);
+    artifact["gates"] = std::move(gates);
+    const std::string json_path = bench::resultsDir() + "/BENCH_serve.json";
+    if (artifact.save(json_path))
+        std::printf("[json] %s\n", json_path.c_str());
+
+    return (parity_ok && throughput_gate_pass && alloc_gate_pass) ? 0 : 1;
+}

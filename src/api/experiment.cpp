@@ -10,6 +10,7 @@
 #include "data/synth_fashion.hpp"
 #include "data/synth_scenes.hpp"
 #include "utils/log.hpp"
+#include "utils/thread_pool.hpp"
 #include "utils/timer.hpp"
 
 namespace lightridge {
@@ -355,6 +356,7 @@ ExperimentSpec::toJson() const
     Json det;
     det["classes"] = Json(detector.classes);
     det["det_size"] = Json(detector.det_size);
+    det["mode"] = Json(detector.mode);
     j["detector"] = std::move(det);
 
     j["train"] = trainConfigToJson(train);
@@ -424,9 +426,14 @@ ExperimentSpec::fromJson(const Json &j)
 
     if (j.has("detector")) {
         const Json &det = j.at("detector");
-        expectKeys(det, {"classes", "det_size"}, "detector");
+        expectKeys(det, {"classes", "det_size", "mode"}, "detector");
         spec.detector.classes = sizeOr(det, "classes", 0);
         spec.detector.det_size = sizeOr(det, "det_size", 0);
+        if (det.has("mode"))
+            spec.detector.mode = det.at("mode").asString();
+        if (spec.detector.mode != "intensity" &&
+            spec.detector.mode != "differential")
+            throw JsonError("unknown detector mode: " + spec.detector.mode);
     }
 
     if (j.has("train"))
@@ -521,14 +528,22 @@ buildSpecModel(const ExperimentSpec &spec, std::size_t num_classes,
     std::size_t det_size = spec.detector.det_size;
     if (det_size == 0)
         det_size = std::max<std::size_t>(system.size / 10, 1);
-    model.setDetector(DetectorPlane(
-        DetectorPlane::gridLayout(system.size, num_classes, det_size)));
+    if (spec.detector.mode == "differential") {
+        auto layout = DetectorPlane::differentialGridLayout(
+            system.size, num_classes, det_size);
+        model.setDetector(DetectorPlane(std::move(layout.first),
+                                        std::move(layout.second)));
+    } else {
+        model.setDetector(DetectorPlane(DetectorPlane::gridLayout(
+            system.size, num_classes, det_size)));
+    }
     return model;
 }
 
 ExperimentResult
 runExperiment(const ExperimentSpec &spec,
-              const Session::Callback &epoch_callback)
+              const Session::Callback &epoch_callback,
+              const std::string &save_model_path)
 {
     ExperimentResult result;
     result.name = spec.name;
@@ -536,11 +551,22 @@ runExperiment(const ExperimentSpec &spec,
     WallTimer timer;
     Rng rng(spec.model_seed);
 
+    // Record the execution mode actually used, not just what the spec
+    // asked for (Session::resolveWorkers is the engine's own rule).
+    result.workers_requested = spec.train.workers;
+    result.pipeline = spec.train.pipeline;
+    result.hw_threads = ThreadPool::global().workerCount();
+
     auto runSession = [&](Task &task) {
+        result.workers_used =
+            Session::resolveWorkers(spec.train, task.trainSize());
         Session session(task, spec.train);
         if (epoch_callback)
             session.addCallback(epoch_callback);
         result.history = session.fit();
+        if (!save_model_path.empty() && !task.save(save_model_path))
+            throw std::runtime_error("cannot write model checkpoint: " +
+                                     save_model_path);
     };
 
     if (spec.task == "classification") {
@@ -645,6 +671,14 @@ ExperimentResult::report(const ExperimentSpec &spec) const
                                  : 0.0);
     }
     j["final"] = std::move(final);
+
+    Json execution;
+    execution["workers"] = Json(workers_used);
+    execution["workers_requested"] = Json(workers_requested);
+    execution["pipeline"] = Json(pipeline);
+    execution["hw_threads"] = Json(hw_threads);
+    j["execution"] = std::move(execution);
+
     j["seconds"] = Json(seconds);
     return j;
 }

@@ -99,6 +99,13 @@ struct DetectorSpec
 {
     std::size_t classes = 0;  ///< 0 = dataset's class count
     std::size_t det_size = 0; ///< 0 = system_size / 10 heuristic
+
+    /**
+     * Readout mode: "intensity" (paper default) or "differential"
+     * (paired positive/negative regions with normalized difference
+     * logits, Li et al., arXiv:1906.03417).
+     */
+    std::string mode = "intensity";
 };
 
 /**
@@ -149,7 +156,18 @@ struct ExperimentResult
     std::size_t num_classes = 0; ///< 0 for non-classification tasks
     double seconds = 0;
 
-    /** Full JSON report (spec echo + per-epoch stats + final metrics). */
+    /**
+     * Execution mode the run actually used (bench artifacts need the
+     * mode on record, not just the request): workers resolved per the
+     * Session rule (0 -> pool size, clamped by batch/train size).
+     */
+    std::size_t workers_used = 1;
+    std::size_t workers_requested = 0;
+    bool pipeline = false;
+    std::size_t hw_threads = 0;
+
+    /** Full JSON report (spec echo + per-epoch stats + final metrics +
+     *  execution block). */
     Json report(const ExperimentSpec &spec) const;
 };
 
@@ -170,9 +188,14 @@ DonnModel buildSpecModel(const ExperimentSpec &spec, std::size_t num_classes,
  * Execute a spec end to end: synthesize data, build the model(s) and
  * task, train through a Session, and reduce final metrics.
  * @param epoch_callback optional per-epoch hook (progress reporting)
+ * @param save_model_path when non-empty, the trained primary model is
+ *        checkpointed here after training (the serving onboarding path:
+ *        train with lightridge_run, register the checkpoint with
+ *        lightridge_serve)
  */
 ExperimentResult
 runExperiment(const ExperimentSpec &spec,
-              const Session::Callback &epoch_callback = nullptr);
+              const Session::Callback &epoch_callback = nullptr,
+              const std::string &save_model_path = "");
 
 } // namespace lightridge

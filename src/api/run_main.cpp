@@ -1,17 +1,30 @@
 /**
  * @file
- * lightridge_run: execute a declarative JSON experiment spec end to end
- * and emit a JSON results report.
+ * lightridge_run: execute declarative JSON experiment specs end to end
+ * and emit JSON results reports.
  *
- *   lightridge_run spec.json [--out=results.json] [--dump-spec]
- *                            [--workers=N] [--quiet]
+ *   lightridge_run <spec.json> [spec2.json ...]
+ *                  [--out=results.json] [--out-dir=DIR]
+ *                  [--save-model=ckpt.json] [--dump-spec]
+ *                  [--workers=N] [--quiet]
+ *
+ * Single-spec runs behave as before (--out names the report). Passing
+ * several specs (listed before any flags) enters batch mode: the specs
+ * run back to back in one process, so the process-wide FFT-plan and
+ * transfer-function caches are shared across every experiment, and each
+ * report lands in --out-dir (default ".") as <name>_results.json.
+ * --save-model checkpoints the trained model (single-spec only) — the
+ * handoff point to lightridge_serve.
  *
  * The spec format is documented in api/experiment.hpp (see
  * examples/specs/ for runnable samples). Exit codes: 0 success,
- * 1 usage error, 2 spec/parse error.
+ * 1 usage error, 2 spec/parse/run error.
  */
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "api/experiment.hpp"
 #include "utils/cli.hpp"
@@ -25,49 +38,27 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: lightridge_run <spec.json> [--out=results.json]\n"
-        "                      [--dump-spec] [--workers=N] [--quiet]\n"
+        "usage: lightridge_run <spec.json> [spec2.json ...]\n"
+        "                      [--out=results.json] [--out-dir=DIR]\n"
+        "                      [--save-model=ckpt.json] [--dump-spec]\n"
+        "                      [--workers=N] [--quiet]\n"
         "\n"
-        "Executes a declarative DONN experiment spec (task: "
+        "Executes declarative DONN experiment specs (task: "
         "classification,\nsegmentation, or rgb) through the Task/Session "
-        "engine and writes a\nJSON results report.\n");
+        "engine and writes\nJSON results reports. Several specs run in "
+        "one process sharing\nthe propagation caches (batch mode).\n");
 }
 
-} // namespace
-
+/** Run one spec: train, report, optionally checkpoint. 0 on success. */
 int
-main(int argc, char **argv)
+runOne(const ExperimentSpec &spec, const std::string &out_path,
+       const std::string &save_model, bool quiet)
 {
-    if (argc < 2 || argv[1][0] == '-') {
-        usage();
-        return 1;
-    }
-    const std::string spec_path = argv[1];
-    CliArgs args(argc, argv);
-
-    ExperimentSpec spec;
-    try {
-        spec = ExperimentSpec::load(spec_path);
-    } catch (const JsonError &e) {
-        std::fprintf(stderr, "lightridge_run: bad spec %s: %s\n",
-                     spec_path.c_str(), e.what());
-        return 2;
-    }
-
-    if (args.has("workers"))
-        spec.train.workers =
-            static_cast<std::size_t>(args.getInt("workers", 0));
-    const bool quiet = args.getBool("quiet", false);
-
-    if (args.has("dump-spec")) {
-        std::printf("%s\n", spec.toJson().pretty().c_str());
-        return 0;
-    }
-
     std::printf("[lightridge_run] %s: task=%s dataset=%s size=%zu "
-                "epochs=%d workers=%zu\n",
+                "epochs=%d workers=%zu%s\n",
                 spec.name.c_str(), spec.task.c_str(), spec.dataset.c_str(),
-                spec.system.size, spec.train.epochs, spec.train.workers);
+                spec.system.size, spec.train.epochs, spec.train.workers,
+                spec.train.pipeline ? " pipeline" : "");
 
     Session::Callback progress;
     if (!quiet) {
@@ -83,36 +74,128 @@ main(int argc, char **argv)
 
     ExperimentResult result;
     try {
-        result = runExperiment(spec, progress);
-    } catch (const JsonError &e) {
-        std::fprintf(stderr, "lightridge_run: %s\n", e.what());
-        return 2;
+        result = runExperiment(spec, progress, save_model);
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "lightridge_run: %s\n", e.what());
+        std::fprintf(stderr, "lightridge_run: %s: %s\n", spec.name.c_str(),
+                     e.what());
         return 2;
     }
 
     Json report = result.report(spec);
-    const std::string out =
-        args.getString("out", spec.name + "_results.json");
-    if (!report.save(out)) {
+    if (!report.save(out_path)) {
         std::fprintf(stderr, "lightridge_run: cannot write %s\n",
-                     out.c_str());
+                     out_path.c_str());
         return 2;
     }
 
     if (spec.task == "segmentation") {
-        std::printf("[done] iou=%.3f mse=%.4f (%.1fs) -> %s\n",
+        std::printf("[done] iou=%.3f mse=%.4f workers=%zu (%.1fs) -> %s\n",
                     result.final_metrics.primary, result.secondary,
-                    result.seconds, out.c_str());
+                    result.workers_used, result.seconds, out_path.c_str());
     } else {
-        std::printf("[done] accuracy=%.3f top3=%.3f chance=%.3f (%.1fs) "
-                    "-> %s\n",
+        std::printf("[done] accuracy=%.3f top3=%.3f chance=%.3f "
+                    "workers=%zu (%.1fs) -> %s\n",
                     result.final_metrics.primary, result.final_metrics.top3,
                     result.num_classes > 0
                         ? 1.0 / static_cast<double>(result.num_classes)
                         : 0.0,
-                    result.seconds, out.c_str());
+                    result.workers_used, result.seconds, out_path.c_str());
     }
+    if (!save_model.empty())
+        std::printf("[model] -> %s\n", save_model.c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Spec paths are the leading positional arguments (before any flag).
+    std::vector<std::string> spec_paths;
+    int i = 1;
+    while (i < argc && argv[i][0] != '-')
+        spec_paths.push_back(argv[i++]);
+    if (spec_paths.empty()) {
+        usage();
+        return 1;
+    }
+    // Reject bare tokens after the flag region: CliArgs would either
+    // drop them or swallow them as a "--key value" flag value, and a
+    // batch run would quietly skip those specs (e.g. "--quiet b.json"
+    // eats b.json). Flags therefore use the --key=value form here.
+    for (int j = i; j < argc; ++j) {
+        if (std::strncmp(argv[j], "--", 2) == 0)
+            continue;
+        std::fprintf(stderr,
+                     "lightridge_run: unexpected argument \"%s\" after "
+                     "flags (list every spec file before any flag, and "
+                     "write flags as --key=value)\n",
+                     argv[j]);
+        return 1;
+    }
+    CliArgs args(argc, argv);
+
+    std::vector<ExperimentSpec> specs;
+    for (const std::string &path : spec_paths) {
+        try {
+            specs.push_back(ExperimentSpec::load(path));
+        } catch (const JsonError &e) {
+            std::fprintf(stderr, "lightridge_run: bad spec %s: %s\n",
+                         path.c_str(), e.what());
+            return 2;
+        }
+    }
+
+    if (args.has("workers"))
+        for (ExperimentSpec &spec : specs)
+            spec.train.workers =
+                static_cast<std::size_t>(args.getInt("workers", 0));
+    const bool quiet = args.getBool("quiet", false);
+
+    if (args.has("dump-spec")) {
+        for (const ExperimentSpec &spec : specs)
+            std::printf("%s\n", spec.toJson().pretty().c_str());
+        return 0;
+    }
+
+    const std::string save_model = args.getString("save-model", "");
+    if (!save_model.empty() && specs.size() > 1) {
+        std::fprintf(stderr, "lightridge_run: --save-model needs a single "
+                             "spec\n");
+        return 1;
+    }
+    if (args.has("out") && specs.size() > 1) {
+        std::fprintf(stderr, "lightridge_run: --out needs a single spec; "
+                             "use --out-dir for batch runs\n");
+        return 1;
+    }
+
+    // Batch-mode report paths derive from spec names; duplicate names
+    // (the same spec swept at several settings) get an index suffix so
+    // no report clobbers another.
+    const std::string out_dir = args.getString("out-dir", ".");
+    std::map<std::string, int> name_uses;
+    for (const ExperimentSpec &spec : specs)
+        ++name_uses[spec.name];
+    std::map<std::string, int> name_seen;
+    int failures = 0;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        std::string stem = specs[s].name;
+        if (specs.size() > 1 && name_uses[stem] > 1) {
+            stem.push_back('_');
+            stem.append(std::to_string(++name_seen[specs[s].name]));
+        }
+        std::string out_path =
+            specs.size() == 1
+                ? args.getString("out", stem + "_results.json")
+                : out_dir + "/" + stem + "_results.json";
+        failures += runOne(specs[s], out_path, save_model, quiet) != 0;
+    }
+
+    if (specs.size() > 1)
+        std::printf("[batch] %zu specs, %d failed (shared propagation "
+                    "caches)\n",
+                    specs.size(), failures);
+    return failures == 0 ? 0 : 2;
 }

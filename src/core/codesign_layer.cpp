@@ -20,6 +20,21 @@ CodesignLayer::CodesignLayer(std::shared_ptr<const Propagator> propagator,
     logits_grad_.assign(logits_.size(), 0.0);
 }
 
+CodesignLayer::CodesignLayer(const CodesignLayer &other)
+    : propagator_(other.propagator_), lut_(other.lut_), tau_(other.tau_),
+      gamma_(other.gamma_), rng_(other.rng_), logits_(other.logits_),
+      logits_grad_(other.logits_grad_),
+      cached_probs_(other.cached_probs_),
+      cached_diffracted_(other.cached_diffracted_),
+      cached_modulation_(other.cached_modulation_)
+{
+    // The published table is immutable, so sharing the pointer is safe;
+    // the mutex is per-instance and starts fresh. The rng_ pointer is
+    // copied as-is; parallel trainers rewire replicas via setRng().
+    std::lock_guard<std::mutex> lock(other.infer_cache_mutex_);
+    infer_modulation_ = other.infer_modulation_;
+}
+
 std::size_t
 CodesignLayer::sideLength() const
 {
@@ -93,19 +108,35 @@ CodesignLayer::forwardInPlace(Field &u, bool training,
         u[i] = gamma_ * cached_diffracted_[i] * cached_modulation_[i];
 }
 
-void
-CodesignLayer::inferInPlace(Field &u, PropagationWorkspace &workspace) const
+std::shared_ptr<const CodesignLayer::InferModulation>
+CodesignLayer::inferModulation() const
 {
+    std::lock_guard<std::mutex> lock(infer_cache_mutex_);
+    if (infer_modulation_ && infer_modulation_->logits == logits_)
+        return infer_modulation_;
     const std::size_t n = sideLength();
     const std::size_t k = lut_.size();
-    propagator_->forwardInto(u, u, workspace);
-
+    auto fresh = std::make_shared<InferModulation>();
+    fresh->table = Field(n, n);
     // Deployment: exact argmax device state per unit.
     for (std::size_t i = 0; i < n * n; ++i) {
         const Real *l = logits_.data() + i * k;
         std::size_t best = std::max_element(l, l + k) - l;
-        u[i] = gamma_ * u[i] * lut_.levels[best];
+        fresh->table[i] = lut_.levels[best];
     }
+    fresh->logits = logits_;
+    infer_modulation_ = fresh;
+    return fresh;
+}
+
+void
+CodesignLayer::inferInPlace(Field &u, PropagationWorkspace &workspace) const
+{
+    std::shared_ptr<const InferModulation> mod = inferModulation();
+    propagator_->forwardInto(u, u, workspace);
+    const Field &table = mod->table;
+    for (std::size_t i = 0; i < u.size(); ++i)
+        u[i] = gamma_ * u[i] * table[i];
 }
 
 LayerPtr

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/device_lut.hpp"
@@ -37,6 +38,9 @@ class CodesignLayer : public Layer
                   DeviceLut lut, Real tau = 1.0, Real gamma = 1.0,
                   Rng *rng = nullptr);
 
+    /** Copy shares the (immutable) published argmax-LUT table. */
+    CodesignLayer(const CodesignLayer &other);
+
     std::string kind() const override { return "codesign"; }
 
     Field forward(const Field &in, bool training) override;
@@ -55,7 +59,8 @@ class CodesignLayer : public Layer
     Real tau() const { return tau_; }
     void setTau(Real tau) { tau_ = tau; }
 
-    /** Rewire the Gumbel-noise source (per-replica rngs in parallel training). */
+    /** Rewire the Gumbel-noise source (per-replica rngs in parallel
+     *  training). */
     void setRng(Rng *rng) { rng_ = rng; }
 
     /** Whether Gumbel sampling is enabled (a noise source is attached). */
@@ -85,6 +90,22 @@ class CodesignLayer : public Layer
     /** Softmax over the K logits of unit i into out. */
     void unitSoftmax(std::size_t i, bool with_noise, Real *out);
 
+    /** Immutable published argmax modulation + the logits it encodes. */
+    struct InferModulation
+    {
+        Field table;               ///< lut.levels[argmax] per unit
+        std::vector<Real> logits;  ///< snapshot the table was built from
+    };
+
+    /**
+     * Thread-safe shared-instance argmax-LUT cache for the inference
+     * path (the codesign counterpart of DiffractiveLayer's modulation
+     * cache): the per-unit argmax device state is resolved once per
+     * weight update instead of once per request per worker. Values are
+     * exactly lut.levels[argmax], so inference stays bitwise-identical.
+     */
+    std::shared_ptr<const InferModulation> inferModulation() const;
+
     std::shared_ptr<const Propagator> propagator_;
     DeviceLut lut_;
     Real tau_;
@@ -93,6 +114,10 @@ class CodesignLayer : public Layer
 
     std::vector<Real> logits_;      // n*n*K
     std::vector<Real> logits_grad_; // n*n*K
+
+    // Shared-instance inference cache (see inferModulation()).
+    mutable std::mutex infer_cache_mutex_;
+    mutable std::shared_ptr<const InferModulation> infer_modulation_;
 
     // Training caches.
     std::vector<Real> cached_probs_; // n*n*K soft assignments

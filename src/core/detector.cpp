@@ -7,6 +7,32 @@
 
 namespace lightridge {
 
+namespace {
+
+/** Region-integrated intensity of one region over a complex field. */
+Real
+regionIntensity(const Field &u, const DetectorRegion &reg)
+{
+    Real total = 0;
+    for (std::size_t r = reg.r0; r < reg.r0 + reg.h; ++r)
+        for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
+            total += std::norm(u(r, c));
+    return total;
+}
+
+/** Region-integrated value of one region over a real intensity map. */
+Real
+regionIntensity(const RealMap &intensity, const DetectorRegion &reg)
+{
+    Real total = 0;
+    for (std::size_t r = reg.r0; r < reg.r0 + reg.h; ++r)
+        for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
+            total += intensity(r, c);
+    return total;
+}
+
+} // namespace
+
 DetectorPlane::DetectorPlane(std::vector<DetectorRegion> regions,
                              Real amp_factor)
     : regions_(std::move(regions)), amp_factor_(amp_factor)
@@ -15,18 +41,34 @@ DetectorPlane::DetectorPlane(std::vector<DetectorRegion> regions,
         throw std::invalid_argument("DetectorPlane: no regions");
 }
 
+DetectorPlane::DetectorPlane(std::vector<DetectorRegion> regions,
+                             std::vector<DetectorRegion> neg_regions,
+                             Real amp_factor)
+    : regions_(std::move(regions)), neg_regions_(std::move(neg_regions)),
+      mode_(DetectorMode::Differential), amp_factor_(amp_factor)
+{
+    if (regions_.empty())
+        throw std::invalid_argument("DetectorPlane: no regions");
+    if (neg_regions_.size() != regions_.size())
+        throw std::invalid_argument(
+            "DetectorPlane: differential mode needs one negative region "
+            "per positive region");
+}
+
 std::vector<Real>
 DetectorPlane::readout(const Field &u) const
 {
     std::vector<Real> logits(regions_.size(), 0.0);
-    for (std::size_t k = 0; k < regions_.size(); ++k) {
-        const DetectorRegion &reg = regions_[k];
-        Real total = 0;
-        for (std::size_t r = reg.r0; r < reg.r0 + reg.h; ++r)
-            for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
-                total += std::norm(u(r, c));
-        logits[k] = amp_factor_ * total;
+    if (differential()) {
+        for (std::size_t k = 0; k < regions_.size(); ++k) {
+            Real p = regionIntensity(u, regions_[k]);
+            Real n = regionIntensity(u, neg_regions_[k]);
+            logits[k] = amp_factor_ * (p - n) / (p + n + kDifferentialEps);
+        }
+        return logits;
     }
+    for (std::size_t k = 0; k < regions_.size(); ++k)
+        logits[k] = amp_factor_ * regionIntensity(u, regions_[k]);
     return logits;
 }
 
@@ -34,14 +76,16 @@ std::vector<Real>
 DetectorPlane::readoutFromIntensity(const RealMap &intensity) const
 {
     std::vector<Real> logits(regions_.size(), 0.0);
-    for (std::size_t k = 0; k < regions_.size(); ++k) {
-        const DetectorRegion &reg = regions_[k];
-        Real total = 0;
-        for (std::size_t r = reg.r0; r < reg.r0 + reg.h; ++r)
-            for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
-                total += intensity(r, c);
-        logits[k] = amp_factor_ * total;
+    if (differential()) {
+        for (std::size_t k = 0; k < regions_.size(); ++k) {
+            Real p = regionIntensity(intensity, regions_[k]);
+            Real n = regionIntensity(intensity, neg_regions_[k]);
+            logits[k] = amp_factor_ * (p - n) / (p + n + kDifferentialEps);
+        }
+        return logits;
     }
+    for (std::size_t k = 0; k < regions_.size(); ++k)
+        logits[k] = amp_factor_ * regionIntensity(intensity, regions_[k]);
     return logits;
 }
 
@@ -50,16 +94,9 @@ DetectorPlane::readoutNoisy(const Field &u, Real noise_frac, Rng *rng) const
 {
     RealMap intensity = u.intensity();
     Real bound = noise_frac * intensity.max();
-    std::vector<Real> logits(regions_.size(), 0.0);
-    for (std::size_t k = 0; k < regions_.size(); ++k) {
-        const DetectorRegion &reg = regions_[k];
-        Real total = 0;
-        for (std::size_t r = reg.r0; r < reg.r0 + reg.h; ++r)
-            for (std::size_t c = reg.c0; c < reg.c0 + reg.w; ++c)
-                total += intensity(r, c) + rng->uniform(0.0, bound);
-        logits[k] = amp_factor_ * total;
-    }
-    return logits;
+    for (std::size_t i = 0; i < intensity.size(); ++i)
+        intensity[i] += rng->uniform(0.0, bound);
+    return readoutFromIntensity(intensity);
 }
 
 std::vector<Real>
@@ -104,6 +141,31 @@ DetectorPlane::backwardForInto(const Field &u,
         throw std::invalid_argument("DetectorPlane: dlogits size mismatch");
     ensureFieldShape(grad, u.rows(), u.cols());
     grad.fill(Complex{0, 0});
+    if (differential()) {
+        // logit = amp * (P - N) / (P + N + eps) with P/N the pos/neg
+        // region intensity sums, so per region sum:
+        //   dlogit/dP =  amp * (2N + eps) / S^2
+        //   dlogit/dN = -amp * (2P + eps) / S^2    with S = P + N + eps,
+        // and each pixel contributes d(sum)/du = 2u (Wirtinger).
+        for (std::size_t k = 0; k < regions_.size(); ++k) {
+            Real p = regionIntensity(u, regions_[k]);
+            Real n = regionIntensity(u, neg_regions_[k]);
+            Real s = p + n + kDifferentialEps;
+            Real wp = amp_factor_ * (2 * n + kDifferentialEps) / (s * s);
+            Real wn = -amp_factor_ * (2 * p + kDifferentialEps) / (s * s);
+            const DetectorRegion &pos = regions_[k];
+            Real pos_scale = 2 * dlogits[k] * wp;
+            for (std::size_t r = pos.r0; r < pos.r0 + pos.h; ++r)
+                for (std::size_t c = pos.c0; c < pos.c0 + pos.w; ++c)
+                    grad(r, c) += pos_scale * u(r, c);
+            const DetectorRegion &neg = neg_regions_[k];
+            Real neg_scale = 2 * dlogits[k] * wn;
+            for (std::size_t r = neg.r0; r < neg.r0 + neg.h; ++r)
+                for (std::size_t c = neg.c0; c < neg.c0 + neg.w; ++c)
+                    grad(r, c) += neg_scale * u(r, c);
+        }
+        return;
+    }
     for (std::size_t k = 0; k < regions_.size(); ++k) {
         const DetectorRegion &reg = regions_[k];
         // logit = amp * sum |u|^2  =>  G = 2 * amp * dlogit * u.
@@ -149,6 +211,25 @@ DetectorPlane::gridLayout(std::size_t n, std::size_t num_classes,
         regions.push_back(reg);
     }
     return regions;
+}
+
+std::pair<std::vector<DetectorRegion>, std::vector<DetectorRegion>>
+DetectorPlane::differentialGridLayout(std::size_t n, std::size_t num_classes,
+                                      std::size_t det_size)
+{
+    // Lay out 2k evenly spaced regions; consecutive slots form each
+    // class's positive/negative pair, so pairs sit adjacent on the plane
+    // (the geometry of Li et al., arXiv:1906.03417, Fig. 1).
+    std::vector<DetectorRegion> all =
+        gridLayout(n, 2 * num_classes, det_size);
+    std::vector<DetectorRegion> pos, neg;
+    pos.reserve(num_classes);
+    neg.reserve(num_classes);
+    for (std::size_t k = 0; k < num_classes; ++k) {
+        pos.push_back(all[2 * k]);
+        neg.push_back(all[2 * k + 1]);
+    }
+    return {std::move(pos), std::move(neg)};
 }
 
 } // namespace lightridge

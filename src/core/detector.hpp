@@ -28,6 +28,22 @@ struct DetectorRegion
     std::size_t w = 0;
 };
 
+/** How region intensities are turned into logits. */
+enum class DetectorMode
+{
+    /** Plain region-integrated intensity (the paper's default readout). */
+    Intensity,
+    /**
+     * Class-specific differential detection (Li et al., arXiv:1906.03417):
+     * each class owns a positive and a negative region, and the logit is
+     * the normalized intensity difference
+     *   amp * (P - N) / (P + N + eps),
+     * which cancels global illumination power and doubles the usable
+     * dynamic range of the readout.
+     */
+    Differential,
+};
+
 /** Per-class intensity-integrating readout plane. */
 class DetectorPlane
 {
@@ -42,8 +58,30 @@ class DetectorPlane
     explicit DetectorPlane(std::vector<DetectorRegion> regions,
                            Real amp_factor = 1.0);
 
+    /**
+     * Differential-detection plane: one positive and one negative region
+     * per class (the vectors must have equal size). Logits are normalized
+     * intensity differences; amp_factor scales the normalized value so
+     * calibration still controls the softmax operating point.
+     */
+    DetectorPlane(std::vector<DetectorRegion> regions,
+                  std::vector<DetectorRegion> neg_regions,
+                  Real amp_factor = 1.0);
+
     std::size_t numClasses() const { return regions_.size(); }
     const std::vector<DetectorRegion> &regions() const { return regions_; }
+
+    DetectorMode mode() const { return mode_; }
+    bool differential() const
+    {
+        return mode_ == DetectorMode::Differential;
+    }
+
+    /** Negative regions (empty unless differential). */
+    const std::vector<DetectorRegion> &negRegions() const
+    {
+        return neg_regions_;
+    }
 
     Real ampFactor() const { return amp_factor_; }
     void setAmpFactor(Real a) { amp_factor_ = a; }
@@ -97,10 +135,23 @@ class DetectorPlane
     static std::vector<DetectorRegion>
     gridLayout(std::size_t n, std::size_t num_classes, std::size_t det_size);
 
+    /** Positive/negative region pair lists for differential detection:
+     *  2*num_classes evenly spaced regions, alternating pos/neg so each
+     *  class's pair sits adjacent on the plane. */
+    static std::pair<std::vector<DetectorRegion>,
+                     std::vector<DetectorRegion>>
+    differentialGridLayout(std::size_t n, std::size_t num_classes,
+                           std::size_t det_size);
+
   private:
     std::vector<DetectorRegion> regions_;
+    std::vector<DetectorRegion> neg_regions_;
+    DetectorMode mode_ = DetectorMode::Intensity;
     Real amp_factor_ = 1.0;
     Field cached_u_;
 };
+
+/** Denominator guard of the normalized differential readout. */
+inline constexpr Real kDifferentialEps = 1e-12;
 
 } // namespace lightridge

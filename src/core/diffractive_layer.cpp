@@ -21,6 +21,21 @@ DiffractiveLayer::DiffractiveLayer(
     }
 }
 
+DiffractiveLayer::DiffractiveLayer(const DiffractiveLayer &other)
+    : propagator_(other.propagator_), gamma_(other.gamma_),
+      phase_(other.phase_), phase_grad_(other.phase_grad_),
+      modulation_(other.modulation_),
+      modulation_conj_(other.modulation_conj_),
+      modulation_phase_(other.modulation_phase_),
+      cached_diffracted_(other.cached_diffracted_),
+      cached_out_(other.cached_out_)
+{
+    // The published table is immutable, so sharing the pointer is safe;
+    // the mutex is per-instance and starts fresh.
+    std::lock_guard<std::mutex> lock(other.infer_cache_mutex_);
+    infer_modulation_ = other.infer_modulation_;
+}
+
 Field
 DiffractiveLayer::forward(const Field &in, bool training)
 {
@@ -75,13 +90,33 @@ DiffractiveLayer::forwardInPlace(Field &u, bool training,
     }
 }
 
+std::shared_ptr<const DiffractiveLayer::InferModulation>
+DiffractiveLayer::inferModulation() const
+{
+    std::lock_guard<std::mutex> lock(infer_cache_mutex_);
+    const std::size_t size = phase_.size();
+    if (infer_modulation_ && infer_modulation_->table.size() == size &&
+        std::memcmp(infer_modulation_->phase.data(), phase_.data(),
+                    size * sizeof(Real)) == 0)
+        return infer_modulation_;
+    auto fresh = std::make_shared<InferModulation>();
+    fresh->table = Field(phase_.rows(), phase_.cols());
+    for (std::size_t i = 0; i < size; ++i)
+        fresh->table[i] = std::polar(Real(1), phase_[i]);
+    fresh->phase = phase_;
+    infer_modulation_ = fresh;
+    return fresh;
+}
+
 void
 DiffractiveLayer::inferInPlace(Field &u,
                                PropagationWorkspace &workspace) const
 {
+    std::shared_ptr<const InferModulation> mod = inferModulation();
     propagator_->forwardInto(u, u, workspace);
+    const Field &table = mod->table;
     for (std::size_t i = 0; i < u.size(); ++i)
-        u[i] = gamma_ * u[i] * std::polar(Real(1), phase_[i]);
+        u[i] = gamma_ * u[i] * table[i];
 }
 
 LayerPtr

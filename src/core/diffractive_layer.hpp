@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "core/layer.hpp"
 #include "optics/propagator.hpp"
@@ -29,6 +30,9 @@ class DiffractiveLayer : public Layer
      */
     DiffractiveLayer(std::shared_ptr<const Propagator> propagator,
                      Real gamma = 1.0, Rng *rng = nullptr);
+
+    /** Copy shares the (immutable) published infer-modulation table. */
+    DiffractiveLayer(const DiffractiveLayer &other);
 
     std::string kind() const override { return "diffractive"; }
 
@@ -71,6 +75,25 @@ class DiffractiveLayer : public Layer
      */
     void ensureModulation();
 
+    /** Immutable published exp(j*phi) table + the phases it encodes. */
+    struct InferModulation
+    {
+        Field table;
+        RealMap phase;
+    };
+
+    /**
+     * Thread-safe shared-instance modulation cache for the inference
+     * path: returns an immutable exp(j*phi) table matching the current
+     * phase mask, rebuilding (under a mutex) only when the mask changed
+     * since the last publish. Values are the exact std::polar results
+     * the uncached loop produced, so inference stays bitwise-identical —
+     * but the sincos sweep now runs once per weight update instead of
+     * once per request per worker, which is what lets one shared
+     * DonnModel instance serve every engine worker without cloning.
+     */
+    std::shared_ptr<const InferModulation> inferModulation() const;
+
     std::shared_ptr<const Propagator> propagator_;
     Real gamma_;
     RealMap phase_;
@@ -80,6 +103,10 @@ class DiffractiveLayer : public Layer
     Field modulation_;
     Field modulation_conj_;
     RealMap modulation_phase_; ///< snapshot the tables were built from
+
+    // Shared-instance inference cache (see inferModulation()).
+    mutable std::mutex infer_cache_mutex_;
+    mutable std::shared_ptr<const InferModulation> infer_modulation_;
 
     // Activation caches (training only).
     Field cached_diffracted_;

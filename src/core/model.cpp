@@ -8,6 +8,53 @@
 
 namespace lightridge {
 
+void
+addCheckpointHeader(Json &j)
+{
+    j["format"] = Json(kCheckpointMagic);
+    j["version"] = Json(kCheckpointVersion);
+}
+
+void
+verifyCheckpointHeader(const Json &j, const std::string &origin)
+{
+    if (!j.isObject())
+        throw JsonError("checkpoint " + origin +
+                        ": not a JSON object (truncated or wrong file?)");
+    if (!j.has("format"))
+        return; // legacy headerless checkpoint: accepted as version 0
+    if (!j.at("format").isString())
+        throw JsonError("checkpoint " + origin +
+                        ": malformed header (\"format\" is not a string)");
+    const std::string &magic = j.at("format").asString();
+    if (magic != kCheckpointMagic)
+        throw JsonError("checkpoint " + origin +
+                        ": wrong magic \"" + magic +
+                        "\" (expected \"" + kCheckpointMagic + "\")");
+    if (!j.has("version") || !j.at("version").isNumber())
+        throw JsonError("checkpoint " + origin +
+                        ": malformed header (missing \"version\")");
+    const int version = j.at("version").asInt();
+    if (version < 1 || version > kCheckpointVersion)
+        throw JsonError("checkpoint " + origin + ": unsupported version " +
+                        std::to_string(version) + " (this build reads <= " +
+                        std::to_string(kCheckpointVersion) + ")");
+}
+
+Json
+loadCheckpointJson(const std::string &path)
+{
+    Json j;
+    try {
+        j = Json::load(path);
+    } catch (const JsonError &e) {
+        throw JsonError("checkpoint " + path +
+                        ": unreadable or truncated (" + e.what() + ")");
+    }
+    verifyCheckpointHeader(j, path);
+    return j;
+}
+
 Json
 SystemSpec::toJson() const
 {
@@ -33,6 +80,40 @@ SystemSpec::fromJson(const Json &j)
     spec.pad_factor = static_cast<std::size_t>(j.at("pad_factor").asNumber());
     return spec;
 }
+
+namespace {
+
+Json
+regionsToJson(const std::vector<DetectorRegion> &regions)
+{
+    Json out;
+    for (const DetectorRegion &reg : regions) {
+        Json r;
+        r["r0"] = Json(reg.r0);
+        r["c0"] = Json(reg.c0);
+        r["h"] = Json(reg.h);
+        r["w"] = Json(reg.w);
+        out.push(std::move(r));
+    }
+    return out;
+}
+
+std::vector<DetectorRegion>
+regionsFromJson(const Json &j)
+{
+    std::vector<DetectorRegion> regions;
+    for (const Json &r : j.asArray()) {
+        DetectorRegion reg;
+        reg.r0 = static_cast<std::size_t>(r.at("r0").asNumber());
+        reg.c0 = static_cast<std::size_t>(r.at("c0").asNumber());
+        reg.h = static_cast<std::size_t>(r.at("h").asNumber());
+        reg.w = static_cast<std::size_t>(r.at("w").asNumber());
+        regions.push_back(reg);
+    }
+    return regions;
+}
+
+} // namespace
 
 DonnModel::DonnModel(SystemSpec spec, Laser laser)
     : spec_(spec), laser_(laser)
@@ -153,8 +234,7 @@ DonnModel::forwardLogitsBatch(const std::vector<Field> &inputs,
         WorkspaceField u(workspace, inputs[i].rows(), inputs[i].cols());
         std::copy(inputs[i].data(), inputs[i].data() + inputs[i].size(),
                   u->data());
-        inferFieldInPlace(u.get(), workspace);
-        logits[i] = detector_.readout(u.get());
+        logits[i] = inferLogitsInPlace(u.get(), workspace);
     });
     return logits;
 }
@@ -195,10 +275,22 @@ std::vector<Real>
 DonnModel::forwardLogitsInPlace(Field &u, bool training,
                                 PropagationWorkspace &workspace)
 {
+    if (!training)
+        return inferLogitsInPlace(u, workspace);
     forwardFieldInPlace(u, training, workspace);
     if (detector_.numClasses() == 0)
         throw std::logic_error("DonnModel: detector not configured");
-    return training ? detector_.forward(u) : detector_.readout(u);
+    return detector_.forward(u);
+}
+
+std::vector<Real>
+DonnModel::inferLogitsInPlace(Field &u,
+                              PropagationWorkspace &workspace) const
+{
+    inferFieldInPlace(u, workspace);
+    if (detector_.numClasses() == 0)
+        throw std::logic_error("DonnModel: detector not configured");
+    return detector_.readout(u);
 }
 
 void
@@ -269,16 +361,11 @@ DonnModel::toJson() const
 
     Json det;
     det["amp_factor"] = Json(detector_.ampFactor());
-    Json regions;
-    for (const DetectorRegion &reg : detector_.regions()) {
-        Json r;
-        r["r0"] = Json(reg.r0);
-        r["c0"] = Json(reg.c0);
-        r["h"] = Json(reg.h);
-        r["w"] = Json(reg.w);
-        regions.push(std::move(r));
+    det["regions"] = regionsToJson(detector_.regions());
+    if (detector_.differential()) {
+        det["mode"] = Json("differential");
+        det["neg_regions"] = regionsToJson(detector_.negRegions());
     }
-    det["regions"] = std::move(regions);
     j["detector"] = std::move(det);
     return j;
 }
@@ -324,16 +411,15 @@ DonnModel::fromJson(const Json &j)
 
     if (j.has("detector")) {
         const Json &det = j.at("detector");
-        std::vector<DetectorRegion> regions;
-        for (const Json &r : det.at("regions").asArray()) {
-            DetectorRegion reg;
-            reg.r0 = static_cast<std::size_t>(r.at("r0").asNumber());
-            reg.c0 = static_cast<std::size_t>(r.at("c0").asNumber());
-            reg.h = static_cast<std::size_t>(r.at("h").asNumber());
-            reg.w = static_cast<std::size_t>(r.at("w").asNumber());
-            regions.push_back(reg);
-        }
-        if (!regions.empty()) {
+        std::vector<DetectorRegion> regions =
+            regionsFromJson(det.at("regions"));
+        const bool differential =
+            det.has("mode") && det.at("mode").asString() == "differential";
+        if (!regions.empty() && differential) {
+            model.setDetector(DetectorPlane(
+                std::move(regions), regionsFromJson(det.at("neg_regions")),
+                det.numberOr("amp_factor", 1.0)));
+        } else if (!regions.empty()) {
             model.setDetector(DetectorPlane(std::move(regions),
                                             det.numberOr("amp_factor", 1.0)));
         }
@@ -344,13 +430,15 @@ DonnModel::fromJson(const Json &j)
 bool
 DonnModel::save(const std::string &path) const
 {
-    return toJson().save(path);
+    Json j = toJson();
+    addCheckpointHeader(j);
+    return j.save(path);
 }
 
 DonnModel
 DonnModel::load(const std::string &path)
 {
-    return fromJson(Json::load(path));
+    return fromJson(loadCheckpointJson(path));
 }
 
 ModelBuilder::ModelBuilder(SystemSpec spec, Laser laser)

@@ -25,6 +25,33 @@
 
 namespace lightridge {
 
+/**
+ * Stable checkpoint header. Every checkpoint written by save() carries a
+ * magic string and a format version at the top of the JSON document, so
+ * loaders (and the serving ModelRegistry) can reject wrong or truncated
+ * files with a clear error instead of failing mid-read. Headerless files
+ * from older versions are still accepted as legacy checkpoints.
+ */
+inline constexpr const char *kCheckpointMagic = "lightridge-checkpoint";
+inline constexpr int kCheckpointVersion = 1;
+
+/** Stamp the checkpoint magic + version onto a serialized model. */
+void addCheckpointHeader(Json &j);
+
+/**
+ * Validate a loaded checkpoint document's header. Accepts headerless
+ * legacy documents; throws JsonError (mentioning `origin`) on a wrong
+ * magic or an unsupported version.
+ */
+void verifyCheckpointHeader(const Json &j, const std::string &origin);
+
+/**
+ * Parse a checkpoint file into its JSON document with clear errors:
+ * unreadable/truncated/non-JSON input throws JsonError prefixed with the
+ * path, and the header (when present) is verified.
+ */
+Json loadCheckpointJson(const std::string &path);
+
 /** Architectural parameters of a DONN system (the DSE design space). */
 struct SystemSpec
 {
@@ -99,6 +126,17 @@ class DonnModel
      *  holding the detector-plane field. */
     std::vector<Real> forwardLogitsInPlace(Field &u, bool training,
                                            PropagationWorkspace &workspace);
+
+    /**
+     * Const, thread-safe in-place inference logits: propagates `u`
+     * through the stack and reads the detector, with no mutable model
+     * state touched — the serving engine's per-request path, so one
+     * shared model instance serves every worker without cloning.
+     * Bitwise-identical to forwardLogitsInPlace(u, false, ws).
+     */
+    std::vector<Real> inferLogitsInPlace(Field &u,
+                                         PropagationWorkspace &workspace)
+        const;
 
     /**
      * In-place backprop from dL/dlogits: `g` is used as the gradient

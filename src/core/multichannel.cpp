@@ -169,13 +169,15 @@ MultiChannelDonn::fromJson(const Json &j)
 bool
 MultiChannelDonn::save(const std::string &path) const
 {
-    return toJson().save(path);
+    Json j = toJson();
+    addCheckpointHeader(j);
+    return j.save(path);
 }
 
 MultiChannelDonn
 MultiChannelDonn::load(const std::string &path)
 {
-    return fromJson(Json::load(path));
+    return fromJson(loadCheckpointJson(path));
 }
 
 bool

@@ -63,15 +63,22 @@ Session::annealTau(int epoch)
                  t * (config_.tau_end - config_.tau_start));
 }
 
+std::size_t
+Session::resolveWorkers(const TrainConfig &config, std::size_t train_size)
+{
+    std::size_t workers = config.workers;
+    if (workers == 0)
+        workers = std::max<std::size_t>(
+            ThreadPool::global().workerCount(), 1);
+    return std::min({workers, config.batch, train_size});
+}
+
 EpochStats
 Session::trainEpoch()
 {
     ++epoch_counter_;
-    std::size_t workers = config_.workers;
-    if (workers == 0)
-        workers = std::max<std::size_t>(
-            ThreadPool::global().workerCount(), 1);
-    workers = std::min({workers, config_.batch, task_.trainSize()});
+    const std::size_t workers =
+        resolveWorkers(config_, task_.trainSize());
     std::vector<std::size_t> order =
         epochOrder(task_.trainSize(), config_.shuffle, &rng_);
     if (workers >= 2 && config_.pipeline)

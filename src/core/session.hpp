@@ -67,6 +67,15 @@ class Session
      */
     std::vector<EpochStats> fit();
 
+    /**
+     * The engine's worker-resolution rule: 0 sizes from the global
+     * thread pool, then the count is clamped by batch and training-set
+     * size. Exposed so results reports record the worker count training
+     * actually used (execution block) without duplicating the rule.
+     */
+    static std::size_t resolveWorkers(const TrainConfig &config,
+                                      std::size_t train_size);
+
   private:
     void annealTau(int epoch);
     std::vector<uint64_t> replicaSeeds(std::size_t workers) const;

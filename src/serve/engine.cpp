@@ -1,0 +1,189 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "optics/workspace.hpp"
+
+namespace lightridge {
+
+InferenceEngine::InferenceEngine(ModelRegistry &registry,
+                                 BatchingConfig config, ThreadPool *pool)
+    : registry_(registry), config_(config),
+      pool_(pool != nullptr ? pool : &ThreadPool::global())
+{
+    if (config_.max_batch == 0)
+        config_.max_batch = 1;
+    if (config_.max_queue == 0)
+        config_.max_queue = 1;
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+InferenceEngine::~InferenceEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    queued_cv_.notify_all();
+    space_cv_.notify_all();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+std::future<InferResponse>
+InferenceEngine::submit(InferRequest request)
+{
+    Pending pending;
+    pending.request = std::move(request);
+    pending.enqueued = std::chrono::steady_clock::now();
+    std::future<InferResponse> future = pending.promise.get_future();
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        space_cv_.wait(lock, [this] {
+            return stop_ || queue_.size() < config_.max_queue;
+        });
+        if (stop_)
+            throw std::runtime_error(
+                "InferenceEngine: submit after shutdown");
+        queue_.push_back(std::move(pending));
+    }
+    queued_cv_.notify_one();
+    return future;
+}
+
+InferResponse
+InferenceEngine::inferNow(InferRequest request)
+{
+    return submit(std::move(request)).get();
+}
+
+void
+InferenceEngine::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+EngineStats
+InferenceEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+InferenceEngine::dispatchLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        queued_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                return; // queue drained, shutdown complete
+            continue;
+        }
+
+        // Dynamic micro-batching: everything queued for the first
+        // pending request's model (up to max_batch, arrival order
+        // preserved) rides one dispatch. Under load the queue backs up
+        // and batches grow; an idle engine degrades to batch size 1
+        // with no added latency.
+        const std::string model_name = queue_.front().request.model;
+        std::vector<Pending> batch;
+        batch.reserve(std::min(queue_.size(), config_.max_batch));
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch.size() < config_.max_batch;) {
+            if (it->request.model == model_name) {
+                batch.push_back(std::move(*it));
+                it = queue_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        const std::size_t batch_size = batch.size();
+        in_flight_ += batch_size;
+        lock.unlock();
+        space_cv_.notify_all();
+
+        runBatch(model_name, std::move(batch));
+
+        lock.lock();
+        in_flight_ -= batch_size;
+        if (queue_.empty() && in_flight_ == 0)
+            idle_cv_.notify_all();
+    }
+}
+
+void
+InferenceEngine::runBatch(const std::string &model_name,
+                          std::vector<Pending> batch)
+{
+    // Stats are committed before any promise resolves, so a client that
+    // just observed its future complete reads consistent counters.
+    auto commitStats = [this](std::size_t served, std::size_t failed) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.batches += 1;
+        stats_.max_batch = std::max(stats_.max_batch, served);
+        stats_.requests += served;
+        stats_.failed += failed;
+    };
+
+    std::shared_ptr<const DonnModel> model;
+    try {
+        model = registry_.acquire(model_name);
+    } catch (...) {
+        std::exception_ptr error = std::current_exception();
+        commitStats(batch.size(), batch.size());
+        for (Pending &pending : batch)
+            pending.promise.set_exception(error);
+        return;
+    }
+
+    const Grid grid = model->spec().grid();
+    std::vector<InferResponse> responses(batch.size());
+    std::vector<std::exception_ptr> errors(batch.size());
+    pool_->parallelFor(batch.size(), [&](std::size_t i) {
+        try {
+            // Each pool worker leases scratch from its own thread-local
+            // arena; the model instance itself is shared and const.
+            PropagationWorkspace &workspace =
+                PropagationWorkspace::threadLocal();
+            WorkspaceField u(workspace, grid.n, grid.n);
+            model->encodeInto(batch[i].request.image, u.get());
+            InferResponse &response = responses[i];
+            response.logits = model->inferLogitsInPlace(u.get(), workspace);
+            response.prediction = static_cast<int>(
+                std::max_element(response.logits.begin(),
+                                 response.logits.end()) -
+                response.logits.begin());
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    });
+
+    const auto done = std::chrono::steady_clock::now();
+    std::size_t failed = 0;
+    for (const std::exception_ptr &error : errors)
+        failed += error ? 1 : 0;
+    commitStats(batch.size(), failed);
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (errors[i]) {
+            batch[i].promise.set_exception(errors[i]);
+            continue;
+        }
+        InferResponse &response = responses[i];
+        response.id = batch[i].request.id;
+        response.model = model_name;
+        response.batch_size = batch.size();
+        response.latency_ms =
+            std::chrono::duration<double, std::milli>(done -
+                                                      batch[i].enqueued)
+                .count();
+        batch[i].promise.set_value(std::move(response));
+    }
+}
+
+} // namespace lightridge

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Multi-model inference serving engine (the deployment half of the
+ * paper's end-to-end story: train once, then serve DONN inference at
+ * high throughput).
+ *
+ * An InferenceEngine accepts asynchronous InferRequests from any number
+ * of client threads and executes them through a dynamic micro-batcher: a
+ * dispatcher thread coalesces queued same-model requests into batches of
+ * up to `max_batch` and fans each batch out across the shared ThreadPool,
+ * where every worker runs the const, thread-safe in-place inference path
+ * (`DonnModel::inferLogitsInPlace`) against the one registered model
+ * instance, leasing scratch from its own per-thread PropagationWorkspace
+ * arena. The process-wide FFT-plan and transfer-function caches are
+ * shared across all models and clients, and no model is ever cloned per
+ * request — results are bitwise-identical to calling
+ * `model.inferField(model.encode(image))` directly.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "tensor/field.hpp"
+#include "utils/thread_pool.hpp"
+
+namespace lightridge {
+
+/** Micro-batching knobs of the serving engine. */
+struct BatchingConfig
+{
+    /** Largest micro-batch one dispatch coalesces (per model). */
+    std::size_t max_batch = 64;
+
+    /** Bound on queued requests; submit() blocks when the queue is full
+     *  (backpressure instead of unbounded memory growth). */
+    std::size_t max_queue = 4096;
+};
+
+/** One inference request: a raw amplitude frame for a named model. */
+struct InferRequest
+{
+    std::string model;  ///< registry name to run against
+    RealMap image;      ///< native-resolution amplitude frame (encode
+                        ///< resizes to the model's system grid)
+    std::uint64_t id = 0; ///< caller-chosen correlation id
+};
+
+/** Result of one served request. */
+struct InferResponse
+{
+    std::uint64_t id = 0;
+    std::string model;
+    std::vector<Real> logits;   ///< detector readout
+    int prediction = -1;        ///< argmax class
+    double latency_ms = 0;      ///< submit-to-completion wall time
+    std::size_t batch_size = 1; ///< micro-batch the request rode in
+};
+
+/** Aggregate serving counters. */
+struct EngineStats
+{
+    std::uint64_t requests = 0; ///< responses delivered (incl. failed)
+    std::uint64_t failed = 0;   ///< requests completed with an exception
+    std::uint64_t batches = 0;  ///< micro-batches dispatched
+    std::size_t max_batch = 0;  ///< largest micro-batch observed
+
+    double
+    meanBatch() const
+    {
+        return batches > 0
+                   ? static_cast<double>(requests) /
+                         static_cast<double>(batches)
+                   : 0.0;
+    }
+};
+
+/** Asynchronous multi-client, multi-model inference engine. */
+class InferenceEngine
+{
+  public:
+    /**
+     * @param registry model source; must outlive the engine. Hot-swaps
+     *        and unloads take effect at the next micro-batch; in-flight
+     *        batches keep their acquired instance alive.
+     * @param config micro-batching knobs
+     * @param pool execution pool; nullptr uses ThreadPool::global()
+     */
+    explicit InferenceEngine(ModelRegistry &registry,
+                             BatchingConfig config = {},
+                             ThreadPool *pool = nullptr);
+
+    /** Drains every accepted request, then stops the dispatcher. */
+    ~InferenceEngine();
+
+    InferenceEngine(const InferenceEngine &) = delete;
+    InferenceEngine &operator=(const InferenceEngine &) = delete;
+
+    /**
+     * Enqueue a request. Thread-safe; blocks only when the queue is at
+     * max_queue (backpressure). The future resolves with the response,
+     * or with an exception (UnknownModelError when the model is not —
+     * or no longer — registered).
+     * @throws std::runtime_error when the engine is shutting down
+     */
+    std::future<InferResponse> submit(InferRequest request);
+
+    /**
+     * Synchronous convenience: submit + wait. One-at-a-time callers get
+     * singleton batches — this is the "sequential dispatch" baseline the
+     * serving benchmark compares micro-batching against.
+     */
+    InferResponse inferNow(InferRequest request);
+
+    /** Block until every accepted request has completed. */
+    void drain();
+
+    /** Serving counters (consistent snapshot). */
+    EngineStats stats() const;
+
+    const BatchingConfig &config() const { return config_; }
+
+  private:
+    struct Pending
+    {
+        InferRequest request;
+        std::promise<InferResponse> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void dispatchLoop();
+    void runBatch(const std::string &model_name,
+                  std::vector<Pending> batch);
+
+    ModelRegistry &registry_;
+    BatchingConfig config_;
+    ThreadPool *pool_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queued_cv_; ///< dispatcher wakeup
+    std::condition_variable space_cv_;  ///< submit backpressure
+    std::condition_variable idle_cv_;   ///< drain wakeup
+    std::deque<Pending> queue_;
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+    EngineStats stats_;
+
+    std::thread dispatcher_;
+};
+
+} // namespace lightridge

@@ -1,0 +1,84 @@
+#include "serve/registry.hpp"
+
+namespace lightridge {
+
+void
+ModelRegistry::registerModel(const std::string &name, DonnModel model)
+{
+    registerShared(name,
+                   std::make_shared<const DonnModel>(std::move(model)));
+}
+
+void
+ModelRegistry::registerShared(const std::string &name,
+                              std::shared_ptr<const DonnModel> model)
+{
+    if (!model)
+        throw std::invalid_argument("ModelRegistry: null model for " + name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    models_[name] = std::move(model);
+}
+
+void
+ModelRegistry::registerCheckpoint(const std::string &name,
+                                  const std::string &path)
+{
+    // Load outside the lock: checkpoint I/O can be slow and must not
+    // stall concurrent acquire() calls.
+    registerModel(name, DonnModel::load(path));
+}
+
+bool
+ModelRegistry::unload(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.erase(name) > 0;
+}
+
+std::shared_ptr<const DonnModel>
+ModelRegistry::acquire(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    if (it == models_.end())
+        throw UnknownModelError(name);
+    return it->second;
+}
+
+bool
+ModelRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.count(name) > 0;
+}
+
+std::vector<std::string>
+ModelRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(models_.size());
+    for (const auto &entry : models_)
+        out.push_back(entry.first);
+    return out;
+}
+
+std::size_t
+ModelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.size();
+}
+
+std::size_t
+ModelRegistry::externalRefCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    if (it == models_.end())
+        return 0;
+    const long uses = it->second.use_count();
+    return uses > 1 ? static_cast<std::size_t>(uses - 1) : 0;
+}
+
+} // namespace lightridge

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Named-model registry for the inference serving subsystem.
+ *
+ * A ModelRegistry owns the trained DONN systems a serving process exposes,
+ * keyed by name. Models are held behind shared_ptr<const DonnModel>, so a
+ * registration is an atomic publish and an unload (or hot-swap) never
+ * invalidates in-flight work: every request batch acquires its own
+ * reference and the old instance lives until the last batch drops it.
+ * Because the inference path is const and thread-safe (Layer::inferInPlace
+ * plus the shared-instance modulation caches), one registered instance
+ * serves every engine worker concurrently — no per-request or per-worker
+ * clones.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace lightridge {
+
+/** Error thrown when a request names a model the registry doesn't hold. */
+class UnknownModelError : public std::runtime_error
+{
+  public:
+    explicit UnknownModelError(const std::string &name)
+        : std::runtime_error("unknown model: " + name)
+    {}
+};
+
+/** Thread-safe registry of named, ref-counted, hot-swappable models. */
+class ModelRegistry
+{
+  public:
+    ModelRegistry() = default;
+
+    ModelRegistry(const ModelRegistry &) = delete;
+    ModelRegistry &operator=(const ModelRegistry &) = delete;
+
+    /**
+     * Publish a model under `name` (atomic hot-swap when the name is
+     * already taken: new requests see the new instance, in-flight batches
+     * finish on the old one).
+     */
+    void registerModel(const std::string &name, DonnModel model);
+
+    /** Publish an already-shared instance (testing / advanced callers). */
+    void registerShared(const std::string &name,
+                        std::shared_ptr<const DonnModel> model);
+
+    /**
+     * Load a checkpoint file and publish it under `name`.
+     * @throws JsonError on a missing/truncated/wrong-magic file (see
+     *         loadCheckpointJson)
+     */
+    void registerCheckpoint(const std::string &name,
+                            const std::string &path);
+
+    /**
+     * Drop the registry's reference to `name`.
+     * @return false when the name was not registered
+     */
+    bool unload(const std::string &name);
+
+    /**
+     * Acquire a serving reference. The returned instance is immutable
+     * and stays valid for as long as the caller holds the pointer, even
+     * across unload/hot-swap.
+     * @throws UnknownModelError when the name is not registered
+     */
+    std::shared_ptr<const DonnModel> acquire(const std::string &name) const;
+
+    /** True when `name` is currently registered. */
+    bool has(const std::string &name) const;
+
+    /** Registered model names (sorted). */
+    std::vector<std::string> names() const;
+
+    /** Number of registered models. */
+    std::size_t size() const;
+
+    /**
+     * Outstanding external references to a registered model (0 when only
+     * the registry holds it). Diagnostic: an unload is "busy" when this
+     * is non-zero, but it is still safe — the instance is freed when the
+     * last holder drops it.
+     */
+    std::size_t externalRefCount(const std::string &name) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const DonnModel>> models_;
+};
+
+} // namespace lightridge

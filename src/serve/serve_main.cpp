@@ -1,0 +1,342 @@
+/**
+ * @file
+ * lightridge_serve: multi-model DONN inference server driven by a JSON
+ * model manifest and a JSON-lines request stream.
+ *
+ *   lightridge_serve <manifest.json> [--requests=FILE|-] [--out=FILE]
+ *                    [--stats=FILE] [--max-batch=N] [--max-queue=N]
+ *                    [--sequential] [--no-logits] [--quiet]
+ *
+ * Manifest:
+ *   {
+ *     "models": [
+ *       {"name": "digits", "checkpoint": "digits_ckpt.json"},
+ *       {"name": "fresh",  "spec": "examples/specs/digits_tiny.json"}
+ *     ],
+ *     "batching": {"max_batch": 64, "max_queue": 4096}
+ *   }
+ * "checkpoint" entries load trained models (header-verified); "spec"
+ * entries build the architecture of an ExperimentSpec with untrained
+ * weights (latency/smoke testing).
+ *
+ * Requests, one JSON object per line (file or stdin):
+ *   {"id": 1, "model": "digits",
+ *    "image": {"rows": 28, "cols": 28, "data": [...]}}
+ *   {"id": 2, "model": "digits",
+ *    "sample": {"dataset": "digits", "seed": 5, "index": 3}}
+ * "sample" requests synthesize the referenced dataset sample; their
+ * responses carry the ground-truth "label" so accuracy can be scored
+ * downstream (the CI serve-smoke job does exactly this).
+ *
+ * Responses are JSON lines in request order; a final stats JSON records
+ * throughput and micro-batch shape. Exit codes: 0 success, 1 usage,
+ * 2 manifest/spec error, 3 one or more requests failed.
+ */
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hpp"
+#include "core/task.hpp"
+#include "data/synth_digits.hpp"
+#include "data/synth_fashion.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "utils/cli.hpp"
+#include "utils/timer.hpp"
+
+using namespace lightridge;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: lightridge_serve <manifest.json> [--requests=FILE|-]\n"
+        "                        [--out=FILE] [--stats=FILE]\n"
+        "                        [--max-batch=N] [--max-queue=N]\n"
+        "                        [--sequential] [--no-logits] [--quiet]\n"
+        "\n"
+        "Serves the models of a JSON manifest against a JSON-lines\n"
+        "request stream through the micro-batching InferenceEngine.\n");
+}
+
+/** One parsed request plus serve-side bookkeeping. */
+struct ParsedRequest
+{
+    InferRequest request;
+    int label = -1; ///< ground truth for "sample" requests, else -1
+};
+
+RealMap
+imageFromJson(const Json &j)
+{
+    const std::size_t rows =
+        static_cast<std::size_t>(j.at("rows").asNumber());
+    const std::size_t cols =
+        static_cast<std::size_t>(j.at("cols").asNumber());
+    const Json::Array &data = j.at("data").asArray();
+    if (data.size() != rows * cols)
+        throw JsonError("request image: data length != rows*cols");
+    RealMap image(rows, cols);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        image[i] = data[i].asNumber();
+    return image;
+}
+
+/** Lazily generated synthetic datasets keyed by "<dataset>:<seed>". */
+class SampleSource
+{
+  public:
+    /** Sample `index` of the (dataset, seed) stream; grows the cached
+     *  dataset when the index is past what was generated so far. */
+    const ClassDataset &
+    dataset(const std::string &name, uint64_t seed, std::size_t index)
+    {
+        const std::string key = name + ":" + std::to_string(seed);
+        ClassDataset &data = cache_[key];
+        if (index >= data.size()) {
+            // Grow geometrically so monotonically increasing indices
+            // stay linear overall instead of regenerating 1,2,...,n.
+            const std::size_t count =
+                std::max(index + 1, 2 * data.size());
+            if (name == "digits")
+                data = makeSynthDigits(count, seed);
+            else if (name == "fashion")
+                data = makeSynthFashion(count, seed);
+            else
+                throw JsonError("sample dataset must be digits or "
+                                "fashion, got: " + name);
+        }
+        return data;
+    }
+
+  private:
+    std::map<std::string, ClassDataset> cache_;
+};
+
+ParsedRequest
+parseRequestLine(const Json &j, std::uint64_t fallback_id,
+                 SampleSource &samples)
+{
+    ParsedRequest parsed;
+    parsed.request.model = j.at("model").asString();
+    parsed.request.id = static_cast<std::uint64_t>(
+        j.numberOr("id", static_cast<double>(fallback_id)));
+    if (j.has("image")) {
+        parsed.request.image = imageFromJson(j.at("image"));
+    } else if (j.has("sample")) {
+        const Json &s = j.at("sample");
+        const std::string &dataset = s.at("dataset").asString();
+        const uint64_t seed =
+            static_cast<uint64_t>(s.numberOr("seed", 1.0));
+        const std::size_t index =
+            static_cast<std::size_t>(s.numberOr("index", 0.0));
+        const ClassDataset &data = samples.dataset(dataset, seed, index);
+        parsed.request.image = data.images[index];
+        parsed.label = data.labels[index];
+    } else {
+        throw JsonError("request needs \"image\" or \"sample\"");
+    }
+    return parsed;
+}
+
+Json
+responseJson(const InferResponse &response, int label, bool with_logits)
+{
+    Json j;
+    j["id"] = Json(static_cast<std::size_t>(response.id));
+    j["model"] = Json(response.model);
+    j["prediction"] = Json(response.prediction);
+    if (label >= 0)
+        j["label"] = Json(label);
+    j["latency_ms"] = Json(response.latency_ms);
+    j["batch_size"] = Json(response.batch_size);
+    if (with_logits) {
+        Json logits;
+        for (Real v : response.logits)
+            logits.push(Json(v));
+        j["logits"] = std::move(logits);
+    }
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argv[1][0] == '-') {
+        usage();
+        return 1;
+    }
+    const std::string manifest_path = argv[1];
+    CliArgs args(argc, argv);
+    const bool quiet = args.getBool("quiet", false);
+    const bool sequential = args.getBool("sequential", false);
+    const bool with_logits = !args.getBool("no-logits", false);
+
+    // ---- manifest: registry + batching knobs ---------------------------
+    ModelRegistry registry;
+    BatchingConfig batching;
+    try {
+        Json manifest = Json::load(manifest_path);
+        if (manifest.has("batching")) {
+            const Json &b = manifest.at("batching");
+            batching.max_batch = static_cast<std::size_t>(
+                b.numberOr("max_batch", batching.max_batch));
+            batching.max_queue = static_cast<std::size_t>(
+                b.numberOr("max_queue", batching.max_queue));
+        }
+        for (const Json &entry : manifest.at("models").asArray()) {
+            const std::string &name = entry.at("name").asString();
+            if (entry.has("checkpoint")) {
+                registry.registerCheckpoint(
+                    name, entry.at("checkpoint").asString());
+            } else if (entry.has("spec")) {
+                ExperimentSpec spec =
+                    ExperimentSpec::load(entry.at("spec").asString());
+                std::size_t classes = spec.detector.classes;
+                if (classes == 0)
+                    classes = makeSynthDigits(1, spec.data.seed).num_classes;
+                Rng rng(spec.model_seed);
+                DonnModel model = buildSpecModel(spec, classes, &rng);
+                // The init rng dies with this scope; the served model
+                // must not keep a noise pointer into it (codesign
+                // layers store it — noise is a training-only concern).
+                bindModelNoiseRng(model, nullptr);
+                registry.registerModel(name, std::move(model));
+            } else {
+                throw JsonError("manifest model \"" + name +
+                                "\" needs \"checkpoint\" or \"spec\"");
+            }
+            if (!quiet)
+                std::fprintf(stderr, "[serve] registered %s (%zux%zu)\n",
+                             name.c_str(),
+                             registry.acquire(name)->spec().size,
+                             registry.acquire(name)->spec().size);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lightridge_serve: bad manifest %s: %s\n",
+                     manifest_path.c_str(), e.what());
+        return 2;
+    }
+    if (args.has("max-batch"))
+        batching.max_batch =
+            static_cast<std::size_t>(args.getInt("max-batch", 64));
+    if (args.has("max-queue"))
+        batching.max_queue =
+            static_cast<std::size_t>(args.getInt("max-queue", 4096));
+
+    // ---- request stream ------------------------------------------------
+    const std::string requests_path = args.getString("requests", "-");
+    std::ifstream request_file;
+    std::istream *request_stream = &std::cin;
+    if (requests_path != "-") {
+        request_file.open(requests_path);
+        if (!request_file) {
+            std::fprintf(stderr, "lightridge_serve: cannot open %s\n",
+                         requests_path.c_str());
+            return 1;
+        }
+        request_stream = &request_file;
+    }
+
+    std::vector<ParsedRequest> parsed;
+    SampleSource samples;
+    std::string line;
+    std::uint64_t line_no = 0;
+    try {
+        while (std::getline(*request_stream, line)) {
+            ++line_no;
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            parsed.push_back(
+                parseRequestLine(Json::parse(line), line_no, samples));
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "lightridge_serve: bad request on line %llu: %s\n",
+                     static_cast<unsigned long long>(line_no), e.what());
+        return 2;
+    }
+
+    // ---- serve ---------------------------------------------------------
+    std::ofstream out_file;
+    std::ostream *out = &std::cout;
+    if (args.has("out")) {
+        out_file.open(args.getString("out", ""));
+        if (!out_file) {
+            std::fprintf(stderr, "lightridge_serve: cannot write %s\n",
+                         args.getString("out", "").c_str());
+            return 1;
+        }
+        out = &out_file;
+    }
+
+    InferenceEngine engine(registry, batching);
+    std::size_t failed = 0;
+    WallTimer wall;
+
+    auto emit = [&](std::future<InferResponse> &future, int label) {
+        try {
+            Json j = responseJson(future.get(), label, with_logits);
+            (*out) << j.dump() << "\n";
+        } catch (const std::exception &e) {
+            ++failed;
+            Json j;
+            j["error"] = Json(std::string(e.what()));
+            (*out) << j.dump() << "\n";
+        }
+    };
+
+    if (sequential) {
+        // One-at-a-time dispatch: every request is its own micro-batch
+        // (the baseline the serving benchmark compares against).
+        for (ParsedRequest &p : parsed) {
+            std::future<InferResponse> future =
+                engine.submit(std::move(p.request));
+            emit(future, p.label);
+        }
+    } else {
+        std::vector<std::future<InferResponse>> futures;
+        futures.reserve(parsed.size());
+        for (ParsedRequest &p : parsed)
+            futures.push_back(engine.submit(std::move(p.request)));
+        for (std::size_t i = 0; i < futures.size(); ++i)
+            emit(futures[i], parsed[i].label);
+    }
+    // All futures resolved, but the dispatcher finishes its accounting
+    // for the last batch after fulfilling the promises — drain() waits
+    // for that so the stats snapshot is complete.
+    engine.drain();
+    const double wall_ms = wall.milliseconds();
+    const EngineStats stats = engine.stats();
+
+    Json stats_json;
+    stats_json["requests"] = Json(static_cast<std::size_t>(stats.requests));
+    stats_json["failed"] = Json(static_cast<std::size_t>(stats.failed));
+    stats_json["batches"] = Json(static_cast<std::size_t>(stats.batches));
+    stats_json["mean_batch"] = Json(stats.meanBatch());
+    stats_json["max_batch"] = Json(stats.max_batch);
+    stats_json["wall_ms"] = Json(wall_ms);
+    stats_json["throughput_rps"] =
+        Json(wall_ms > 0 ? 1e3 * static_cast<double>(stats.requests) /
+                               wall_ms
+                         : 0.0);
+    stats_json["dispatch"] = Json(sequential ? "sequential" : "batched");
+    if (args.has("stats"))
+        stats_json.save(args.getString("stats", ""));
+    if (!quiet)
+        std::fprintf(stderr, "[serve] %s\n",
+                     stats_json.dump().c_str());
+
+    return failed == 0 ? 0 : 3;
+}

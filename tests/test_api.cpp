@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "api/experiment.hpp"
 
 namespace lightridge {
@@ -278,6 +280,67 @@ TEST(RunExperiment, MismatchedTaskDatasetThrows)
     spec.task = "segmentation";
     spec.dataset = "digits";
     EXPECT_THROW(runExperiment(spec), JsonError);
+}
+
+TEST(ExperimentSpec, DetectorModeRoundTripAndValidation)
+{
+    ExperimentSpec spec = tinySpec();
+    spec.detector.mode = "differential";
+    ExperimentSpec back = ExperimentSpec::fromJson(spec.toJson());
+    EXPECT_EQ(back.detector.mode, "differential");
+
+    Json j = spec.toJson();
+    j["detector"]["mode"] = Json("bogus");
+    EXPECT_THROW(ExperimentSpec::fromJson(j), JsonError);
+}
+
+TEST(RunExperiment, DifferentialDetectionEndToEnd)
+{
+    ExperimentSpec spec = tinySpec();
+    spec.detector.mode = "differential";
+    spec.detector.det_size = 2; // 20 paired regions on a 16-plane
+
+    Rng rng(spec.model_seed);
+    DonnModel model = buildSpecModel(spec, 10, &rng);
+    EXPECT_TRUE(model.detector().differential());
+    EXPECT_EQ(model.detector().numClasses(), 10u);
+    EXPECT_EQ(model.detector().negRegions().size(), 10u);
+
+    ExperimentResult result = runExperiment(spec);
+    ASSERT_EQ(result.history.size(), 1u);
+    EXPECT_GE(result.final_metrics.primary, 0.0);
+    EXPECT_LE(result.final_metrics.primary, 1.0);
+}
+
+TEST(RunExperiment, ReportRecordsExecutionMode)
+{
+    ExperimentSpec spec = tinySpec();
+    spec.train.workers = 1;
+    spec.train.pipeline = true;
+    ExperimentResult result = runExperiment(spec);
+    EXPECT_EQ(result.workers_used, 1u);
+    EXPECT_EQ(result.workers_requested, 1u);
+    EXPECT_TRUE(result.pipeline);
+
+    Json report = result.report(spec);
+    const Json &execution = report.at("execution");
+    EXPECT_EQ(execution.at("workers").asInt(), 1);
+    EXPECT_EQ(execution.at("workers_requested").asInt(), 1);
+    EXPECT_TRUE(execution.at("pipeline").asBool());
+    EXPECT_TRUE(execution.has("hw_threads"));
+}
+
+TEST(RunExperiment, SaveModelWritesServableCheckpoint)
+{
+    ExperimentSpec spec = tinySpec();
+    const std::string path = "api_saved_model_test.json";
+    ExperimentResult result = runExperiment(spec, nullptr, path);
+    (void)result;
+    DonnModel loaded = DonnModel::load(path);
+    EXPECT_EQ(loaded.detector().numClasses(), 10u);
+    Json raw = Json::load(path);
+    EXPECT_EQ(raw.at("format").asString(), kCheckpointMagic);
+    std::remove(path.c_str());
 }
 
 } // namespace

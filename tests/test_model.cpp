@@ -239,6 +239,109 @@ TEST(MultiChannel, LogitsAreChannelSums)
         EXPECT_NEAR(merged[k], expected[k], 1e-9);
 }
 
+TEST(DifferentialDetector, ReadoutIsNormalizedDifference)
+{
+    // One class: positive region covers (0,0)-(0,1), negative (2,0)-(2,1).
+    std::vector<DetectorRegion> pos{{0, 0, 1, 2}};
+    std::vector<DetectorRegion> neg{{2, 0, 1, 2}};
+    DetectorPlane det(pos, neg, 3.0);
+    EXPECT_TRUE(det.differential());
+    EXPECT_EQ(det.numClasses(), 1u);
+
+    Field u(4, 4, Complex{0, 0});
+    u(0, 0) = Complex{2, 0}; // P = 4 + 1 = 5
+    u(0, 1) = Complex{0, 1};
+    u(2, 0) = Complex{1, 0}; // N = 1
+    std::vector<Real> logits = det.readout(u);
+    ASSERT_EQ(logits.size(), 1u);
+    const Real expected = 3.0 * (5.0 - 1.0) / (5.0 + 1.0 + 1e-12);
+    EXPECT_NEAR(logits[0], expected, 1e-9);
+
+    // Same total power in both regions -> logit 0; readoutFromIntensity
+    // agrees with the field path.
+    u(2, 0) = Complex{0, 2};
+    u(2, 1) = Complex{1, 0};
+    logits = det.readout(u);
+    EXPECT_NEAR(logits[0], 0.0, 1e-9);
+    EXPECT_NEAR(det.readoutFromIntensity(u.intensity())[0], logits[0],
+                1e-9);
+}
+
+TEST(DifferentialDetector, BackwardMatchesFiniteDifference)
+{
+    auto layout = DetectorPlane::differentialGridLayout(16, 2, 3);
+    DetectorPlane det(layout.first, layout.second, 1.7);
+
+    Rng rng(9);
+    Field u(16, 16);
+    for (std::size_t i = 0; i < u.size(); ++i)
+        u[i] = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+    const std::vector<Real> dlogits{0.8, -1.3};
+    Field grad = det.backwardFor(u, dlogits);
+
+    // Wirtinger convention: dL/d re(u) = Re(G), dL/d im(u) = Im(G),
+    // with L = sum_k dlogits[k] * logit_k.
+    auto lossAt = [&](const Field &field) {
+        std::vector<Real> logits = det.readout(field);
+        Real total = 0;
+        for (std::size_t k = 0; k < logits.size(); ++k)
+            total += dlogits[k] * logits[k];
+        return total;
+    };
+    const Real h = 1e-6;
+    // Probe pixels inside the first positive and negative regions plus
+    // one outside any region.
+    std::vector<std::pair<std::size_t, std::size_t>> probes{
+        {layout.first[0].r0, layout.first[0].c0},
+        {layout.second[0].r0, layout.second[0].c0},
+        {15, 15}};
+    for (auto [r, c] : probes) {
+        Field up = u, dn = u;
+        up(r, c) += Complex{h, 0};
+        dn(r, c) -= Complex{h, 0};
+        Real d_re = (lossAt(up) - lossAt(dn)) / (2 * h);
+        EXPECT_NEAR(d_re, std::real(grad(r, c)), 1e-5)
+            << "re at " << r << "," << c;
+        up = u;
+        dn = u;
+        up(r, c) += Complex{0, h};
+        dn(r, c) -= Complex{0, h};
+        Real d_im = (lossAt(up) - lossAt(dn)) / (2 * h);
+        EXPECT_NEAR(d_im, std::imag(grad(r, c)), 1e-5)
+            << "im at " << r << "," << c;
+    }
+}
+
+TEST(DifferentialDetector, SerializationRoundTripPreservesMode)
+{
+    Rng rng(3);
+    auto layout = DetectorPlane::differentialGridLayout(16, 4, 3);
+    DonnModel model = ModelBuilder(smallSpec(), Laser{})
+                          .diffractiveLayers(2, 1.0, &rng)
+                          .detectorGrid(4, 3) // placeholder, replaced
+                          .build();
+    model.setDetector(
+        DetectorPlane(layout.first, layout.second, 2.5));
+
+    DonnModel back = DonnModel::fromJson(model.toJson());
+    EXPECT_TRUE(back.detector().differential());
+    EXPECT_EQ(back.detector().negRegions().size(), 4u);
+    EXPECT_DOUBLE_EQ(back.detector().ampFactor(), 2.5);
+
+    RealMap frame = makeSynthDigits(1, 8).images[0];
+    Field u = model.encode(frame);
+    EXPECT_EQ(model.detector().readout(model.inferField(u)),
+              back.detector().readout(back.inferField(u)));
+}
+
+TEST(DifferentialDetector, MismatchedPairCountsThrow)
+{
+    std::vector<DetectorRegion> pos{{0, 0, 2, 2}, {4, 0, 2, 2}};
+    std::vector<DetectorRegion> neg{{8, 0, 2, 2}};
+    EXPECT_THROW(DetectorPlane(pos, neg), std::invalid_argument);
+}
+
 TEST(TopK, ContainsTargetSemantics)
 {
     std::vector<Real> logits{0.1, 0.9, 0.5, 0.3};

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Serving subsystem tests: checkpoint header contract, model registry
+ * semantics (ref-counted unload/hot-swap), and the micro-batching
+ * inference engine — concurrent multi-client requests against multiple
+ * registered models must be deterministic and bitwise-equal to direct
+ * single-model inference, and unload-while-busy must be safe (this
+ * suite runs under the TSan CI leg).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "data/synth_digits.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+
+namespace lightridge {
+namespace {
+
+DonnModel
+tinyModel(std::size_t n, uint64_t seed)
+{
+    SystemSpec spec;
+    spec.size = n;
+    spec.pixel = 36e-6;
+    spec.distance = 0.02;
+    Rng rng(seed);
+    return ModelBuilder(spec, Laser{})
+        .diffractiveLayers(2, 1.0, &rng)
+        .detectorGrid(4, 3)
+        .build();
+}
+
+std::vector<Real>
+directLogits(const DonnModel &model, const RealMap &frame)
+{
+    Field u = model.inferField(model.encode(frame));
+    return model.detector().readout(u);
+}
+
+std::vector<RealMap>
+testFrames(std::size_t count)
+{
+    ClassDataset data = makeSynthDigits(count, 5);
+    return data.images;
+}
+
+/** RAII temp file that is removed on scope exit. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(std::string p) : path(std::move(p)) {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+// ---------------------------------------------------------------------
+// Checkpoint header
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, SaveWritesMagicAndVersion)
+{
+    TempFile file("ckpt_header_test.json");
+    DonnModel model = tinyModel(16, 1);
+    ASSERT_TRUE(model.save(file.path));
+
+    Json j = Json::load(file.path);
+    EXPECT_EQ(j.at("format").asString(), kCheckpointMagic);
+    EXPECT_EQ(j.at("version").asInt(), kCheckpointVersion);
+
+    DonnModel loaded = DonnModel::load(file.path);
+    EXPECT_EQ(loaded.depth(), model.depth());
+    EXPECT_EQ(directLogits(loaded, testFrames(1)[0]),
+              directLogits(model, testFrames(1)[0]));
+}
+
+TEST(Checkpoint, LegacyHeaderlessFileStillLoads)
+{
+    TempFile file("ckpt_legacy_test.json");
+    DonnModel model = tinyModel(16, 2);
+    // A pre-header checkpoint is exactly toJson() saved raw.
+    ASSERT_TRUE(model.toJson().save(file.path));
+    DonnModel loaded = DonnModel::load(file.path);
+    EXPECT_EQ(loaded.depth(), model.depth());
+    EXPECT_EQ(directLogits(loaded, testFrames(1)[0]),
+              directLogits(model, testFrames(1)[0]));
+}
+
+TEST(Checkpoint, TruncatedFileGivesClearError)
+{
+    TempFile file("ckpt_truncated_test.json");
+    DonnModel model = tinyModel(16, 3);
+    ASSERT_TRUE(model.save(file.path));
+    // Truncate mid-document.
+    std::string text;
+    {
+        std::ifstream in(file.path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    }
+    {
+        std::ofstream out(file.path, std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    }
+    try {
+        DonnModel::load(file.path);
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_NE(std::string(e.what()).find("checkpoint"),
+                  std::string::npos);
+    }
+}
+
+TEST(Checkpoint, WrongMagicAndFutureVersionRejected)
+{
+    TempFile file("ckpt_magic_test.json");
+    Json j = tinyModel(16, 4).toJson();
+    j["format"] = Json("not-a-lightridge-checkpoint");
+    j["version"] = Json(1);
+    ASSERT_TRUE(j.save(file.path));
+    EXPECT_THROW(DonnModel::load(file.path), JsonError);
+
+    j["format"] = Json(kCheckpointMagic);
+    j["version"] = Json(kCheckpointVersion + 1);
+    ASSERT_TRUE(j.save(file.path));
+    EXPECT_THROW(DonnModel::load(file.path), JsonError);
+}
+
+TEST(Checkpoint, MissingFileGivesClearError)
+{
+    try {
+        DonnModel::load("no_such_checkpoint_file.json");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_NE(std::string(e.what()).find("no_such_checkpoint_file"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ModelRegistry
+// ---------------------------------------------------------------------
+
+TEST(ModelRegistry, RegisterAcquireUnload)
+{
+    ModelRegistry registry;
+    registry.registerModel("a", tinyModel(16, 1));
+    registry.registerModel("b", tinyModel(20, 2));
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_TRUE(registry.has("a"));
+    EXPECT_EQ(registry.names(), (std::vector<std::string>{"a", "b"}));
+
+    std::shared_ptr<const DonnModel> a = registry.acquire("a");
+    EXPECT_EQ(a->spec().size, 16u);
+    EXPECT_EQ(registry.externalRefCount("a"), 1u);
+
+    EXPECT_TRUE(registry.unload("a"));
+    EXPECT_FALSE(registry.unload("a"));
+    EXPECT_FALSE(registry.has("a"));
+    EXPECT_THROW(registry.acquire("a"), UnknownModelError);
+
+    // The acquired reference outlives the unload.
+    EXPECT_EQ(a->spec().size, 16u);
+    EXPECT_EQ(directLogits(*a, testFrames(1)[0]).size(), 4u);
+}
+
+TEST(ModelRegistry, HotSwapPublishesNewInstance)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    std::shared_ptr<const DonnModel> old_instance = registry.acquire("m");
+    registry.registerModel("m", tinyModel(20, 2)); // hot-swap
+    std::shared_ptr<const DonnModel> new_instance = registry.acquire("m");
+    EXPECT_EQ(old_instance->spec().size, 16u);
+    EXPECT_EQ(new_instance->spec().size, 20u);
+}
+
+TEST(ModelRegistry, CheckpointRoundTripServesIdentically)
+{
+    TempFile file("registry_ckpt_test.json");
+    DonnModel model = tinyModel(16, 6);
+    ASSERT_TRUE(model.save(file.path));
+    ModelRegistry registry;
+    registry.registerCheckpoint("m", file.path);
+    RealMap frame = testFrames(1)[0];
+    EXPECT_EQ(directLogits(*registry.acquire("m"), frame),
+              directLogits(model, frame));
+}
+
+// ---------------------------------------------------------------------
+// InferenceEngine
+// ---------------------------------------------------------------------
+
+TEST(InferenceEngine, MatchesDirectInferenceAcrossModels)
+{
+    ModelRegistry registry;
+    registry.registerModel("small", tinyModel(16, 1));
+    registry.registerModel("large", tinyModel(24, 2));
+    std::shared_ptr<const DonnModel> small = registry.acquire("small");
+    std::shared_ptr<const DonnModel> large = registry.acquire("large");
+
+    const std::vector<RealMap> frames = testFrames(12);
+    InferenceEngine engine(registry);
+
+    for (int run = 0; run < 2; ++run) { // twice: deterministic
+        std::vector<std::future<InferResponse>> futures;
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            InferRequest request;
+            request.model = i % 2 == 0 ? "small" : "large";
+            request.image = frames[i];
+            request.id = i;
+            futures.push_back(engine.submit(std::move(request)));
+        }
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            InferResponse response = futures[i].get();
+            const DonnModel &model = i % 2 == 0 ? *small : *large;
+            EXPECT_EQ(response.logits, directLogits(model, frames[i]))
+                << "request " << i << " run " << run;
+            EXPECT_EQ(response.id, i);
+            EXPECT_GE(response.batch_size, 1u);
+        }
+    }
+
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.requests, 2 * frames.size());
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_GE(stats.meanBatch(), 1.0);
+}
+
+TEST(InferenceEngine, SequentialDispatchMatchesToo)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 3));
+    std::shared_ptr<const DonnModel> model = registry.acquire("m");
+    const std::vector<RealMap> frames = testFrames(6);
+
+    InferenceEngine engine(registry);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        InferRequest request;
+        request.model = "m";
+        request.image = frames[i];
+        InferResponse response = engine.inferNow(std::move(request));
+        EXPECT_EQ(response.logits, directLogits(*model, frames[i]));
+        EXPECT_EQ(response.batch_size, 1u);
+    }
+}
+
+TEST(InferenceEngine, UnknownModelFailsTheFuture)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    InferenceEngine engine(registry);
+    InferRequest request;
+    request.model = "ghost";
+    request.image = testFrames(1)[0];
+    std::future<InferResponse> future = engine.submit(std::move(request));
+    EXPECT_THROW(future.get(), UnknownModelError);
+    EXPECT_EQ(engine.stats().failed, 1u);
+}
+
+TEST(InferenceEngine, ConcurrentClientsGetBitwiseResults)
+{
+    ModelRegistry registry;
+    registry.registerModel("small", tinyModel(16, 1));
+    registry.registerModel("large", tinyModel(24, 2));
+    std::shared_ptr<const DonnModel> small = registry.acquire("small");
+    std::shared_ptr<const DonnModel> large = registry.acquire("large");
+
+    const std::vector<RealMap> frames = testFrames(8);
+    std::vector<std::vector<Real>> expect_small, expect_large;
+    for (const RealMap &frame : frames) {
+        expect_small.push_back(directLogits(*small, frame));
+        expect_large.push_back(directLogits(*large, frame));
+    }
+
+    InferenceEngine engine(registry);
+    const std::size_t clients = 4;
+    std::vector<int> mismatches(clients, 0);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            for (std::size_t i = 0; i < frames.size(); ++i) {
+                InferRequest request;
+                request.model = (c + i) % 2 == 0 ? "small" : "large";
+                request.image = frames[i];
+                InferResponse response =
+                    engine.inferNow(std::move(request));
+                const auto &expected = (c + i) % 2 == 0
+                                           ? expect_small[i]
+                                           : expect_large[i];
+                if (response.logits != expected)
+                    ++mismatches[c];
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (std::size_t c = 0; c < clients; ++c)
+        EXPECT_EQ(mismatches[c], 0) << "client " << c;
+    EXPECT_EQ(engine.stats().failed, 0u);
+}
+
+TEST(InferenceEngine, UnloadWhileBusyIsSafe)
+{
+    ModelRegistry registry;
+    DonnModel original = tinyModel(16, 1);
+    DonnModel replacement = original.clone(); // same weights: results
+                                              // stay bitwise comparable
+    registry.registerModel("m", std::move(original));
+    std::shared_ptr<const DonnModel> reference = registry.acquire("m");
+
+    const std::vector<RealMap> frames = testFrames(4);
+    std::vector<std::vector<Real>> expected;
+    for (const RealMap &frame : frames)
+        expected.push_back(directLogits(*reference, frame));
+
+    InferenceEngine engine(registry);
+    std::atomic<int> wrong{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < 3; ++c) {
+        clients.emplace_back([&, c] {
+            for (int round = 0; round < 12; ++round) {
+                const std::size_t i = (c + round) % frames.size();
+                InferRequest request;
+                request.model = "m";
+                request.image = frames[i];
+                try {
+                    InferResponse response =
+                        engine.inferNow(std::move(request));
+                    if (response.logits != expected[i])
+                        ++wrong;
+                } catch (const UnknownModelError &) {
+                    ++rejected; // raced an unload window: acceptable
+                }
+            }
+        });
+    }
+
+    // Hot-swap and briefly unload while clients hammer the engine.
+    for (int round = 0; round < 6; ++round) {
+        registry.registerModel("m", replacement.clone());
+        std::this_thread::yield();
+        registry.unload("m");
+        registry.registerModel("m", replacement.clone());
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    // Every response that was produced matched bitwise; unload windows
+    // may reject requests but never corrupt or crash.
+    EXPECT_EQ(wrong.load(), 0);
+    EXPECT_EQ(engine.stats().failed,
+              static_cast<std::uint64_t>(rejected.load()));
+}
+
+TEST(InferenceEngine, DrainWaitsForAllWork)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 2));
+    InferenceEngine engine(registry);
+    std::vector<std::future<InferResponse>> futures;
+    const std::vector<RealMap> frames = testFrames(6);
+    for (const RealMap &frame : frames) {
+        InferRequest request;
+        request.model = "m";
+        request.image = frame;
+        futures.push_back(engine.submit(std::move(request)));
+    }
+    engine.drain();
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.requests, frames.size());
+    for (auto &future : futures)
+        EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+}
+
+#if defined(LIGHTRIDGE_ALLOC_STATS)
+TEST(InferenceEngine, SteadyStateServingAllocatesNoFields)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    InferenceEngine engine(registry);
+    const std::vector<RealMap> frames = testFrames(6);
+
+    auto burst = [&] {
+        std::vector<std::future<InferResponse>> futures;
+        for (const RealMap &frame : frames) {
+            InferRequest request;
+            request.model = "m";
+            request.image = frame;
+            futures.push_back(engine.submit(std::move(request)));
+        }
+        for (auto &future : futures)
+            future.get();
+    };
+
+    burst(); // warm arenas, plans, modulation tables
+    engine.drain();
+    resetFieldAllocCount();
+    burst(); // steady state: one shared instance, zero clones/buffers
+    engine.drain();
+    EXPECT_EQ(fieldAllocCount(), 0u);
+}
+#endif
+
+} // namespace
+} // namespace lightridge
