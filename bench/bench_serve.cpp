@@ -20,10 +20,26 @@
  *    DonnModel instance serves every worker: zero allocations means no
  *    per-request clones and no per-request propagation buffers.
  *    Gate applies only when the counter is compiled in.
+ *  - "socket": closed-loop load through the HTTP front end on loopback —
+ *    K keep-alive clients drive the full request stream through
+ *    POST /v1/models/<name>/infer and every JSON logit must be
+ *    bitwise-equal to direct inference (unconditional gate; %.17g JSON
+ *    numbers round-trip doubles exactly). Sustained RPS and client-side
+ *    p50/p99 are recorded; the bounded-p99 gate is conditioned on >= 4
+ *    hardware threads (single-CPU hosts report without failing).
+ *  - "overload": deterministic 4x admission overload (quota 1, engine
+ *    paused) must degrade gracefully — excess requests answered
+ *    immediately with 503 + Retry-After while /healthz stays live, the
+ *    survivor served after resume. Unconditional gate.
+ *
+ * The artifact's "execution" block records the resolved acceptor/IO
+ * thread and engine worker counts the run actually used.
  */
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -32,6 +48,7 @@
 #include "optics/laser.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
+#include "serve/server.hpp"
 #include "utils/json.hpp"
 #include "utils/thread_pool.hpp"
 #include "utils/timer.hpp"
@@ -69,6 +86,30 @@ medianMs(std::vector<double> samples)
     return samples[samples.size() / 2];
 }
 
+double
+percentileMs(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t at = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1));
+    return samples[at];
+}
+
+Json
+imageJson(const RealMap &frame)
+{
+    Json image;
+    image["rows"] = Json(frame.rows());
+    image["cols"] = Json(frame.cols());
+    Json data;
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        data.push(Json(frame[i]));
+    image["data"] = std::move(data);
+    return image;
+}
+
 } // namespace
 
 int
@@ -103,6 +144,7 @@ main()
     Real best_speedup = 0;
     std::uint64_t steady_allocs = 0;
     bool alloc_measured = false;
+    double direct_ms_per_request = 0; // smallest model, sequential path
 
     for (std::size_t n : sizes) {
         const std::string name = "digits" + std::to_string(n);
@@ -178,6 +220,8 @@ main()
         }
         const double seq = medianMs(seq_ms);
         const double bat = medianMs(batch_ms);
+        if (n == sizes.front())
+            direct_ms_per_request = seq / static_cast<double>(requests);
         const double speedup = seq / bat;
         const double rps = 1e3 * static_cast<double>(requests) / bat;
         best_speedup = std::max<Real>(best_speedup, speedup);
@@ -197,26 +241,196 @@ main()
         throughput_rows.push(std::move(row));
     }
 
+    // ---- socket section: closed-loop load through the HTTP front end ---
+    const std::string socket_model = "digits" + std::to_string(sizes.front());
+    std::shared_ptr<const DonnModel> socket_ref =
+        registry.acquire(socket_model);
+    BatchingConfig socket_batching;
+    socket_batching.max_batch = 32;
+    socket_batching.max_queued_per_model = 256;
+    InferenceEngine socket_engine(registry, socket_batching);
+    ServingService service(registry, socket_engine);
+    HttpServer server(HttpServerConfig{},
+                      [&service](HttpRequest &&request) {
+                          return service.handle(std::move(request));
+                      });
+    server.start();
+
+    const std::size_t socket_clients =
+        std::min<std::size_t>(4, std::max<std::size_t>(1, hw_threads));
+    const std::size_t socket_requests =
+        requests - requests % socket_clients; // equal share per client
+    std::vector<std::string> socket_bodies(socket_requests);
+    for (std::size_t i = 0; i < socket_requests; ++i) {
+        Json body;
+        body["id"] = Json(i + 1);
+        body["image"] = imageJson(frames.images[i]);
+        socket_bodies[i] = body.dump();
+    }
+
+    std::atomic<std::size_t> socket_mismatches{0};
+    std::atomic<std::size_t> socket_failures{0};
+    std::vector<std::vector<double>> client_latency(socket_clients);
+    const std::string route = "/v1/models/" + socket_model + "/infer";
+
+    WallTimer socket_wall;
+    {
+        std::vector<std::thread> clients;
+        for (std::size_t c = 0; c < socket_clients; ++c) {
+            clients.emplace_back([&, c] {
+                HttpClient client("127.0.0.1", server.port());
+                const std::size_t share = socket_requests / socket_clients;
+                client_latency[c].reserve(share);
+                for (std::size_t k = 0; k < share; ++k) {
+                    const std::size_t i = c * share + k;
+                    WallTimer timer;
+                    const HttpResponse response =
+                        client.request("POST", route, socket_bodies[i]);
+                    client_latency[c].push_back(timer.milliseconds());
+                    if (response.status != 200) {
+                        socket_failures.fetch_add(1);
+                        continue;
+                    }
+                    const Json j = Json::parse(response.body);
+                    const Json::Array &logits = j.at("logits").asArray();
+                    const std::vector<Real> expected =
+                        directLogits(*socket_ref, frames.images[i]);
+                    bool same = logits.size() == expected.size();
+                    for (std::size_t v = 0; same && v < expected.size();
+                         ++v)
+                        same = logits[v].asNumber() == expected[v];
+                    if (!same)
+                        socket_mismatches.fetch_add(1);
+                }
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+    const double socket_wall_ms = socket_wall.milliseconds();
+    std::vector<double> all_latency;
+    for (const std::vector<double> &per_client : client_latency)
+        all_latency.insert(all_latency.end(), per_client.begin(),
+                           per_client.end());
+    const double socket_rps =
+        socket_wall_ms > 0
+            ? 1e3 * static_cast<double>(socket_requests) / socket_wall_ms
+            : 0.0;
+    const double socket_p50 = percentileMs(all_latency, 0.50);
+    const double socket_p99 = percentileMs(all_latency, 0.99);
+    const bool socket_parity_ok =
+        socket_mismatches.load() == 0 && socket_failures.load() == 0;
+    std::printf("\nsocket: %zu requests, %zu clients, %zu io threads -> "
+                "%.1f rps, p50 %.2f ms, p99 %.2f ms\n",
+                socket_requests, socket_clients, server.ioThreads(),
+                socket_rps, socket_p50, socket_p99);
+    std::printf("socket parity (HTTP JSON logits == direct): %s\n",
+                socket_parity_ok ? "yes" : "NO");
+
+    // ---- overload section: deterministic 4x admission overload --------
+    // Quota 1 + paused engine: of 4 concurrent requests exactly one is
+    // admitted; the rest shed immediately as 503 + Retry-After while the
+    // server stays live. Resume serves the survivor.
+    socket_engine.setModelQuota(socket_model, 1);
+    socket_engine.pause();
+    const std::size_t overload_clients = 4;
+    std::atomic<std::size_t> overload_ok{0};
+    std::atomic<std::size_t> overload_shed{0};
+    std::atomic<std::size_t> overload_retry_after{0};
+    std::atomic<std::size_t> overload_other{0};
+    {
+        std::vector<std::thread> clients;
+        for (std::size_t c = 0; c < overload_clients; ++c) {
+            clients.emplace_back([&, c] {
+                HttpClient client("127.0.0.1", server.port());
+                const HttpResponse response =
+                    client.request("POST", route, socket_bodies[c]);
+                if (response.status == 200) {
+                    overload_ok.fetch_add(1);
+                } else if (response.status == 503) {
+                    overload_shed.fetch_add(1);
+                    if (response.headers.count("retry-after"))
+                        overload_retry_after.fetch_add(1);
+                } else {
+                    overload_other.fetch_add(1);
+                }
+            });
+        }
+        // Health stays live mid-overload; resume once the survivor is
+        // parked and every other client has been shed.
+        HttpClient probe("127.0.0.1", server.port());
+        bool healthz_live = false;
+        for (int i = 0; i < 5000; ++i) {
+            healthz_live =
+                probe.request("GET", "/healthz").status == 200;
+            if (socket_engine.metrics().queueDepth() == 1 &&
+                socket_engine.stats().shed >= overload_clients - 1)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        socket_engine.resume();
+        for (std::thread &t : clients)
+            t.join();
+        if (!healthz_live)
+            overload_other.fetch_add(1);
+    }
+    const bool overload_pass = overload_ok.load() == 1 &&
+                               overload_shed.load() ==
+                                   overload_clients - 1 &&
+                               overload_retry_after.load() ==
+                                   overload_shed.load() &&
+                               overload_other.load() == 0;
+    std::printf("overload (4x, quota 1): %zu served, %zu shed (503, "
+                "Retry-After on %zu) -> %s\n",
+                overload_ok.load(), overload_shed.load(),
+                overload_retry_after.load(),
+                overload_pass ? "graceful" : "NOT GRACEFUL");
+    const std::size_t server_io_threads = server.ioThreads();
+    server.stop();
+    socket_engine.drain();
+
     std::printf("parity (engine == direct inferField, both modes): %s\n",
                 parity_ok ? "yes" : "NO");
     if (alloc_measured)
         std::printf("steady-state field allocs (batched burst): %llu\n",
                     static_cast<unsigned long long>(steady_allocs));
 
-    // Gates per the hardware-conditioning convention: parity is
-    // unconditional; the throughput gate needs real cores; the alloc
-    // gate needs the counter compiled in.
+    // Gates per the hardware-conditioning convention: parity (in-process
+    // and over the socket) and graceful overload are unconditional; the
+    // throughput and bounded-p99 gates need real cores; the alloc gate
+    // needs the counter compiled in.
     const bool throughput_gate_applies = hw_threads >= 4;
     const bool throughput_gate_pass =
         !throughput_gate_applies || best_speedup >= 2.0;
     const bool alloc_gate_pass = !alloc_measured || steady_allocs == 0;
+    // Bounded tail: a closed loop of K clients keeps at most K requests
+    // in flight, so p99 should stay within a small multiple of one
+    // direct inference (batching amortizes, the event loop adds at most
+    // its poll tick). Generous bound; it catches pathologies (a stuck
+    // connection, a lost wakeup), not regressions of a few percent.
+    const double socket_p99_bound_ms =
+        20.0 * static_cast<double>(socket_clients) * direct_ms_per_request +
+        100.0;
+    const bool socket_gate_applies = hw_threads >= 4;
+    const bool socket_gate_pass =
+        !socket_gate_applies || socket_p99 <= socket_p99_bound_ms;
 
     std::printf("\ngate: parity bitwise -> %s\n",
                 parity_ok ? "PASS" : "FAIL");
+    std::printf("gate: socket-path parity bitwise -> %s\n",
+                socket_parity_ok ? "PASS" : "FAIL");
     std::printf("gate: batched >= 2x sequential at >= 4 hw threads -> %s "
                 "(%.2fx%s)\n",
                 throughput_gate_pass ? "PASS" : "FAIL", best_speedup,
                 throughput_gate_applies ? "" : ", skipped: < 4 hw threads");
+    std::printf("gate: closed-loop socket p99 <= %.1f ms at >= 4 hw "
+                "threads -> %s (%.2f ms%s)\n",
+                socket_p99_bound_ms, socket_gate_pass ? "PASS" : "FAIL",
+                socket_p99,
+                socket_gate_applies ? "" : ", skipped: < 4 hw threads");
+    std::printf("gate: 4x overload degrades gracefully (503 + "
+                "Retry-After, health live) -> %s\n",
+                overload_pass ? "PASS" : "FAIL");
     std::printf("gate: zero steady-state allocs (shared instance, no "
                 "clones) -> %s%s\n",
                 alloc_gate_pass ? "PASS" : "FAIL",
@@ -229,11 +443,46 @@ main()
     artifact["hw_threads"] = Json(hw_threads);
     artifact["alloc_stats_compiled"] = Json(fieldAllocStatsEnabled());
     artifact["throughput"] = std::move(throughput_rows);
+
+    Json socket_section;
+    socket_section["requests"] = Json(socket_requests);
+    socket_section["clients"] = Json(socket_clients);
+    socket_section["rps"] = Json(socket_rps);
+    socket_section["p50_ms"] = Json(socket_p50);
+    socket_section["p99_ms"] = Json(socket_p99);
+    socket_section["mismatches"] = Json(socket_mismatches.load());
+    socket_section["failures"] = Json(socket_failures.load());
+    artifact["socket"] = std::move(socket_section);
+
+    Json overload_section;
+    overload_section["clients"] = Json(overload_clients);
+    overload_section["served"] = Json(overload_ok.load());
+    overload_section["shed_503"] = Json(overload_shed.load());
+    overload_section["retry_after_seen"] =
+        Json(overload_retry_after.load());
+    artifact["overload"] = std::move(overload_section);
+
+    // Resolved execution shape of this run (not the configured knobs):
+    // how many acceptor/IO threads the server actually span up and how
+    // many workers the engine's pool fans batches across.
+    Json execution;
+    execution["io_threads"] = Json(server_io_threads);
+    execution["engine_workers"] =
+        Json(ThreadPool::global().workerCount());
+    execution["hw_threads"] = Json(hw_threads);
+    execution["socket_clients"] = Json(socket_clients);
+    artifact["execution"] = std::move(execution);
+
     Json gates;
     gates["parity_pass"] = Json(parity_ok);
+    gates["socket_parity_pass"] = Json(socket_parity_ok);
     gates["throughput_gate_applies"] = Json(throughput_gate_applies);
     gates["best_speedup"] = Json(best_speedup);
     gates["throughput_gate_pass"] = Json(throughput_gate_pass);
+    gates["socket_gate_applies"] = Json(socket_gate_applies);
+    gates["socket_p99_bound_ms"] = Json(socket_p99_bound_ms);
+    gates["socket_gate_pass"] = Json(socket_gate_pass);
+    gates["overload_gate_pass"] = Json(overload_pass);
     gates["alloc_gate_applies"] = Json(alloc_measured);
     gates["steady_state_field_allocs"] =
         Json(static_cast<std::size_t>(steady_allocs));
@@ -243,5 +492,8 @@ main()
     if (artifact.save(json_path))
         std::printf("[json] %s\n", json_path.c_str());
 
-    return (parity_ok && throughput_gate_pass && alloc_gate_pass) ? 0 : 1;
+    return (parity_ok && socket_parity_ok && throughput_gate_pass &&
+            socket_gate_pass && overload_pass && alloc_gate_pass)
+               ? 0
+               : 1;
 }

@@ -1,0 +1,41 @@
+#include "serve/api.hpp"
+
+namespace lightridge {
+
+const char *
+serveStatusName(ServeStatus status)
+{
+    switch (status) {
+      case ServeStatus::Ok: return "ok";
+      case ServeStatus::DeadlineExceeded: return "deadline_exceeded";
+      case ServeStatus::Overloaded: return "overloaded";
+      case ServeStatus::UnknownModel: return "unknown_model";
+      case ServeStatus::BadInput: return "bad_input";
+    }
+    return "unknown";
+}
+
+const char *
+priorityName(Priority priority)
+{
+    switch (priority) {
+      case Priority::Interactive: return "interactive";
+      case Priority::Batch: return "batch";
+      case Priority::BestEffort: return "best_effort";
+    }
+    return "unknown";
+}
+
+Priority
+priorityFromName(const std::string &name)
+{
+    if (name == "interactive")
+        return Priority::Interactive;
+    if (name == "batch")
+        return Priority::Batch;
+    if (name == "best_effort")
+        return Priority::BestEffort;
+    throw std::invalid_argument("unknown priority: " + name);
+}
+
+} // namespace lightridge

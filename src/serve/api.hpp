@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Versioned public serving API: the request/response surface every
+ * LightRidge serving front end speaks — the in-process
+ * `InferenceEngine::submit` path, the JSON-lines CLI, and the HTTP/1.1
+ * socket server all exchange exactly these types.
+ *
+ * v2 (this header) foregrounds SLA-aware scheduling: an InferRequest
+ * carries a steady-clock `deadline` budget and a `Priority` class, and
+ * an InferResponse reports failure through a typed `ServeStatus` code
+ * instead of the v1 exception-only path. v1 callers keep working: the
+ * new fields default to "no deadline / normal priority", and
+ * `InferenceEngine::submitLegacy` preserves the old exception-carrying
+ * future semantics bit-for-bit (pinned in tests/test_serve.cpp).
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/field.hpp"
+
+namespace lightridge {
+
+/** Serving API version this header describes (HTTP routes are /v1/...;
+ *  the request/response *schema* version is what this tracks). */
+inline constexpr int kServeApiVersion = 2;
+
+/** Typed completion code of a served request. */
+enum class ServeStatus : std::uint8_t {
+    Ok = 0,               ///< inference ran; logits/prediction valid
+    DeadlineExceeded = 1, ///< expired before reaching a batch slot
+    Overloaded = 2,       ///< shed by admission control (quota/queue)
+    UnknownModel = 3,     ///< no such model in the registry
+    BadInput = 4,         ///< request rejected or inference failed
+};
+
+/** Number of ServeStatus values (metrics arrays are indexed by status). */
+inline constexpr std::size_t kServeStatusCount = 5;
+
+/** Stable wire name of a status code ("ok", "deadline_exceeded", ...). */
+const char *serveStatusName(ServeStatus status);
+
+/** Scheduling class of a request. Lower value = more urgent; admission
+ *  control sheds the least urgent queued work first, and micro-batches
+ *  are formed most-urgent-first. */
+enum class Priority : std::uint8_t {
+    Interactive = 0, ///< latency-sensitive foreground traffic
+    Batch = 1,       ///< default: throughput traffic
+    BestEffort = 2,  ///< first to shed under pressure
+};
+
+/** Number of priority classes. */
+inline constexpr std::size_t kPriorityCount = 3;
+
+/** Stable wire name of a priority class ("interactive", "batch",
+ *  "best_effort"). */
+const char *priorityName(Priority priority);
+
+/**
+ * Parse a wire priority name.
+ * @throws std::invalid_argument on an unknown name
+ */
+Priority priorityFromName(const std::string &name);
+
+/** One inference request: a raw amplitude frame for a named model. */
+struct InferRequest
+{
+    std::string model;    ///< registry name to run against
+    RealMap image;        ///< native-resolution amplitude frame (encode
+                          ///< resizes to the model's system grid)
+    std::uint64_t id = 0; ///< caller-chosen correlation id
+
+    /**
+     * Completion budget measured from submit() on the steady clock.
+     * Zero means "no deadline". A request whose budget has elapsed is
+     * answered with ServeStatus::DeadlineExceeded by the dispatcher's
+     * expiry sweep and never occupies a batch slot (a non-positive
+     * budget is therefore expired on arrival).
+     */
+    std::chrono::steady_clock::duration deadline{};
+
+    /** Scheduling class; see Priority. */
+    Priority priority = Priority::Batch;
+};
+
+/** Result of one served request. Non-Ok responses carry an empty logits
+ *  vector, prediction -1, and a human-readable `error`. */
+struct InferResponse
+{
+    std::uint64_t id = 0;
+    std::string model;
+    ServeStatus status = ServeStatus::Ok;
+    std::string error;          ///< empty when status == Ok
+    std::vector<Real> logits;   ///< detector readout
+    int prediction = -1;        ///< argmax class
+    double latency_ms = 0;      ///< submit-to-completion wall time
+    std::size_t batch_size = 0; ///< micro-batch the request rode in
+                                ///< (0 when it never reached a batch)
+
+    bool ok() const { return status == ServeStatus::Ok; }
+};
+
+/** Exception form of a non-Ok response, thrown by the deprecated
+ *  exception-style entry points (submitLegacy / v1 inferNow semantics). */
+class ServeStatusError : public std::runtime_error
+{
+  public:
+    ServeStatusError(ServeStatus status, const std::string &what)
+        : std::runtime_error(what), status_(status)
+    {}
+
+    ServeStatus status() const { return status_; }
+
+  private:
+    ServeStatus status_;
+};
+
+} // namespace lightridge

@@ -7,6 +7,17 @@
 
 namespace lightridge {
 
+namespace {
+
+double
+millisecondsBetween(std::chrono::steady_clock::time_point from,
+                    std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+} // namespace
+
 InferenceEngine::InferenceEngine(ModelRegistry &registry,
                                  BatchingConfig config, ThreadPool *pool)
     : registry_(registry), config_(config),
@@ -34,21 +45,88 @@ InferenceEngine::~InferenceEngine()
 std::future<InferResponse>
 InferenceEngine::submit(InferRequest request)
 {
+    return enqueue(std::move(request), /*legacy=*/false);
+}
+
+std::future<InferResponse>
+InferenceEngine::submitLegacy(InferRequest request)
+{
+    return enqueue(std::move(request), /*legacy=*/true);
+}
+
+std::future<InferResponse>
+InferenceEngine::enqueue(InferRequest request, bool legacy)
+{
     Pending pending;
     pending.request = std::move(request);
+    pending.legacy = legacy;
     pending.enqueued = std::chrono::steady_clock::now();
     std::future<InferResponse> future = pending.promise.get_future();
+
+    // Victims resolved outside the lock: the evicted queue entry (when
+    // a newcomer outranks queued work at quota) or the newcomer itself.
+    std::vector<Pending> shed;
+    bool queued = false;
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        space_cv_.wait(lock, [this] {
-            return stop_ || queue_.size() < config_.max_queue;
-        });
         if (stop_)
             throw std::runtime_error(
                 "InferenceEngine: submit after shutdown");
-        queue_.push_back(std::move(pending));
+
+        const std::string &model = pending.request.model;
+        const std::size_t quota = quotaForLocked(model);
+        if (quota > 0 && queued_per_model_[model] >= quota) {
+            // Admission control: evict the least-urgent (and among
+            // ties, youngest) queued request of this model that the
+            // newcomer strictly outranks; otherwise shed the newcomer.
+            std::size_t victim = queue_.size();
+            for (std::size_t i = 0; i < queue_.size(); ++i) {
+                const InferRequest &r = queue_[i].request;
+                if (r.model != model ||
+                    r.priority <= pending.request.priority)
+                    continue;
+                if (victim == queue_.size() ||
+                    r.priority >= queue_[victim].request.priority)
+                    victim = i;
+            }
+            if (victim < queue_.size()) {
+                shed.push_back(std::move(queue_[victim]));
+                queue_.erase(queue_.begin() +
+                             static_cast<std::ptrdiff_t>(victim));
+                metrics_.queueDepthAdd(-1);
+                queue_.push_back(std::move(pending));
+                metrics_.queueDepthAdd(+1);
+                queued = true;
+            } else {
+                shed.push_back(std::move(pending));
+            }
+            stats_.requests += 1;
+            stats_.failed += 1;
+            stats_.shed += 1;
+        } else {
+            space_cv_.wait(lock, [this] {
+                return stop_ || queue_.size() < config_.max_queue;
+            });
+            if (stop_)
+                throw std::runtime_error(
+                    "InferenceEngine: submit after shutdown");
+            queued_per_model_[model] += 1;
+            queue_.push_back(std::move(pending));
+            metrics_.queueDepthAdd(+1);
+            queued = true;
+        }
     }
-    queued_cv_.notify_one();
+    if (queued)
+        queued_cv_.notify_one();
+    const auto now = std::chrono::steady_clock::now();
+    for (Pending &victim : shed) {
+        const double ms = millisecondsBetween(victim.enqueued, now);
+        metrics_.recordResponse(ServeStatus::Overloaded, ms);
+        failPending(victim, ServeStatus::Overloaded,
+                    "queue quota exceeded for model: " +
+                        victim.request.model,
+                    ms);
+    }
     return future;
 }
 
@@ -66,6 +144,39 @@ InferenceEngine::drain()
                   [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+void
+InferenceEngine::pause()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void
+InferenceEngine::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    queued_cv_.notify_all();
+}
+
+void
+InferenceEngine::setModelQuota(const std::string &model,
+                               std::size_t max_queued)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    quota_overrides_[model] = max_queued;
+}
+
+std::size_t
+InferenceEngine::quotaForLocked(const std::string &model) const
+{
+    auto it = quota_overrides_.find(model);
+    return it != quota_overrides_.end() ? it->second
+                                        : config_.max_queued_per_model;
+}
+
 EngineStats
 InferenceEngine::stats() const
 {
@@ -74,35 +185,128 @@ InferenceEngine::stats() const
 }
 
 void
+InferenceEngine::failPending(Pending &pending, ServeStatus status,
+                             const std::string &error, double latency_ms)
+{
+    if (pending.legacy) {
+        // v1 semantics: failures travel as exceptions through the
+        // future, with the same exception types v1 threw.
+        std::exception_ptr ep;
+        if (status == ServeStatus::UnknownModel)
+            ep = std::make_exception_ptr(
+                UnknownModelError(pending.request.model));
+        else
+            ep = std::make_exception_ptr(ServeStatusError(status, error));
+        pending.promise.set_exception(ep);
+        return;
+    }
+    InferResponse response;
+    response.id = pending.request.id;
+    response.model = pending.request.model;
+    response.status = status;
+    response.error = error;
+    response.latency_ms = latency_ms;
+    response.batch_size = 0;
+    pending.promise.set_value(std::move(response));
+}
+
+void
 InferenceEngine::dispatchLoop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        queued_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        queued_cv_.wait(lock, [this] {
+            return stop_ || (!paused_ && !queue_.empty());
+        });
         if (queue_.empty()) {
             if (stop_)
                 return; // queue drained, shutdown complete
             continue;
         }
+        if (paused_ && !stop_)
+            continue;
 
-        // Dynamic micro-batching: everything queued for the first
-        // pending request's model (up to max_batch, arrival order
-        // preserved) rides one dispatch. Under load the queue backs up
-        // and batches grow; an idle engine degrades to batch size 1
-        // with no added latency.
-        const std::string model_name = queue_.front().request.model;
-        std::vector<Pending> batch;
-        batch.reserve(std::min(queue_.size(), config_.max_batch));
-        for (auto it = queue_.begin();
-             it != queue_.end() && batch.size() < config_.max_batch;) {
-            if (it->request.model == model_name) {
-                batch.push_back(std::move(*it));
+        // Deadline sweep: anything whose budget elapsed while queued is
+        // answered now and never occupies a batch slot. Runs before
+        // every batch formation (and first thing after resume()), so an
+        // expired-on-arrival request cannot reach a batch.
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<Pending> expired;
+        for (auto it = queue_.begin(); it != queue_.end();) {
+            const InferRequest &r = it->request;
+            if (r.deadline.count() != 0 && now - it->enqueued >= r.deadline) {
+                queued_per_model_[r.model] -= 1;
+                metrics_.queueDepthAdd(-1);
+                expired.push_back(std::move(*it));
                 it = queue_.erase(it);
             } else {
                 ++it;
             }
         }
+        if (!expired.empty()) {
+            in_flight_ += expired.size();
+            stats_.requests += expired.size();
+            stats_.failed += expired.size();
+            stats_.expired += expired.size();
+            lock.unlock();
+            space_cv_.notify_all();
+            for (Pending &pending : expired) {
+                const double ms =
+                    millisecondsBetween(pending.enqueued, now);
+                metrics_.recordResponse(ServeStatus::DeadlineExceeded, ms);
+                failPending(pending, ServeStatus::DeadlineExceeded,
+                            "deadline exceeded before dispatch", ms);
+            }
+            lock.lock();
+            in_flight_ -= expired.size();
+            if (queue_.empty() && in_flight_ == 0)
+                idle_cv_.notify_all();
+            continue; // re-evaluate: queue changed while unlocked
+        }
+
+        // Dynamic micro-batching, most-urgent-first: the batch model is
+        // the one of the highest-priority oldest request, and the batch
+        // pulls that model's requests in priority-class order (arrival
+        // order within a class) up to max_batch. Under load the queue
+        // backs up and batches grow; an idle engine degrades to batch
+        // size 1 with no added latency.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < queue_.size(); ++i)
+            if (queue_[i].request.priority < queue_[best].request.priority)
+                best = i;
+        const std::string model_name = queue_[best].request.model;
+
+        std::vector<std::size_t> chosen;
+        chosen.reserve(std::min(queue_.size(), config_.max_batch));
+        for (std::size_t cls = 0;
+             cls < kPriorityCount && chosen.size() < config_.max_batch;
+             ++cls) {
+            for (std::size_t i = 0;
+                 i < queue_.size() && chosen.size() < config_.max_batch;
+                 ++i) {
+                if (queue_[i].request.model == model_name &&
+                    static_cast<std::size_t>(queue_[i].request.priority) ==
+                        cls)
+                    chosen.push_back(i);
+            }
+        }
+        std::vector<Pending> batch;
+        batch.reserve(chosen.size());
+        std::vector<bool> taken(queue_.size(), false);
+        for (std::size_t i : chosen) {
+            batch.push_back(std::move(queue_[i]));
+            taken[i] = true;
+        }
+        std::deque<Pending> rest;
+        for (std::size_t i = 0; i < queue_.size(); ++i)
+            if (!taken[i])
+                rest.push_back(std::move(queue_[i]));
+        queue_.swap(rest);
+
         const std::size_t batch_size = batch.size();
+        queued_per_model_[model_name] -= batch_size;
+        metrics_.queueDepthAdd(
+            -static_cast<std::ptrdiff_t>(batch_size));
         in_flight_ += batch_size;
         lock.unlock();
         space_cv_.notify_all();
@@ -120,30 +324,29 @@ void
 InferenceEngine::runBatch(const std::string &model_name,
                           std::vector<Pending> batch)
 {
-    // Stats are committed before any promise resolves, so a client that
-    // just observed its future complete reads consistent counters.
-    auto commitStats = [this](std::size_t served, std::size_t failed) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stats_.batches += 1;
-        stats_.max_batch = std::max(stats_.max_batch, served);
-        stats_.requests += served;
-        stats_.failed += failed;
-    };
-
     std::shared_ptr<const DonnModel> model;
     try {
         model = registry_.acquire(model_name);
     } catch (...) {
-        std::exception_ptr error = std::current_exception();
-        commitStats(batch.size(), batch.size());
-        for (Pending &pending : batch)
-            pending.promise.set_exception(error);
+        const auto done = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stats_.requests += batch.size();
+            stats_.failed += batch.size();
+        }
+        for (Pending &pending : batch) {
+            const double ms = millisecondsBetween(pending.enqueued, done);
+            metrics_.recordResponse(ServeStatus::UnknownModel, ms);
+            failPending(pending, ServeStatus::UnknownModel,
+                        "unknown model: " + model_name, ms);
+        }
         return;
     }
 
     const Grid grid = model->spec().grid();
     std::vector<InferResponse> responses(batch.size());
     std::vector<std::exception_ptr> errors(batch.size());
+    std::vector<std::string> messages(batch.size());
     pool_->parallelFor(batch.size(), [&](std::size_t i) {
         try {
             // Each pool worker leases scratch from its own thread-local
@@ -158,8 +361,12 @@ InferenceEngine::runBatch(const std::string &model_name,
                 std::max_element(response.logits.begin(),
                                  response.logits.end()) -
                 response.logits.begin());
+        } catch (const std::exception &e) {
+            errors[i] = std::current_exception();
+            messages[i] = e.what();
         } catch (...) {
             errors[i] = std::current_exception();
+            messages[i] = "unknown inference error";
         }
     });
 
@@ -167,21 +374,37 @@ InferenceEngine::runBatch(const std::string &model_name,
     std::size_t failed = 0;
     for (const std::exception_ptr &error : errors)
         failed += error ? 1 : 0;
-    commitStats(batch.size(), failed);
+
+    // Stats are committed before any promise resolves, so a client that
+    // just observed its future complete reads consistent counters.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.batches += 1;
+        stats_.max_batch = std::max(stats_.max_batch, batch.size());
+        stats_.requests += batch.size();
+        stats_.failed += failed;
+    }
+    metrics_.recordBatch(batch.size());
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
+        const double ms = millisecondsBetween(batch[i].enqueued, done);
         if (errors[i]) {
-            batch[i].promise.set_exception(errors[i]);
+            metrics_.recordResponse(ServeStatus::BadInput, ms);
+            if (batch[i].legacy) {
+                batch[i].promise.set_exception(errors[i]);
+            } else {
+                failPending(batch[i], ServeStatus::BadInput, messages[i],
+                            ms);
+            }
             continue;
         }
+        metrics_.recordResponse(ServeStatus::Ok, ms);
         InferResponse &response = responses[i];
         response.id = batch[i].request.id;
         response.model = model_name;
+        response.status = ServeStatus::Ok;
         response.batch_size = batch.size();
-        response.latency_ms =
-            std::chrono::duration<double, std::milli>(done -
-                                                      batch[i].enqueued)
-                .count();
+        response.latency_ms = ms;
         batch[i].promise.set_value(std::move(response));
     }
 }

@@ -15,6 +15,17 @@
  * shared across all models and clients, and no model is ever cloned per
  * request — results are bitwise-identical to calling
  * `model.inferField(model.encode(image))` directly.
+ *
+ * Scheduling is SLA-aware (serving API v2, serve/api.hpp): every
+ * request carries a steady-clock deadline budget and a Priority class.
+ * The dispatcher sweeps expired requests out of the queue before every
+ * batch — they are answered with ServeStatus::DeadlineExceeded and
+ * never occupy a batch slot — and forms batches most-urgent-first. Per
+ * -model admission quotas shed load with ServeStatus::Overloaded
+ * (lowest-priority, youngest queued work is evicted first) before the
+ * bounded queue can collapse into unbounded waiting. All failures are
+ * typed ServeStatus codes on the response; the futures themselves only
+ * carry exceptions through the deprecated legacy path.
  */
 #pragma once
 
@@ -24,18 +35,21 @@
 #include <deque>
 #include <exception>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "serve/api.hpp"
+#include "serve/metrics.hpp"
 #include "serve/registry.hpp"
 #include "tensor/field.hpp"
 #include "utils/thread_pool.hpp"
 
 namespace lightridge {
 
-/** Micro-batching knobs of the serving engine. */
+/** Micro-batching and admission-control knobs of the serving engine. */
 struct BatchingConfig
 {
     /** Largest micro-batch one dispatch coalesces (per model). */
@@ -44,33 +58,27 @@ struct BatchingConfig
     /** Bound on queued requests; submit() blocks when the queue is full
      *  (backpressure instead of unbounded memory growth). */
     std::size_t max_queue = 4096;
-};
 
-/** One inference request: a raw amplitude frame for a named model. */
-struct InferRequest
-{
-    std::string model;  ///< registry name to run against
-    RealMap image;      ///< native-resolution amplitude frame (encode
-                        ///< resizes to the model's system grid)
-    std::uint64_t id = 0; ///< caller-chosen correlation id
-};
-
-/** Result of one served request. */
-struct InferResponse
-{
-    std::uint64_t id = 0;
-    std::string model;
-    std::vector<Real> logits;   ///< detector readout
-    int prediction = -1;        ///< argmax class
-    double latency_ms = 0;      ///< submit-to-completion wall time
-    std::size_t batch_size = 1; ///< micro-batch the request rode in
+    /**
+     * Default per-model admission quota: at most this many requests of
+     * one model may be queued; past it, load is shed with
+     * ServeStatus::Overloaded instead of queueing (lowest-priority
+     * youngest queued request of that model is evicted first when the
+     * newcomer outranks it). 0 disables admission control and keeps the
+     * v1 blocking-backpressure behavior. Socket front ends should set a
+     * quota — a shed is a 503 the client can retry; a blocked submit is
+     * an IO thread doing nothing.
+     */
+    std::size_t max_queued_per_model = 0;
 };
 
 /** Aggregate serving counters. */
 struct EngineStats
 {
-    std::uint64_t requests = 0; ///< responses delivered (incl. failed)
-    std::uint64_t failed = 0;   ///< requests completed with an exception
+    std::uint64_t requests = 0; ///< responses delivered (every status)
+    std::uint64_t failed = 0;   ///< responses with status != Ok
+    std::uint64_t shed = 0;     ///< of failed: admission-control sheds
+    std::uint64_t expired = 0;  ///< of failed: deadline sweep victims
     std::uint64_t batches = 0;  ///< micro-batches dispatched
     std::size_t max_batch = 0;  ///< largest micro-batch observed
 
@@ -78,7 +86,7 @@ struct EngineStats
     meanBatch() const
     {
         return batches > 0
-                   ? static_cast<double>(requests) /
+                   ? static_cast<double>(requests - failed) /
                          static_cast<double>(batches)
                    : 0.0;
     }
@@ -92,7 +100,7 @@ class InferenceEngine
      * @param registry model source; must outlive the engine. Hot-swaps
      *        and unloads take effect at the next micro-batch; in-flight
      *        batches keep their acquired instance alive.
-     * @param config micro-batching knobs
+     * @param config micro-batching + admission knobs
      * @param pool execution pool; nullptr uses ThreadPool::global()
      */
     explicit InferenceEngine(ModelRegistry &registry,
@@ -106,13 +114,27 @@ class InferenceEngine
     InferenceEngine &operator=(const InferenceEngine &) = delete;
 
     /**
-     * Enqueue a request. Thread-safe; blocks only when the queue is at
-     * max_queue (backpressure). The future resolves with the response,
-     * or with an exception (UnknownModelError when the model is not —
-     * or no longer — registered).
+     * Enqueue a request. Thread-safe. The future always resolves with a
+     * response; failures are typed `ServeStatus` codes (unknown model,
+     * deadline expired, shed by admission control, bad input), never
+     * exceptions. A request past its deadline or shed by a quota may
+     * resolve before this call returns. Blocks only when the *global*
+     * queue is at max_queue and no per-model quota shed applied.
      * @throws std::runtime_error when the engine is shutting down
      */
     std::future<InferResponse> submit(InferRequest request);
+
+    /**
+     * v1 exception-style submit: identical enqueueing, scheduling and
+     * (bitwise) results, but a non-Ok outcome is delivered as an
+     * exception through the future — UnknownModelError for an unknown
+     * model, the original worker exception for an inference failure,
+     * ServeStatusError otherwise.
+     * @deprecated Thin alias for pre-v2 callers; use submit() and
+     *             check `InferResponse::status`. Pinned bitwise against
+     *             submit() in tests/test_serve.cpp.
+     */
+    std::future<InferResponse> submitLegacy(InferRequest request);
 
     /**
      * Synchronous convenience: submit + wait. One-at-a-time callers get
@@ -124,8 +146,27 @@ class InferenceEngine
     /** Block until every accepted request has completed. */
     void drain();
 
+    /**
+     * Hold off forming micro-batches (already-running batches finish;
+     * submissions keep queueing and admission control keeps applying).
+     * For maintenance windows and deterministic scheduling tests.
+     */
+    void pause();
+
+    /** Resume batch formation; the deadline sweep runs first, so work
+     *  that expired while paused never reaches a batch. */
+    void resume();
+
+    /** Override the admission quota for one model (0 = no quota). Takes
+     *  effect for subsequent submissions. */
+    void setModelQuota(const std::string &model, std::size_t max_queued);
+
     /** Serving counters (consistent snapshot). */
     EngineStats stats() const;
+
+    /** Lock-cheap metric registry (latency/batch histograms, per-status
+     *  counters, queue-depth gauge) — what GET /metrics renders. */
+    const ServeMetrics &metrics() const { return metrics_; }
 
     const BatchingConfig &config() const { return config_; }
 
@@ -135,11 +176,19 @@ class InferenceEngine
         InferRequest request;
         std::promise<InferResponse> promise;
         std::chrono::steady_clock::time_point enqueued;
+        bool legacy = false; ///< deliver failures as exceptions (v1)
     };
 
+    std::future<InferResponse> enqueue(InferRequest request, bool legacy);
+    std::size_t quotaForLocked(const std::string &model) const;
     void dispatchLoop();
     void runBatch(const std::string &model_name,
                   std::vector<Pending> batch);
+
+    /** Resolve one pending with a non-Ok status (value or, for legacy
+     *  pendings, the matching exception). Does not touch stats. */
+    static void failPending(Pending &pending, ServeStatus status,
+                            const std::string &error, double latency_ms);
 
     ModelRegistry &registry_;
     BatchingConfig config_;
@@ -150,9 +199,13 @@ class InferenceEngine
     std::condition_variable space_cv_;  ///< submit backpressure
     std::condition_variable idle_cv_;   ///< drain wakeup
     std::deque<Pending> queue_;
+    std::map<std::string, std::size_t> queued_per_model_;
+    std::map<std::string, std::size_t> quota_overrides_;
     std::size_t in_flight_ = 0;
     bool stop_ = false;
+    bool paused_ = false;
     EngineStats stats_;
+    ServeMetrics metrics_;
 
     std::thread dispatcher_;
 };

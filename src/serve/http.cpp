@@ -1,0 +1,254 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lightridge {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = s.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return {};
+    std::size_t end = s.find_last_not_of(" \t");
+    return s.substr(begin, end - begin + 1);
+}
+
+/** Case-insensitive comma-list membership ("keep-alive, upgrade"). */
+bool
+listContains(const std::string &value, const std::string &token)
+{
+    std::size_t pos = 0;
+    while (pos < value.size()) {
+        std::size_t comma = value.find(',', pos);
+        if (comma == std::string::npos)
+            comma = value.size();
+        if (toLower(trim(value.substr(pos, comma - pos))) == token)
+            return true;
+        pos = comma + 1;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+HttpRequest::keepAlive() const
+{
+    const std::string &connection = header("connection");
+    if (listContains(connection, "close"))
+        return false;
+    if (version == "HTTP/1.0")
+        return listContains(connection, "keep-alive");
+    return true; // HTTP/1.1 default
+}
+
+const std::string &
+HttpRequest::header(const std::string &name) const
+{
+    static const std::string empty;
+    auto it = headers.find(name);
+    return it != headers.end() ? it->second : empty;
+}
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 204: return "No Content";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 413: return "Payload Too Large";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+      case 503: return "Service Unavailable";
+      case 504: return "Gateway Timeout";
+      default: return "Unknown";
+    }
+}
+
+std::string
+serializeHttpResponse(const HttpResponse &response, bool keep_alive)
+{
+    std::string out;
+    out.reserve(response.body.size() + 256);
+    out += "HTTP/1.1 ";
+    out += std::to_string(response.status);
+    out += " ";
+    out += httpStatusText(response.status);
+    out += "\r\n";
+    out += "Content-Type: ";
+    out += response.content_type;
+    out += "\r\n";
+    out += "Content-Length: ";
+    out += std::to_string(response.body.size());
+    out += "\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n"
+                      : "Connection: close\r\n";
+    for (const auto &[name, value] : response.headers) {
+        out += name;
+        out += ": ";
+        out += value;
+        out += "\r\n";
+    }
+    out += "\r\n";
+    out += response.body;
+    return out;
+}
+
+HttpParser::HttpParser(Limits limits) : limits_(limits) {}
+
+HttpParser::State
+HttpParser::feed(const char *data, std::size_t size)
+{
+    if (state_ == State::Error)
+        return state_;
+    buffer_.append(data, size);
+    if (state_ == State::Complete)
+        return state_; // pipelined bytes wait for next()
+    return advance();
+}
+
+HttpParser::State
+HttpParser::next()
+{
+    if (state_ != State::Complete)
+        return state_;
+    request_ = HttpRequest{};
+    phase_ = Phase::RequestLine;
+    header_bytes_ = 0;
+    body_expected_ = 0;
+    state_ = State::NeedMore;
+    return advance();
+}
+
+HttpParser::State
+HttpParser::fail(int status, std::string reason)
+{
+    state_ = State::Error;
+    error_status_ = status;
+    error_reason_ = std::move(reason);
+    buffer_.clear();
+    return state_;
+}
+
+/** Pop one CRLF- (or bare-LF-) terminated line off the buffer. */
+bool
+HttpParser::takeLine(std::string &line)
+{
+    const std::size_t eol = buffer_.find('\n');
+    if (eol == std::string::npos)
+        return false;
+    line.assign(buffer_, 0, eol);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    buffer_.erase(0, eol + 1);
+    return true;
+}
+
+HttpParser::State
+HttpParser::advance()
+{
+    for (;;) {
+        if (phase_ == Phase::RequestLine) {
+            std::string line;
+            if (!takeLine(line)) {
+                if (buffer_.size() > limits_.max_request_line)
+                    return fail(431, "request line too long");
+                return state_ = State::NeedMore;
+            }
+            if (line.empty())
+                continue; // tolerate leading blank lines (RFC 9112 §2.2)
+            if (line.size() > limits_.max_request_line)
+                return fail(431, "request line too long");
+            const std::size_t sp1 = line.find(' ');
+            const std::size_t sp2 =
+                sp1 == std::string::npos ? std::string::npos
+                                         : line.find(' ', sp1 + 1);
+            if (sp1 == std::string::npos || sp2 == std::string::npos ||
+                line.find(' ', sp2 + 1) != std::string::npos)
+                return fail(400, "malformed request line");
+            request_.method = line.substr(0, sp1);
+            request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+            request_.version = line.substr(sp2 + 1);
+            if (request_.method.empty() || request_.target.empty() ||
+                request_.target[0] != '/')
+                return fail(400, "malformed request line");
+            if (request_.version != "HTTP/1.1" &&
+                request_.version != "HTTP/1.0")
+                return fail(400, "unsupported HTTP version");
+            phase_ = Phase::Headers;
+            continue;
+        }
+
+        if (phase_ == Phase::Headers) {
+            std::string line;
+            if (!takeLine(line)) {
+                if (buffer_.size() > limits_.max_header_bytes)
+                    return fail(431, "headers too large");
+                return state_ = State::NeedMore;
+            }
+            if (!line.empty()) {
+                header_bytes_ += line.size();
+                if (header_bytes_ > limits_.max_header_bytes)
+                    return fail(431, "headers too large");
+                if (request_.headers.size() >= limits_.max_headers)
+                    return fail(431, "too many headers");
+                const std::size_t colon = line.find(':');
+                if (colon == std::string::npos || colon == 0)
+                    return fail(400, "malformed header line");
+                request_.headers[toLower(trim(line.substr(0, colon)))] =
+                    trim(line.substr(colon + 1));
+                continue;
+            }
+            // End of headers: decide the body framing.
+            if (!request_.header("transfer-encoding").empty())
+                return fail(501,
+                            "transfer-encoding (chunked) not supported; "
+                            "use content-length");
+            const std::string &length = request_.header("content-length");
+            if (!length.empty()) {
+                if (length.find_first_not_of("0123456789") !=
+                        std::string::npos ||
+                    length.size() > 12)
+                    return fail(400, "invalid content-length");
+                body_expected_ =
+                    static_cast<std::size_t>(std::stoull(length));
+                if (body_expected_ > limits_.max_body)
+                    return fail(413, "body exceeds limit");
+            }
+            if (body_expected_ == 0) {
+                request_.body.clear();
+                return state_ = State::Complete;
+            }
+            phase_ = Phase::Body;
+            continue;
+        }
+
+        // Body: exactly content-length bytes; any surplus already in
+        // the buffer belongs to the next pipelined request.
+        if (buffer_.size() < body_expected_)
+            return state_ = State::NeedMore;
+        request_.body.assign(buffer_, 0, body_expected_);
+        buffer_.erase(0, body_expected_);
+        return state_ = State::Complete;
+    }
+}
+
+} // namespace lightridge

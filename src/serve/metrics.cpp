@@ -1,0 +1,173 @@
+#include "serve/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+namespace lightridge {
+
+std::size_t
+StripedCounter::stripeIndex() noexcept
+{
+    // One stripe per thread, fixed for the thread's lifetime. The hash
+    // of the thread id spreads pool workers and IO threads across the
+    // stripes; collisions only cost a shared cache line, never
+    // correctness.
+    static thread_local const std::size_t stripe =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kStripes;
+    return stripe;
+}
+
+void
+LatencyHistogram::record(double ms) noexcept
+{
+    // Bucket i spans (2^(i-1), 2^i] microseconds; everything at or
+    // below 1us lands in bucket 0, everything past the range in the
+    // open-ended last bucket.
+    const double us = ms * 1e3;
+    std::size_t bucket = 0;
+    double upper = 1.0;
+    while (bucket + 1 < kBuckets && us > upper) {
+        upper *= 2.0;
+        ++bucket;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+LatencyHistogram::count() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const auto &bucket : buckets_)
+        total += bucket.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+LatencyHistogram::percentileMs(double p) const noexcept
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    const double rank = p * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cumulative += buckets_[i].load(std::memory_order_relaxed);
+        if (static_cast<double>(cumulative) >= rank)
+            return bucketUpperMs(i);
+    }
+    return bucketUpperMs(kBuckets - 1);
+}
+
+double
+LatencyHistogram::bucketUpperMs(std::size_t i) noexcept
+{
+    if (i + 1 >= kBuckets)
+        return std::numeric_limits<double>::infinity();
+    return std::ldexp(1.0, static_cast<int>(i)) * 1e-3; // 2^i us -> ms
+}
+
+void
+BatchHistogram::record(std::size_t batch_size) noexcept
+{
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && batch_size > bucketUpper(bucket))
+        ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+BatchHistogram::count() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const auto &bucket : buckets_)
+        total += bucket.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+ServeMetrics::requestCount() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const StripedCounter &counter : by_status_)
+        total += counter.value();
+    return total;
+}
+
+std::string
+ServeMetrics::renderPrometheus(const std::string &extra) const
+{
+    std::ostringstream out;
+    auto line = [&](const char *name, const std::string &labels,
+                    double value) {
+        out << "lightridge_" << name;
+        if (!labels.empty())
+            out << "{" << labels << "}";
+        char buf[40];
+        if (std::isinf(value)) {
+            out << " +Inf\n";
+            return;
+        }
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        out << " " << buf << "\n";
+    };
+
+    out << "# TYPE lightridge_requests_total counter\n";
+    for (std::size_t s = 0; s < kServeStatusCount; ++s)
+        line("requests_total",
+             std::string("status=\"") +
+                 serveStatusName(static_cast<ServeStatus>(s)) + "\"",
+             static_cast<double>(statusCount(static_cast<ServeStatus>(s))));
+
+    out << "# TYPE lightridge_queue_depth gauge\n";
+    line("queue_depth", {}, static_cast<double>(queueDepth()));
+
+    out << "# TYPE lightridge_shed_total counter\n";
+    line("shed_total", {},
+         static_cast<double>(statusCount(ServeStatus::Overloaded)));
+    out << "# TYPE lightridge_deadline_expired_total counter\n";
+    line("deadline_expired_total", {},
+         static_cast<double>(statusCount(ServeStatus::DeadlineExceeded)));
+
+    out << "# TYPE lightridge_latency_ms histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        cumulative += latency_.bucketCount(i);
+        char le[40];
+        const double upper = LatencyHistogram::bucketUpperMs(i);
+        if (std::isinf(upper))
+            std::snprintf(le, sizeof(le), "le=\"+Inf\"");
+        else
+            std::snprintf(le, sizeof(le), "le=\"%.6g\"", upper);
+        line("latency_ms_bucket", le, static_cast<double>(cumulative));
+    }
+    line("latency_ms_count", {}, static_cast<double>(latency_.count()));
+    for (const double p : {0.50, 0.95, 0.99}) {
+        char q[40];
+        std::snprintf(q, sizeof(q), "quantile=\"%.2f\"", p);
+        line("latency_ms", q, latency_.percentileMs(p));
+    }
+
+    out << "# TYPE lightridge_batch_size histogram\n";
+    cumulative = 0;
+    for (std::size_t i = 0; i < BatchHistogram::kBuckets; ++i) {
+        cumulative += batch_.bucketCount(i);
+        char le[40];
+        std::snprintf(le, sizeof(le), "le=\"%zu\"",
+                      BatchHistogram::bucketUpper(i));
+        line("batch_size_bucket", le, static_cast<double>(cumulative));
+    }
+    line("batch_size_count", {}, static_cast<double>(batch_.count()));
+
+    out << extra;
+    return out.str();
+}
+
+} // namespace lightridge

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Lock-cheap serving metrics: striped counters and fixed-bucket
+ * histograms sized so the request hot path touches one relaxed atomic
+ * per event and the `/metrics` endpoint renders a consistent-enough
+ * snapshot without ever stalling serving threads.
+ *
+ * Counters are striped across cache lines to keep concurrent IO/worker
+ * threads from bouncing one hot line; histograms use fixed geometric
+ * bucket bounds chosen at compile time, so recording is a
+ * branch-light bucket search plus one atomic increment and percentile
+ * queries are a cumulative scan over 64 slots. Nothing here allocates
+ * after construction.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/api.hpp"
+
+namespace lightridge {
+
+/** Monotonic counter striped across cache lines. add() is wait-free
+ *  (one relaxed fetch_add on the calling thread's stripe); value() sums
+ *  the stripes and may race with concurrent adds, which only makes the
+ *  reading thread see a value that was true a moment ago. */
+class StripedCounter
+{
+  public:
+    StripedCounter() = default;
+
+    StripedCounter(const StripedCounter &) = delete;
+    StripedCounter &operator=(const StripedCounter &) = delete;
+
+    void
+    add(std::uint64_t n = 1) noexcept
+    {
+        stripes_[stripeIndex()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const noexcept
+    {
+        std::uint64_t sum = 0;
+        for (const Stripe &stripe : stripes_)
+            sum += stripe.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+  private:
+    static constexpr std::size_t kStripes = 8;
+
+    struct alignas(64) Stripe
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+
+    static std::size_t stripeIndex() noexcept;
+
+    std::array<Stripe, kStripes> stripes_;
+};
+
+/**
+ * Fixed-bucket latency histogram. Buckets are geometric (x2) spans from
+ * 1 microsecond up, so one histogram covers sub-millisecond kernel
+ * serving and multi-second overload tails with ~constant relative
+ * error. Percentiles are bucket upper bounds — good to within one
+ * bucket width, which is what an SLA gate needs.
+ */
+class LatencyHistogram
+{
+  public:
+    /** 1us..~2200s in x2 steps; the last bucket is open-ended. */
+    static constexpr std::size_t kBuckets = 32;
+
+    LatencyHistogram() = default;
+
+    LatencyHistogram(const LatencyHistogram &) = delete;
+    LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+    void record(double ms) noexcept;
+
+    std::uint64_t count() const noexcept;
+
+    /**
+     * Latency below which `p` (0..1) of recorded samples fall, as the
+     * matching bucket's upper bound in milliseconds. 0 when empty.
+     */
+    double percentileMs(double p) const noexcept;
+
+    /** Upper bound of bucket `i` in milliseconds (inf for the last). */
+    static double bucketUpperMs(std::size_t i) noexcept;
+
+    /** Raw bucket count (for rendering / tests). */
+    std::uint64_t
+    bucketCount(std::size_t i) const noexcept
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/**
+ * Micro-batch size histogram: bucket i counts batches of size in
+ * (2^(i-1), 2^i], i.e. {1}, {2}, {3..4}, {5..8}, ... — enough shape to
+ * see whether the batcher is coalescing or degrading to singletons.
+ */
+class BatchHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 12; ///< up to 2^11 = 2048
+
+    BatchHistogram() = default;
+
+    BatchHistogram(const BatchHistogram &) = delete;
+    BatchHistogram &operator=(const BatchHistogram &) = delete;
+
+    void record(std::size_t batch_size) noexcept;
+
+    std::uint64_t count() const noexcept;
+
+    /** Inclusive upper bound of bucket `i` (1, 2, 4, 8, ...). */
+    static std::size_t
+    bucketUpper(std::size_t i) noexcept
+    {
+        return std::size_t{1} << i;
+    }
+
+    std::uint64_t
+    bucketCount(std::size_t i) const noexcept
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/**
+ * The serving engine's metric registry: per-status request counters,
+ * an end-to-end latency histogram for served (Ok) requests, the
+ * micro-batch shape, a queue-depth gauge, and shed/expired counters.
+ * One instance is owned by each InferenceEngine; the HTTP front end
+ * renders it (plus its own transport counters) at GET /metrics.
+ */
+class ServeMetrics
+{
+  public:
+    ServeMetrics() = default;
+
+    ServeMetrics(const ServeMetrics &) = delete;
+    ServeMetrics &operator=(const ServeMetrics &) = delete;
+
+    /** One response delivered with `status`; Ok responses also record
+     *  their submit-to-completion latency. */
+    void
+    recordResponse(ServeStatus status, double latency_ms) noexcept
+    {
+        by_status_[static_cast<std::size_t>(status)].add();
+        if (status == ServeStatus::Ok)
+            latency_.record(latency_ms);
+    }
+
+    /** One micro-batch dispatched. */
+    void
+    recordBatch(std::size_t batch_size) noexcept
+    {
+        batch_.record(batch_size);
+    }
+
+    /** Queue depth gauge (dispatcher queue, pre-batch). */
+    void
+    queueDepthAdd(std::ptrdiff_t delta) noexcept
+    {
+        queue_depth_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    queueDepth() const noexcept
+    {
+        return queue_depth_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    statusCount(ServeStatus status) const noexcept
+    {
+        return by_status_[static_cast<std::size_t>(status)].value();
+    }
+
+    /** All responses, every status. */
+    std::uint64_t requestCount() const noexcept;
+
+    const LatencyHistogram &latency() const { return latency_; }
+    const BatchHistogram &batches() const { return batch_; }
+
+    /**
+     * Prometheus-style text exposition of every counter, histogram and
+     * gauge, `lightridge_`-prefixed. `extra` is appended verbatim so a
+     * front end can contribute transport-level series (connections,
+     * parse errors) to the same page.
+     */
+    std::string renderPrometheus(const std::string &extra = {}) const;
+
+  private:
+    std::array<StripedCounter, kServeStatusCount> by_status_;
+    LatencyHistogram latency_;
+    BatchHistogram batch_;
+    std::atomic<std::int64_t> queue_depth_{0};
+};
+
+} // namespace lightridge

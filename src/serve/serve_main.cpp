@@ -1,11 +1,17 @@
 /**
  * @file
  * lightridge_serve: multi-model DONN inference server driven by a JSON
- * model manifest and a JSON-lines request stream.
+ * model manifest, answering either a JSON-lines request stream (stdin
+ * mode) or HTTP requests over a socket (--listen mode). Both modes run
+ * the same request-handling core (serve/server.hpp ServingService): one
+ * JSON schema, one parser, one response renderer, one engine.
  *
  *   lightridge_serve <manifest.json> [--requests=FILE|-] [--out=FILE]
  *                    [--stats=FILE] [--max-batch=N] [--max-queue=N]
+ *                    [--quota=N] [--default-deadline-ms=MS]
  *                    [--sequential] [--no-logits] [--quiet]
+ *                    [--listen=HOST:PORT] [--io-threads=N]
+ *                    [--max-connections=N] [--port-file=FILE]
  *
  * Manifest:
  *   {
@@ -19,34 +25,42 @@
  * entries build the architecture of an ExperimentSpec with untrained
  * weights (latency/smoke testing).
  *
- * Requests, one JSON object per line (file or stdin):
+ * Requests, one JSON object per line (file or stdin) — the same schema
+ * the HTTP route accepts as a body:
  *   {"id": 1, "model": "digits",
  *    "image": {"rows": 28, "cols": 28, "data": [...]}}
- *   {"id": 2, "model": "digits",
+ *   {"id": 2, "model": "digits", "deadline_ms": 50,
+ *    "priority": "interactive",
  *    "sample": {"dataset": "digits", "seed": 5, "index": 3}}
  * "sample" requests synthesize the referenced dataset sample; their
  * responses carry the ground-truth "label" so accuracy can be scored
  * downstream (the CI serve-smoke job does exactly this).
  *
+ * Socket mode (--listen): serves POST /v1/models/<name>/infer,
+ * GET /healthz, GET /metrics until SIGINT/SIGTERM, then shuts down
+ * cleanly (stops accepting, joins IO threads, drains the engine) and
+ * prints the same stats JSON. PORT 0 binds an ephemeral port;
+ * --port-file writes the resolved port for drivers.
+ *
  * Responses are JSON lines in request order; a final stats JSON records
  * throughput and micro-batch shape. Exit codes: 0 success, 1 usage,
- * 2 manifest/spec error, 3 one or more requests failed.
+ * 2 manifest/spec error, 3 one or more requests failed (stdin mode).
  */
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <iostream>
-#include <map>
-#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/experiment.hpp"
 #include "core/task.hpp"
 #include "data/synth_digits.hpp"
-#include "data/synth_fashion.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
+#include "serve/server.hpp"
 #include "utils/cli.hpp"
 #include "utils/timer.hpp"
 
@@ -62,110 +76,208 @@ usage()
         "usage: lightridge_serve <manifest.json> [--requests=FILE|-]\n"
         "                        [--out=FILE] [--stats=FILE]\n"
         "                        [--max-batch=N] [--max-queue=N]\n"
+        "                        [--quota=N] [--default-deadline-ms=MS]\n"
         "                        [--sequential] [--no-logits] [--quiet]\n"
+        "                        [--listen=HOST:PORT] [--io-threads=N]\n"
+        "                        [--max-connections=N] [--port-file=FILE]\n"
         "\n"
-        "Serves the models of a JSON manifest against a JSON-lines\n"
-        "request stream through the micro-batching InferenceEngine.\n");
+        "Serves the models of a JSON manifest through the micro-batching\n"
+        "InferenceEngine: against a JSON-lines request stream, or (with\n"
+        "--listen) over an HTTP/1.1 socket until SIGINT/SIGTERM.\n");
 }
 
-/** One parsed request plus serve-side bookkeeping. */
-struct ParsedRequest
-{
-    InferRequest request;
-    int label = -1; ///< ground truth for "sample" requests, else -1
-};
+volatile std::sig_atomic_t g_shutdown = 0;
 
-RealMap
-imageFromJson(const Json &j)
+void
+onSignal(int)
 {
-    const std::size_t rows =
-        static_cast<std::size_t>(j.at("rows").asNumber());
-    const std::size_t cols =
-        static_cast<std::size_t>(j.at("cols").asNumber());
-    const Json::Array &data = j.at("data").asArray();
-    if (data.size() != rows * cols)
-        throw JsonError("request image: data length != rows*cols");
-    RealMap image(rows, cols);
-    for (std::size_t i = 0; i < data.size(); ++i)
-        image[i] = data[i].asNumber();
-    return image;
-}
-
-/** Lazily generated synthetic datasets keyed by "<dataset>:<seed>". */
-class SampleSource
-{
-  public:
-    /** Sample `index` of the (dataset, seed) stream; grows the cached
-     *  dataset when the index is past what was generated so far. */
-    const ClassDataset &
-    dataset(const std::string &name, uint64_t seed, std::size_t index)
-    {
-        const std::string key = name + ":" + std::to_string(seed);
-        ClassDataset &data = cache_[key];
-        if (index >= data.size()) {
-            // Grow geometrically so monotonically increasing indices
-            // stay linear overall instead of regenerating 1,2,...,n.
-            const std::size_t count =
-                std::max(index + 1, 2 * data.size());
-            if (name == "digits")
-                data = makeSynthDigits(count, seed);
-            else if (name == "fashion")
-                data = makeSynthFashion(count, seed);
-            else
-                throw JsonError("sample dataset must be digits or "
-                                "fashion, got: " + name);
-        }
-        return data;
-    }
-
-  private:
-    std::map<std::string, ClassDataset> cache_;
-};
-
-ParsedRequest
-parseRequestLine(const Json &j, std::uint64_t fallback_id,
-                 SampleSource &samples)
-{
-    ParsedRequest parsed;
-    parsed.request.model = j.at("model").asString();
-    parsed.request.id = static_cast<std::uint64_t>(
-        j.numberOr("id", static_cast<double>(fallback_id)));
-    if (j.has("image")) {
-        parsed.request.image = imageFromJson(j.at("image"));
-    } else if (j.has("sample")) {
-        const Json &s = j.at("sample");
-        const std::string &dataset = s.at("dataset").asString();
-        const uint64_t seed =
-            static_cast<uint64_t>(s.numberOr("seed", 1.0));
-        const std::size_t index =
-            static_cast<std::size_t>(s.numberOr("index", 0.0));
-        const ClassDataset &data = samples.dataset(dataset, seed, index);
-        parsed.request.image = data.images[index];
-        parsed.label = data.labels[index];
-    } else {
-        throw JsonError("request needs \"image\" or \"sample\"");
-    }
-    return parsed;
+    g_shutdown = 1;
 }
 
 Json
-responseJson(const InferResponse &response, int label, bool with_logits)
+statsJson(const InferenceEngine &engine, double wall_ms,
+          const char *dispatch)
 {
+    const EngineStats stats = engine.stats();
     Json j;
-    j["id"] = Json(static_cast<std::size_t>(response.id));
-    j["model"] = Json(response.model);
-    j["prediction"] = Json(response.prediction);
-    if (label >= 0)
-        j["label"] = Json(label);
-    j["latency_ms"] = Json(response.latency_ms);
-    j["batch_size"] = Json(response.batch_size);
-    if (with_logits) {
-        Json logits;
-        for (Real v : response.logits)
-            logits.push(Json(v));
-        j["logits"] = std::move(logits);
-    }
+    j["requests"] = Json(static_cast<std::size_t>(stats.requests));
+    j["failed"] = Json(static_cast<std::size_t>(stats.failed));
+    j["shed"] = Json(static_cast<std::size_t>(stats.shed));
+    j["expired"] = Json(static_cast<std::size_t>(stats.expired));
+    j["batches"] = Json(static_cast<std::size_t>(stats.batches));
+    j["mean_batch"] = Json(stats.meanBatch());
+    j["max_batch"] = Json(stats.max_batch);
+    j["wall_ms"] = Json(wall_ms);
+    j["throughput_rps"] =
+        Json(wall_ms > 0
+                 ? 1e3 * static_cast<double>(stats.requests) / wall_ms
+                 : 0.0);
+    j["dispatch"] = Json(std::string(dispatch));
     return j;
+}
+
+int
+runStdinMode(ServingService &service, InferenceEngine &engine,
+             CliArgs &args, bool quiet)
+{
+    const bool sequential = args.getBool("sequential", false);
+
+    const std::string requests_path = args.getString("requests", "-");
+    std::ifstream request_file;
+    std::istream *request_stream = &std::cin;
+    if (requests_path != "-") {
+        request_file.open(requests_path);
+        if (!request_file) {
+            std::fprintf(stderr, "lightridge_serve: cannot open %s\n",
+                         requests_path.c_str());
+            return 1;
+        }
+        request_stream = &request_file;
+    }
+
+    std::vector<ParsedServeRequest> parsed;
+    std::string line;
+    std::uint64_t line_no = 0;
+    try {
+        while (std::getline(*request_stream, line)) {
+            ++line_no;
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            parsed.push_back(
+                service.parseLine(Json::parse(line), line_no));
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "lightridge_serve: bad request on line %llu: %s\n",
+                     static_cast<unsigned long long>(line_no), e.what());
+        return 2;
+    }
+
+    std::ofstream out_file;
+    std::ostream *out = &std::cout;
+    if (args.has("out")) {
+        out_file.open(args.getString("out", ""));
+        if (!out_file) {
+            std::fprintf(stderr, "lightridge_serve: cannot write %s\n",
+                         args.getString("out", "").c_str());
+            return 1;
+        }
+        out = &out_file;
+    }
+
+    std::size_t failed = 0;
+    WallTimer wall;
+
+    auto emit = [&](std::future<InferResponse> &future, int label) {
+        const InferResponse response = future.get();
+        if (!response.ok())
+            ++failed;
+        (*out) << service.responseJson(response, label).dump() << "\n";
+    };
+
+    if (sequential) {
+        // One-at-a-time dispatch: every request is its own micro-batch
+        // (the baseline the serving benchmark compares against).
+        for (ParsedServeRequest &p : parsed) {
+            std::future<InferResponse> future =
+                service.engine().submit(std::move(p.request));
+            emit(future, p.label);
+        }
+    } else {
+        std::vector<std::future<InferResponse>> futures;
+        futures.reserve(parsed.size());
+        for (ParsedServeRequest &p : parsed)
+            futures.push_back(
+                service.engine().submit(std::move(p.request)));
+        for (std::size_t i = 0; i < futures.size(); ++i)
+            emit(futures[i], parsed[i].label);
+    }
+    // All futures resolved, but the dispatcher finishes its accounting
+    // for the last batch after fulfilling the promises — drain() waits
+    // for that so the stats snapshot is complete.
+    engine.drain();
+
+    Json stats = statsJson(engine, wall.milliseconds(),
+                           sequential ? "sequential" : "batched");
+    if (args.has("stats"))
+        stats.save(args.getString("stats", ""));
+    if (!quiet)
+        std::fprintf(stderr, "[serve] %s\n", stats.dump().c_str());
+
+    return failed == 0 ? 0 : 3;
+}
+
+int
+runSocketMode(ServingService &service, InferenceEngine &engine,
+              CliArgs &args, const std::string &listen, bool quiet)
+{
+    HttpServerConfig config;
+    const std::size_t colon = listen.rfind(':');
+    if (colon == std::string::npos) {
+        std::fprintf(stderr,
+                     "lightridge_serve: --listen needs HOST:PORT\n");
+        return 1;
+    }
+    config.host = listen.substr(0, colon);
+    config.port = static_cast<std::uint16_t>(
+        std::atoi(listen.c_str() + colon + 1));
+    config.io_threads =
+        static_cast<std::size_t>(args.getInt("io-threads", 0));
+    config.max_connections =
+        static_cast<std::size_t>(args.getInt("max-connections", 1024));
+
+    HttpServer server(config, [&service](HttpRequest &&request) {
+        return service.handle(std::move(request));
+    });
+    service.setExtraMetrics(
+        [&server] { return server.transportMetricsText(); });
+
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lightridge_serve: %s\n", e.what());
+        return 1;
+    }
+    if (!quiet)
+        std::fprintf(stderr,
+                     "[serve] listening on %s:%u (%zu io threads)\n",
+                     config.host.c_str(), server.port(),
+                     server.ioThreads());
+    if (args.has("port-file")) {
+        std::ofstream port_file(args.getString("port-file", ""));
+        port_file << server.port() << "\n";
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    WallTimer wall;
+    while (!g_shutdown)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // Clean shutdown: stop accepting + join IO threads first (no new
+    // submissions), then let the engine finish what was admitted.
+    server.stop();
+    engine.drain();
+    const double wall_ms = wall.milliseconds();
+
+    Json stats = statsJson(engine, wall_ms, "socket");
+    const HttpTransportStats transport = server.transportStats();
+    Json t;
+    t["connections_accepted"] = Json(
+        static_cast<std::size_t>(transport.connections_accepted));
+    t["connections_rejected"] = Json(
+        static_cast<std::size_t>(transport.connections_rejected));
+    t["http_requests"] =
+        Json(static_cast<std::size_t>(transport.requests));
+    t["parse_errors"] =
+        Json(static_cast<std::size_t>(transport.parse_errors));
+    t["io_threads"] = Json(server.ioThreads());
+    stats["transport"] = std::move(t);
+    if (args.has("stats"))
+        stats.save(args.getString("stats", ""));
+    if (!quiet)
+        std::fprintf(stderr, "[serve] %s\n", stats.dump().c_str());
+    return 0;
 }
 
 } // namespace
@@ -180,8 +292,8 @@ main(int argc, char **argv)
     const std::string manifest_path = argv[1];
     CliArgs args(argc, argv);
     const bool quiet = args.getBool("quiet", false);
-    const bool sequential = args.getBool("sequential", false);
     const bool with_logits = !args.getBool("no-logits", false);
+    const std::string listen = args.getString("listen", "");
 
     // ---- manifest: registry + batching knobs ---------------------------
     ModelRegistry registry;
@@ -234,109 +346,23 @@ main(int argc, char **argv)
     if (args.has("max-queue"))
         batching.max_queue =
             static_cast<std::size_t>(args.getInt("max-queue", 4096));
-
-    // ---- request stream ------------------------------------------------
-    const std::string requests_path = args.getString("requests", "-");
-    std::ifstream request_file;
-    std::istream *request_stream = &std::cin;
-    if (requests_path != "-") {
-        request_file.open(requests_path);
-        if (!request_file) {
-            std::fprintf(stderr, "lightridge_serve: cannot open %s\n",
-                         requests_path.c_str());
-            return 1;
-        }
-        request_stream = &request_file;
-    }
-
-    std::vector<ParsedRequest> parsed;
-    SampleSource samples;
-    std::string line;
-    std::uint64_t line_no = 0;
-    try {
-        while (std::getline(*request_stream, line)) {
-            ++line_no;
-            if (line.find_first_not_of(" \t\r") == std::string::npos)
-                continue;
-            parsed.push_back(
-                parseRequestLine(Json::parse(line), line_no, samples));
-        }
-    } catch (const std::exception &e) {
-        std::fprintf(stderr,
-                     "lightridge_serve: bad request on line %llu: %s\n",
-                     static_cast<unsigned long long>(line_no), e.what());
-        return 2;
-    }
-
-    // ---- serve ---------------------------------------------------------
-    std::ofstream out_file;
-    std::ostream *out = &std::cout;
-    if (args.has("out")) {
-        out_file.open(args.getString("out", ""));
-        if (!out_file) {
-            std::fprintf(stderr, "lightridge_serve: cannot write %s\n",
-                         args.getString("out", "").c_str());
-            return 1;
-        }
-        out = &out_file;
+    if (args.has("quota")) {
+        batching.max_queued_per_model =
+            static_cast<std::size_t>(args.getInt("quota", 0));
+    } else if (!listen.empty()) {
+        // Socket default: shed (503 + Retry-After) at the queue bound
+        // instead of blocking an IO thread on backpressure.
+        batching.max_queued_per_model = batching.max_queue;
     }
 
     InferenceEngine engine(registry, batching);
-    std::size_t failed = 0;
-    WallTimer wall;
+    ServingServiceConfig service_config;
+    service_config.with_logits = with_logits;
+    service_config.default_deadline_ms =
+        args.getDouble("default-deadline-ms", 0.0);
+    ServingService service(registry, engine, service_config);
 
-    auto emit = [&](std::future<InferResponse> &future, int label) {
-        try {
-            Json j = responseJson(future.get(), label, with_logits);
-            (*out) << j.dump() << "\n";
-        } catch (const std::exception &e) {
-            ++failed;
-            Json j;
-            j["error"] = Json(std::string(e.what()));
-            (*out) << j.dump() << "\n";
-        }
-    };
-
-    if (sequential) {
-        // One-at-a-time dispatch: every request is its own micro-batch
-        // (the baseline the serving benchmark compares against).
-        for (ParsedRequest &p : parsed) {
-            std::future<InferResponse> future =
-                engine.submit(std::move(p.request));
-            emit(future, p.label);
-        }
-    } else {
-        std::vector<std::future<InferResponse>> futures;
-        futures.reserve(parsed.size());
-        for (ParsedRequest &p : parsed)
-            futures.push_back(engine.submit(std::move(p.request)));
-        for (std::size_t i = 0; i < futures.size(); ++i)
-            emit(futures[i], parsed[i].label);
-    }
-    // All futures resolved, but the dispatcher finishes its accounting
-    // for the last batch after fulfilling the promises — drain() waits
-    // for that so the stats snapshot is complete.
-    engine.drain();
-    const double wall_ms = wall.milliseconds();
-    const EngineStats stats = engine.stats();
-
-    Json stats_json;
-    stats_json["requests"] = Json(static_cast<std::size_t>(stats.requests));
-    stats_json["failed"] = Json(static_cast<std::size_t>(stats.failed));
-    stats_json["batches"] = Json(static_cast<std::size_t>(stats.batches));
-    stats_json["mean_batch"] = Json(stats.meanBatch());
-    stats_json["max_batch"] = Json(stats.max_batch);
-    stats_json["wall_ms"] = Json(wall_ms);
-    stats_json["throughput_rps"] =
-        Json(wall_ms > 0 ? 1e3 * static_cast<double>(stats.requests) /
-                               wall_ms
-                         : 0.0);
-    stats_json["dispatch"] = Json(sequential ? "sequential" : "batched");
-    if (args.has("stats"))
-        stats_json.save(args.getString("stats", ""));
-    if (!quiet)
-        std::fprintf(stderr, "[serve] %s\n",
-                     stats_json.dump().c_str());
-
-    return failed == 0 ? 0 : 3;
+    return listen.empty()
+               ? runStdinMode(service, engine, args, quiet)
+               : runSocketMode(service, engine, args, listen, quiet);
 }

@@ -6,6 +6,12 @@
  * registered models must be deterministic and bitwise-equal to direct
  * single-model inference, and unload-while-busy must be safe (this
  * suite runs under the TSan CI leg).
+ *
+ * Serving API v2 coverage: typed ServeStatus failures, the deprecated
+ * exception-style submitLegacy alias pinned bitwise against submit(),
+ * deadline expiry (an expired request never reaches a batch slot),
+ * priority-major batch formation, per-model admission quotas shedding
+ * lowest-priority-youngest first, and metrics-counter consistency.
  */
 #include <gtest/gtest.h>
 
@@ -253,7 +259,7 @@ TEST(InferenceEngine, SequentialDispatchMatchesToo)
     }
 }
 
-TEST(InferenceEngine, UnknownModelFailsTheFuture)
+TEST(InferenceEngine, UnknownModelIsATypedStatus)
 {
     ModelRegistry registry;
     registry.registerModel("m", tinyModel(16, 1));
@@ -261,9 +267,212 @@ TEST(InferenceEngine, UnknownModelFailsTheFuture)
     InferRequest request;
     request.model = "ghost";
     request.image = testFrames(1)[0];
-    std::future<InferResponse> future = engine.submit(std::move(request));
-    EXPECT_THROW(future.get(), UnknownModelError);
+    InferResponse response = engine.submit(std::move(request)).get();
+    EXPECT_FALSE(response.ok());
+    EXPECT_EQ(response.status, ServeStatus::UnknownModel);
+    EXPECT_NE(response.error.find("ghost"), std::string::npos);
+    EXPECT_TRUE(response.logits.empty());
+    EXPECT_EQ(response.prediction, -1);
     EXPECT_EQ(engine.stats().failed, 1u);
+    EXPECT_EQ(engine.metrics().statusCount(ServeStatus::UnknownModel),
+              1u);
+}
+
+TEST(InferenceEngine, LegacySubmitKeepsV1ExceptionSemantics)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    InferenceEngine engine(registry);
+    const RealMap frame = testFrames(1)[0];
+
+    // Pinned bitwise: the deprecated alias schedules and computes
+    // exactly like submit(), only the failure channel differs.
+    InferRequest v2;
+    v2.model = "m";
+    v2.image = frame;
+    InferRequest v1;
+    v1.model = "m";
+    v1.image = frame;
+    const InferResponse v2_response = engine.submit(std::move(v2)).get();
+    const InferResponse v1_response =
+        engine.submitLegacy(std::move(v1)).get();
+    EXPECT_EQ(v1_response.logits, v2_response.logits);
+    EXPECT_EQ(v1_response.prediction, v2_response.prediction);
+    EXPECT_EQ(v1_response.status, ServeStatus::Ok);
+
+    InferRequest ghost;
+    ghost.model = "ghost";
+    ghost.image = frame;
+    std::future<InferResponse> future =
+        engine.submitLegacy(std::move(ghost));
+    EXPECT_THROW(future.get(), UnknownModelError);
+
+    InferRequest expired;
+    expired.model = "m";
+    expired.image = frame;
+    expired.deadline = std::chrono::milliseconds(-1);
+    std::future<InferResponse> expired_future =
+        engine.submitLegacy(std::move(expired));
+    try {
+        expired_future.get();
+        FAIL() << "expected ServeStatusError";
+    } catch (const ServeStatusError &e) {
+        EXPECT_EQ(e.status(), ServeStatus::DeadlineExceeded);
+    }
+}
+
+TEST(InferenceEngine, ExpiredOnArrivalNeverReachesABatch)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    InferenceEngine engine(registry);
+    engine.pause(); // deterministic: both queued before any dispatch
+
+    InferRequest doomed;
+    doomed.model = "m";
+    doomed.image = testFrames(1)[0];
+    doomed.deadline = std::chrono::milliseconds(-1); // expired on arrival
+    std::future<InferResponse> doomed_future =
+        engine.submit(std::move(doomed));
+
+    InferRequest healthy;
+    healthy.model = "m";
+    healthy.image = testFrames(1)[0];
+    healthy.deadline = std::chrono::hours(1);
+    std::future<InferResponse> healthy_future =
+        engine.submit(std::move(healthy));
+
+    engine.resume(); // sweep runs before batch formation
+    const InferResponse expired = doomed_future.get();
+    EXPECT_EQ(expired.status, ServeStatus::DeadlineExceeded);
+    EXPECT_EQ(expired.batch_size, 0u); // never occupied a batch slot
+    EXPECT_TRUE(expired.logits.empty());
+
+    const InferResponse served = healthy_future.get();
+    EXPECT_EQ(served.status, ServeStatus::Ok);
+    EXPECT_EQ(served.batch_size, 1u); // the expired one was not in it
+
+    engine.drain();
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.expired, 1u);
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(
+        engine.metrics().statusCount(ServeStatus::DeadlineExceeded), 1u);
+}
+
+TEST(InferenceEngine, PriorityShapesBatchFormation)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    BatchingConfig config;
+    config.max_batch = 2;
+    InferenceEngine engine(registry, config);
+    engine.pause();
+
+    // Queue order: BE, BE, Interactive. Priority-major formation makes
+    // batch 1 = {Interactive, oldest BE} and batch 2 = {BE}; FIFO
+    // formation would leave the Interactive request in a singleton.
+    auto submit = [&](Priority priority) {
+        InferRequest request;
+        request.model = "m";
+        request.image = testFrames(1)[0];
+        request.priority = priority;
+        return engine.submit(std::move(request));
+    };
+    std::future<InferResponse> be_old = submit(Priority::BestEffort);
+    std::future<InferResponse> be_young = submit(Priority::BestEffort);
+    std::future<InferResponse> urgent = submit(Priority::Interactive);
+    engine.resume();
+
+    EXPECT_EQ(urgent.get().batch_size, 2u);
+    EXPECT_EQ(be_old.get().batch_size, 2u);
+    EXPECT_EQ(be_young.get().batch_size, 1u);
+}
+
+TEST(InferenceEngine, AdmissionQuotaShedsLowestPriorityFirst)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    InferenceEngine engine(registry);
+    engine.setModelQuota("m", 2);
+    engine.pause();
+
+    auto submit = [&](Priority priority) {
+        InferRequest request;
+        request.model = "m";
+        request.image = testFrames(1)[0];
+        request.priority = priority;
+        return engine.submit(std::move(request));
+    };
+    std::future<InferResponse> be_old = submit(Priority::BestEffort);
+    std::future<InferResponse> be_young = submit(Priority::BestEffort);
+
+    // Quota full; an equal-priority newcomer is shed immediately...
+    std::future<InferResponse> be_extra = submit(Priority::BestEffort);
+    const InferResponse shed_newcomer = be_extra.get(); // resolves now
+    EXPECT_EQ(shed_newcomer.status, ServeStatus::Overloaded);
+    EXPECT_NE(shed_newcomer.error.find("quota"), std::string::npos);
+    EXPECT_EQ(shed_newcomer.batch_size, 0u);
+
+    // ...but an Interactive newcomer evicts the youngest BestEffort.
+    std::future<InferResponse> urgent = submit(Priority::Interactive);
+    const InferResponse evicted = be_young.get();
+    EXPECT_EQ(evicted.status, ServeStatus::Overloaded);
+
+    engine.resume();
+    EXPECT_EQ(urgent.get().status, ServeStatus::Ok);
+    EXPECT_EQ(be_old.get().status, ServeStatus::Ok);
+
+    engine.drain();
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.requests, 4u);
+    EXPECT_EQ(stats.shed, 2u);
+    EXPECT_EQ(stats.failed, 2u);
+    EXPECT_EQ(engine.metrics().statusCount(ServeStatus::Overloaded), 2u);
+}
+
+TEST(InferenceEngine, MetricsCountersStayConsistent)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    InferenceEngine engine(registry);
+
+    std::vector<std::future<InferResponse>> futures;
+    const std::vector<RealMap> frames = testFrames(8);
+    for (const RealMap &frame : frames) {
+        InferRequest request;
+        request.model = "m";
+        request.image = frame;
+        futures.push_back(engine.submit(std::move(request)));
+    }
+    InferRequest ghost;
+    ghost.model = "ghost";
+    ghost.image = frames[0];
+    futures.push_back(engine.submit(std::move(ghost)));
+    for (auto &future : futures)
+        future.get();
+    engine.drain();
+
+    const EngineStats stats = engine.stats();
+    const ServeMetrics &metrics = engine.metrics();
+    EXPECT_EQ(metrics.requestCount(), stats.requests);
+    EXPECT_EQ(metrics.statusCount(ServeStatus::Ok),
+              stats.requests - stats.failed);
+    EXPECT_EQ(metrics.queueDepth(), 0);
+    EXPECT_EQ(metrics.latency().count(), frames.size());
+    EXPECT_GT(metrics.latency().percentileMs(0.99), 0.0);
+    EXPECT_GE(metrics.latency().percentileMs(0.99),
+              metrics.latency().percentileMs(0.50));
+    EXPECT_EQ(metrics.batches().count(), stats.batches);
+
+    const std::string page = engine.metrics().renderPrometheus("extra 1\n");
+    EXPECT_NE(page.find("lightridge_requests_total{status=\"ok\"}"),
+              std::string::npos);
+    EXPECT_NE(page.find("lightridge_latency_ms_bucket"),
+              std::string::npos);
+    EXPECT_NE(page.find("extra 1"), std::string::npos);
 }
 
 TEST(InferenceEngine, ConcurrentClientsGetBitwiseResults)
@@ -333,14 +542,12 @@ TEST(InferenceEngine, UnloadWhileBusyIsSafe)
                 InferRequest request;
                 request.model = "m";
                 request.image = frames[i];
-                try {
-                    InferResponse response =
-                        engine.inferNow(std::move(request));
-                    if (response.logits != expected[i])
-                        ++wrong;
-                } catch (const UnknownModelError &) {
+                InferResponse response =
+                    engine.inferNow(std::move(request));
+                if (response.status == ServeStatus::UnknownModel)
                     ++rejected; // raced an unload window: acceptable
-                }
+                else if (response.logits != expected[i])
+                    ++wrong;
             }
         });
     }
