@@ -131,6 +131,9 @@ allocatingSweep(BenchModel &bm, std::vector<AllocatingLayerCache> &caches)
         for (std::size_t l = 0; l < depth; ++l) {
             auto *layer =
                 dynamic_cast<DiffractiveLayer *>(bm.model.layer(l));
+            // Baseline reproduces the pre-workspace allocating path
+            // on purpose.
+            // lint:allow(deprecated-api)
             Field diffracted = prop.forward(u);
             Field out(grid.n, grid.n);
             const RealMap &phase = layer->phase();
@@ -140,7 +143,7 @@ allocatingSweep(BenchModel &bm, std::vector<AllocatingLayerCache> &caches)
             caches[l].out = out;
             u = std::move(out);
         }
-        Field det = prop.forward(u);
+        Field det = prop.forward(u); // lint:allow(deprecated-api)
 
         std::vector<Real> logits = bm.model.detector().forward(det);
         LossResult loss = classificationLoss(LossKind::SoftmaxMse, logits,
@@ -149,7 +152,7 @@ allocatingSweep(BenchModel &bm, std::vector<AllocatingLayerCache> &caches)
 
         // Backward: fresh gradient field per hop, as the seed did.
         Field g = bm.model.detector().backward(loss.dlogits);
-        g = prop.adjoint(g);
+        g = prop.adjoint(g); // lint:allow(deprecated-api)
         for (std::size_t l = depth; l-- > 0;) {
             auto *layer =
                 dynamic_cast<DiffractiveLayer *>(bm.model.layer(l));
@@ -164,7 +167,7 @@ allocatingSweep(BenchModel &bm, std::vector<AllocatingLayerCache> &caches)
             Field grad_diff(grid.n, grid.n);
             for (std::size_t i = 0; i < grad_diff.size(); ++i)
                 grad_diff[i] = g[i] * std::polar(Real(1), -phase[i]);
-            g = prop.adjoint(grad_diff);
+            g = prop.adjoint(grad_diff); // lint:allow(deprecated-api)
         }
     }
     for (AllocatingLayerCache &cache : caches)

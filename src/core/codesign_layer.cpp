@@ -20,19 +20,26 @@ CodesignLayer::CodesignLayer(std::shared_ptr<const Propagator> propagator,
     logits_grad_.assign(logits_.size(), 0.0);
 }
 
+// The published table is immutable, so sharing the pointer is safe; the
+// mutex is per-instance and starts fresh. The rng_ pointer is copied
+// as-is; parallel trainers rewire replicas via setRng(). Initializing
+// in the member list (via publishedModulation(), which locks the source
+// instance) keeps the constructor free of guarded-member writes.
 CodesignLayer::CodesignLayer(const CodesignLayer &other)
     : propagator_(other.propagator_), lut_(other.lut_), tau_(other.tau_),
       gamma_(other.gamma_), rng_(other.rng_), logits_(other.logits_),
       logits_grad_(other.logits_grad_),
+      infer_modulation_(other.publishedModulation()),
       cached_probs_(other.cached_probs_),
       cached_diffracted_(other.cached_diffracted_),
       cached_modulation_(other.cached_modulation_)
+{}
+
+std::shared_ptr<const CodesignLayer::InferModulation>
+CodesignLayer::publishedModulation() const
 {
-    // The published table is immutable, so sharing the pointer is safe;
-    // the mutex is per-instance and starts fresh. The rng_ pointer is
-    // copied as-is; parallel trainers rewire replicas via setRng().
-    std::lock_guard<std::mutex> lock(other.infer_cache_mutex_);
-    infer_modulation_ = other.infer_modulation_;
+    MutexLock lock(infer_cache_mutex_);
+    return infer_modulation_;
 }
 
 std::size_t
@@ -111,7 +118,7 @@ CodesignLayer::forwardInPlace(Field &u, bool training,
 std::shared_ptr<const CodesignLayer::InferModulation>
 CodesignLayer::inferModulation() const
 {
-    std::lock_guard<std::mutex> lock(infer_cache_mutex_);
+    MutexLock lock(infer_cache_mutex_);
     if (infer_modulation_ && infer_modulation_->logits == logits_)
         return infer_modulation_;
     const std::size_t n = sideLength();

@@ -14,12 +14,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/device_lut.hpp"
 #include "core/layer.hpp"
 #include "optics/propagator.hpp"
+#include "utils/sync.hpp"
 
 namespace lightridge {
 
@@ -104,7 +104,13 @@ class CodesignLayer : public Layer
      * weight update instead of once per request per worker. Values are
      * exactly lut.levels[argmax], so inference stays bitwise-identical.
      */
-    std::shared_ptr<const InferModulation> inferModulation() const;
+    std::shared_ptr<const InferModulation> inferModulation() const
+        LIGHTRIDGE_EXCLUDES(infer_cache_mutex_);
+
+    /** Currently published table (no rebuild); for the copy constructor,
+     *  which shares the immutable snapshot across instances. */
+    std::shared_ptr<const InferModulation> publishedModulation() const
+        LIGHTRIDGE_EXCLUDES(infer_cache_mutex_);
 
     std::shared_ptr<const Propagator> propagator_;
     DeviceLut lut_;
@@ -116,8 +122,9 @@ class CodesignLayer : public Layer
     std::vector<Real> logits_grad_; // n*n*K
 
     // Shared-instance inference cache (see inferModulation()).
-    mutable std::mutex infer_cache_mutex_;
-    mutable std::shared_ptr<const InferModulation> infer_modulation_;
+    mutable Mutex infer_cache_mutex_;
+    mutable std::shared_ptr<const InferModulation> infer_modulation_
+        LIGHTRIDGE_GUARDED_BY(infer_cache_mutex_);
 
     // Training caches.
     std::vector<Real> cached_probs_; // n*n*K soft assignments

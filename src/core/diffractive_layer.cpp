@@ -21,19 +21,26 @@ DiffractiveLayer::DiffractiveLayer(
     }
 }
 
+// The published table is immutable, so sharing the pointer is safe; the
+// mutex is per-instance and starts fresh. Initializing in the member
+// list (via publishedModulation(), which locks the source instance)
+// keeps the constructor free of guarded-member writes.
 DiffractiveLayer::DiffractiveLayer(const DiffractiveLayer &other)
     : propagator_(other.propagator_), gamma_(other.gamma_),
       phase_(other.phase_), phase_grad_(other.phase_grad_),
       modulation_(other.modulation_),
       modulation_conj_(other.modulation_conj_),
       modulation_phase_(other.modulation_phase_),
+      infer_modulation_(other.publishedModulation()),
       cached_diffracted_(other.cached_diffracted_),
       cached_out_(other.cached_out_)
+{}
+
+std::shared_ptr<const DiffractiveLayer::InferModulation>
+DiffractiveLayer::publishedModulation() const
 {
-    // The published table is immutable, so sharing the pointer is safe;
-    // the mutex is per-instance and starts fresh.
-    std::lock_guard<std::mutex> lock(other.infer_cache_mutex_);
-    infer_modulation_ = other.infer_modulation_;
+    MutexLock lock(infer_cache_mutex_);
+    return infer_modulation_;
 }
 
 Field
@@ -93,7 +100,7 @@ DiffractiveLayer::forwardInPlace(Field &u, bool training,
 std::shared_ptr<const DiffractiveLayer::InferModulation>
 DiffractiveLayer::inferModulation() const
 {
-    std::lock_guard<std::mutex> lock(infer_cache_mutex_);
+    MutexLock lock(infer_cache_mutex_);
     const std::size_t size = phase_.size();
     if (infer_modulation_ && infer_modulation_->table.size() == size &&
         std::memcmp(infer_modulation_->phase.data(), phase_.data(),

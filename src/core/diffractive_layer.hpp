@@ -12,10 +12,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "core/layer.hpp"
 #include "optics/propagator.hpp"
+#include "utils/sync.hpp"
 
 namespace lightridge {
 
@@ -92,7 +92,13 @@ class DiffractiveLayer : public Layer
      * once per request per worker, which is what lets one shared
      * DonnModel instance serve every engine worker without cloning.
      */
-    std::shared_ptr<const InferModulation> inferModulation() const;
+    std::shared_ptr<const InferModulation> inferModulation() const
+        LIGHTRIDGE_EXCLUDES(infer_cache_mutex_);
+
+    /** Currently published table (no rebuild); for the copy constructor,
+     *  which shares the immutable snapshot across instances. */
+    std::shared_ptr<const InferModulation> publishedModulation() const
+        LIGHTRIDGE_EXCLUDES(infer_cache_mutex_);
 
     std::shared_ptr<const Propagator> propagator_;
     Real gamma_;
@@ -105,8 +111,9 @@ class DiffractiveLayer : public Layer
     RealMap modulation_phase_; ///< snapshot the tables were built from
 
     // Shared-instance inference cache (see inferModulation()).
-    mutable std::mutex infer_cache_mutex_;
-    mutable std::shared_ptr<const InferModulation> infer_modulation_;
+    mutable Mutex infer_cache_mutex_;
+    mutable std::shared_ptr<const InferModulation> infer_modulation_
+        LIGHTRIDGE_GUARDED_BY(infer_cache_mutex_);
 
     // Activation caches (training only).
     Field cached_diffracted_;

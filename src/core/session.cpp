@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <condition_variable>
+#include <exception>
 #include <memory>
-#include <mutex>
 #include <numeric>
 
 #include "utils/log.hpp"
+#include "utils/sync.hpp"
 #include "utils/thread_pool.hpp"
 #include "utils/timer.hpp"
 
@@ -240,10 +240,75 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
         }
     }
 
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::array<std::size_t, 2> pending{0, 0};
-    std::exception_ptr error;
+    // Two-slot completion latch for the in-flight batches. The lock
+    // discipline lives in the member functions so every path through the
+    // pipeline (worker completion, worker failure, enqueue failure, the
+    // main thread's slot wait, the unwind drain) shares one checked
+    // protocol instead of five hand-rolled lock scopes.
+    struct PipelineLatch
+    {
+        Mutex mutex;
+        CondVar cv;
+        std::array<std::size_t, 2> pending LIGHTRIDGE_GUARDED_BY(mutex) =
+            {0, 0};
+        std::exception_ptr error LIGHTRIDGE_GUARDED_BY(mutex);
+
+        /** Declare `count` jobs outstanding for `slot`. */
+        void
+        arm(std::size_t slot, std::size_t count) LIGHTRIDGE_EXCLUDES(mutex)
+        {
+            MutexLock lock(mutex);
+            pending[slot] = count;
+        }
+
+        /** Retire `count` completions from `slot`. */
+        void
+        complete(std::size_t slot, std::size_t count)
+            LIGHTRIDGE_EXCLUDES(mutex)
+        {
+            MutexLock lock(mutex);
+            pending[slot] -= count;
+            cv.notify_all();
+        }
+
+        /** Record the current exception and retire one job of `slot`. */
+        void
+        fail(std::size_t slot) LIGHTRIDGE_EXCLUDES(mutex)
+        {
+            MutexLock lock(mutex);
+            if (!error)
+                error = std::current_exception();
+            --pending[slot];
+            cv.notify_all();
+        }
+
+        /**
+         * Block until `slot`'s batch retired. If a replica failed, wait
+         * for the other slot's jobs too (the stages/latch must outlive
+         * every job) and rethrow the replica's exception.
+         */
+        void
+        waitSlot(std::size_t slot) LIGHTRIDGE_EXCLUDES(mutex)
+        {
+            MutexLock lock(mutex);
+            while (pending[slot] != 0)
+                cv.wait(mutex);
+            if (error) {
+                while (pending[0] != 0 || pending[1] != 0)
+                    cv.wait(mutex);
+                std::rethrow_exception(error);
+            }
+        }
+
+        /** Block until both slots retired (unwind safety; no rethrow). */
+        void
+        drain() LIGHTRIDGE_EXCLUDES(mutex)
+        {
+            MutexLock lock(mutex);
+            while (pending[0] != 0 || pending[1] != 0)
+                cv.wait(mutex);
+        }
+    } latch;
 
     auto batchShape = [&](std::size_t t, std::size_t &start,
                           std::size_t &batch, std::size_t &active) {
@@ -252,7 +317,7 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
         active = std::min(workers, batch);
     };
 
-    auto replicaJob = [this, &stages, &mutex, &cv, &pending, &error,
+    auto replicaJob = [this, &stages, &latch,
                        &order](std::size_t slot, std::size_t r,
                                std::size_t start, std::size_t batch,
                                std::size_t active) {
@@ -274,26 +339,17 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
                 stage.grads[p] = *rep_params[p].grad;
             task_.zeroReplicaGrad(r);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex);
-            if (!error)
-                error = std::current_exception();
-            --pending[slot];
-            cv.notify_all();
+            latch.fail(slot);
             return;
         }
-        std::lock_guard<std::mutex> lock(mutex);
-        --pending[slot];
-        cv.notify_all();
+        latch.complete(slot, 1);
     };
 
     auto launch = [&](std::size_t t) {
         std::size_t start = 0, batch = 0, active = 0;
         batchShape(t, start, batch, active);
         const std::size_t slot = t % 2;
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            pending[slot] = active;
-        }
+        latch.arm(slot, active);
         for (std::size_t r = 0; r < active; ++r) {
             try {
                 pool.enqueue([&replicaJob, slot, r, start, batch, active] {
@@ -303,9 +359,7 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
                 // Jobs r..active-1 never made it into the queue: take
                 // their completions off the latch so the drain guard
                 // (and any waiter) sees a consistent count.
-                std::lock_guard<std::mutex> lock(mutex);
-                pending[slot] -= active - r;
-                cv.notify_all();
+                latch.complete(slot, active - r);
                 throw;
             }
         }
@@ -318,34 +372,16 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
     // is destroyed — and waits — before anything the jobs touch.
     struct DrainGuard
     {
-        std::mutex &mutex;
-        std::condition_variable &cv;
-        std::array<std::size_t, 2> &pending;
+        PipelineLatch &latch;
 
-        ~DrainGuard()
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            cv.wait(lock,
-                    [this] { return pending[0] == 0 && pending[1] == 0; });
-        }
-    } drain{mutex, cv, pending};
+        ~DrainGuard() { latch.drain(); }
+    } drain{latch};
 
     std::size_t correct = 0;
     task_.zeroGrad();
     launch(0);
     for (std::size_t t = 0; t < num_batches; ++t) {
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            cv.wait(lock, [&] { return pending[t % 2] == 0; });
-            if (error) {
-                // A replica failed; the other slot's jobs (if any) must
-                // drain before the stages/latch leave scope.
-                cv.wait(lock, [&] {
-                    return pending[0] == 0 && pending[1] == 0;
-                });
-                std::rethrow_exception(error);
-            }
-        }
+        latch.waitSlot(t % 2);
         // The pool is idle between batches: publish the parameters from
         // the last optimizer step, then put it back to work on batch t+1
         // while this thread merges batch t and steps.

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "utils/sync.hpp"
 #include "utils/thread_pool.hpp"
 
 namespace lightridge {
@@ -519,8 +519,9 @@ namespace {
 /** Plan cache shared by every Fft2d / Bluestein inner plan in the process. */
 struct PlanCache
 {
-    std::mutex mutex;
-    std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> plans;
+    Mutex mutex;
+    std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> plans
+        LIGHTRIDGE_GUARDED_BY(mutex);
 };
 
 PlanCache &
@@ -555,7 +556,7 @@ acquireFftPlan(std::size_t n)
 {
     PlanCache &cache = planCache();
     {
-        std::lock_guard<std::mutex> lock(cache.mutex);
+        MutexLock lock(cache.mutex);
         auto it = cache.plans.find(n);
         if (it != cache.plans.end())
             return it->second;
@@ -564,7 +565,7 @@ acquireFftPlan(std::size_t n)
     // (smaller) inner plan via the Bluestein path, and large twiddle tables
     // should not serialize unrelated lookups.
     auto plan = std::make_shared<const FftPlan>(n);
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     auto [it, inserted] = cache.plans.emplace(n, std::move(plan));
     return it->second;
 }
@@ -573,7 +574,7 @@ std::size_t
 fftPlanCacheSize()
 {
     PlanCache &cache = planCache();
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     return cache.plans.size();
 }
 
@@ -581,7 +582,7 @@ void
 clearFftPlanCache()
 {
     PlanCache &cache = planCache();
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     cache.plans.clear();
 }
 

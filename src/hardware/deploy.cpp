@@ -24,17 +24,40 @@ FixedModulationLayer::forward(const Field &in, bool)
 Field
 FixedModulationLayer::infer(const Field &in) const
 {
-    Field out = propagator_->forward(in);
-    out.hadamard(modulation_);
-    return out;
+    Field u = in;
+    inferInPlace(u, PropagationWorkspace::threadLocal());
+    return u;
 }
 
 Field
 FixedModulationLayer::backward(const Field &grad_out)
 {
     Field g = grad_out;
+    backwardInPlace(g, PropagationWorkspace::threadLocal());
+    return g;
+}
+
+void
+FixedModulationLayer::forwardInPlace(Field &u, bool,
+                                     PropagationWorkspace &workspace)
+{
+    inferInPlace(u, workspace);
+}
+
+void
+FixedModulationLayer::inferInPlace(Field &u,
+                                   PropagationWorkspace &workspace) const
+{
+    propagator_->forwardInto(u, u, workspace);
+    u.hadamard(modulation_);
+}
+
+void
+FixedModulationLayer::backwardInPlace(Field &g,
+                                      PropagationWorkspace &workspace)
+{
     g.hadamardConj(modulation_);
-    return propagator_->adjoint(g);
+    propagator_->adjointInto(g, g, workspace);
 }
 
 Json

@@ -37,6 +37,11 @@ class FixedModulationLayer : public Layer
     Field forward(const Field &in, bool training) override;
     Field backward(const Field &grad_out) override;
     Field infer(const Field &in) const override;
+    void forwardInPlace(Field &u, bool training,
+                        PropagationWorkspace &workspace) override;
+    void backwardInPlace(Field &g, PropagationWorkspace &workspace) override;
+    void inferInPlace(Field &u,
+                      PropagationWorkspace &workspace) const override;
     LayerPtr clone() const override
     {
         return std::make_unique<FixedModulationLayer>(*this);

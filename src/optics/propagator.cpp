@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <cstring>
 #include <list>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "fft/kernels.hpp"
+#include "utils/sync.hpp"
 
 namespace lightridge {
 
@@ -76,16 +76,18 @@ struct KernelEntry
 
 struct KernelCache
 {
-    std::mutex mutex;
-    std::unordered_map<KernelKey, KernelEntry, KernelKeyHash> kernels;
-    std::list<KernelKey> lru; // front = most recently used
-    std::size_t capacity = kMaxCachedKernels;
-    std::size_t hits = 0;
-    std::size_t misses = 0;
+    Mutex mutex;
+    std::unordered_map<KernelKey, KernelEntry, KernelKeyHash> kernels
+        LIGHTRIDGE_GUARDED_BY(mutex);
+    std::list<KernelKey> lru
+        LIGHTRIDGE_GUARDED_BY(mutex); // front = most recently used
+    std::size_t capacity LIGHTRIDGE_GUARDED_BY(mutex) = kMaxCachedKernels;
+    std::size_t hits LIGHTRIDGE_GUARDED_BY(mutex) = 0;
+    std::size_t misses LIGHTRIDGE_GUARDED_BY(mutex) = 0;
 
     /** Drop least-recently-used entries down to the capacity. */
     void
-    evictExcess()
+    evictExcess() LIGHTRIDGE_REQUIRES(mutex)
     {
         while (kernels.size() > capacity && !lru.empty()) {
             kernels.erase(lru.back());
@@ -111,7 +113,7 @@ acquireTransferFunction(Diffraction approx, PropagationMethod method,
                   realBits(grid.pitch), realBits(wavelength), realBits(z)};
     KernelCache &cache = kernelCache();
     {
-        std::lock_guard<std::mutex> lock(cache.mutex);
+        MutexLock lock(cache.mutex);
         auto it = cache.kernels.find(key);
         if (it != cache.kernels.end()) {
             ++cache.hits;
@@ -126,7 +128,7 @@ acquireTransferFunction(Diffraction approx, PropagationMethod method,
     // stays correct because the result is deterministic.
     auto kernel = std::make_shared<const Field>(
         transferFunction(approx, method, grid, wavelength, z));
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     auto it = cache.kernels.find(key);
     if (it != cache.kernels.end()) {
         // Another thread won the race; adopt its entry.
@@ -146,7 +148,7 @@ TransferFunctionCacheStats
 transferFunctionCacheStats()
 {
     KernelCache &cache = kernelCache();
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     return {cache.kernels.size(), cache.hits, cache.misses};
 }
 
@@ -154,7 +156,7 @@ void
 clearTransferFunctionCache()
 {
     KernelCache &cache = kernelCache();
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     cache.kernels.clear();
     cache.lru.clear();
     cache.hits = 0;
@@ -165,7 +167,7 @@ std::size_t
 transferFunctionCacheCapacity()
 {
     KernelCache &cache = kernelCache();
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     return cache.capacity;
 }
 
@@ -176,7 +178,7 @@ setTransferFunctionCacheCapacity(std::size_t capacity)
         throw std::invalid_argument(
             "setTransferFunctionCacheCapacity: capacity must be >= 1");
     KernelCache &cache = kernelCache();
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     std::size_t previous = cache.capacity;
     cache.capacity = capacity;
     cache.evictExcess();

@@ -33,7 +33,7 @@ InferenceEngine::InferenceEngine(ModelRegistry &registry,
 InferenceEngine::~InferenceEngine()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     queued_cv_.notify_all();
@@ -68,7 +68,7 @@ InferenceEngine::enqueue(InferRequest request, bool legacy)
     std::vector<Pending> shed;
     bool queued = false;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (stop_)
             throw std::runtime_error(
                 "InferenceEngine: submit after shutdown");
@@ -104,9 +104,8 @@ InferenceEngine::enqueue(InferRequest request, bool legacy)
             stats_.failed += 1;
             stats_.shed += 1;
         } else {
-            space_cv_.wait(lock, [this] {
-                return stop_ || queue_.size() < config_.max_queue;
-            });
+            while (!stop_ && queue_.size() >= config_.max_queue)
+                space_cv_.wait(mutex_);
             if (stop_)
                 throw std::runtime_error(
                     "InferenceEngine: submit after shutdown");
@@ -139,15 +138,15 @@ InferenceEngine::inferNow(InferRequest request)
 void
 InferenceEngine::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock,
-                  [this] { return queue_.empty() && in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (!(queue_.empty() && in_flight_ == 0))
+        idle_cv_.wait(mutex_);
 }
 
 void
 InferenceEngine::pause()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     paused_ = true;
 }
 
@@ -155,7 +154,7 @@ void
 InferenceEngine::resume()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         paused_ = false;
     }
     queued_cv_.notify_all();
@@ -165,7 +164,7 @@ void
 InferenceEngine::setModelQuota(const std::string &model,
                                std::size_t max_queued)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     quota_overrides_[model] = max_queued;
 }
 
@@ -180,7 +179,7 @@ InferenceEngine::quotaForLocked(const std::string &model) const
 EngineStats
 InferenceEngine::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 
@@ -213,14 +212,17 @@ InferenceEngine::failPending(Pending &pending, ServeStatus status,
 void
 InferenceEngine::dispatchLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    // Explicit lock()/unlock() instead of a scoped lock: the loop
+    // releases the mutex around batch execution and failure delivery,
+    // and the thread-safety analysis verifies the lock is reacquired on
+    // every path back to the loop head.
+    mutex_.lock();
     for (;;) {
-        queued_cv_.wait(lock, [this] {
-            return stop_ || (!paused_ && !queue_.empty());
-        });
+        while (!(stop_ || (!paused_ && !queue_.empty())))
+            queued_cv_.wait(mutex_);
         if (queue_.empty()) {
             if (stop_)
-                return; // queue drained, shutdown complete
+                break; // queue drained, shutdown complete
             continue;
         }
         if (paused_ && !stop_)
@@ -248,7 +250,7 @@ InferenceEngine::dispatchLoop()
             stats_.requests += expired.size();
             stats_.failed += expired.size();
             stats_.expired += expired.size();
-            lock.unlock();
+            mutex_.unlock();
             space_cv_.notify_all();
             for (Pending &pending : expired) {
                 const double ms =
@@ -257,7 +259,7 @@ InferenceEngine::dispatchLoop()
                 failPending(pending, ServeStatus::DeadlineExceeded,
                             "deadline exceeded before dispatch", ms);
             }
-            lock.lock();
+            mutex_.lock();
             in_flight_ -= expired.size();
             if (queue_.empty() && in_flight_ == 0)
                 idle_cv_.notify_all();
@@ -308,16 +310,17 @@ InferenceEngine::dispatchLoop()
         metrics_.queueDepthAdd(
             -static_cast<std::ptrdiff_t>(batch_size));
         in_flight_ += batch_size;
-        lock.unlock();
+        mutex_.unlock();
         space_cv_.notify_all();
 
         runBatch(model_name, std::move(batch));
 
-        lock.lock();
+        mutex_.lock();
         in_flight_ -= batch_size;
         if (queue_.empty() && in_flight_ == 0)
             idle_cv_.notify_all();
     }
+    mutex_.unlock();
 }
 
 void
@@ -330,7 +333,7 @@ InferenceEngine::runBatch(const std::string &model_name,
     } catch (...) {
         const auto done = std::chrono::steady_clock::now();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             stats_.requests += batch.size();
             stats_.failed += batch.size();
         }
@@ -378,7 +381,7 @@ InferenceEngine::runBatch(const std::string &model_name,
     // Stats are committed before any promise resolves, so a client that
     // just observed its future complete reads consistent counters.
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stats_.batches += 1;
         stats_.max_batch = std::max(stats_.max_batch, batch.size());
         stats_.requests += batch.size();

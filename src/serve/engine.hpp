@@ -30,13 +30,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +43,7 @@
 #include "serve/metrics.hpp"
 #include "serve/registry.hpp"
 #include "tensor/field.hpp"
+#include "utils/sync.hpp"
 #include "utils/thread_pool.hpp"
 
 namespace lightridge {
@@ -122,7 +121,8 @@ class InferenceEngine
      * queue is at max_queue and no per-model quota shed applied.
      * @throws std::runtime_error when the engine is shutting down
      */
-    std::future<InferResponse> submit(InferRequest request);
+    std::future<InferResponse> submit(InferRequest request)
+        LIGHTRIDGE_EXCLUDES(mutex_);
 
     /**
      * v1 exception-style submit: identical enqueueing, scheduling and
@@ -134,7 +134,8 @@ class InferenceEngine
      *             check `InferResponse::status`. Pinned bitwise against
      *             submit() in tests/test_serve.cpp.
      */
-    std::future<InferResponse> submitLegacy(InferRequest request);
+    std::future<InferResponse> submitLegacy(InferRequest request)
+        LIGHTRIDGE_EXCLUDES(mutex_);
 
     /**
      * Synchronous convenience: submit + wait. One-at-a-time callers get
@@ -144,25 +145,26 @@ class InferenceEngine
     InferResponse inferNow(InferRequest request);
 
     /** Block until every accepted request has completed. */
-    void drain();
+    void drain() LIGHTRIDGE_EXCLUDES(mutex_);
 
     /**
      * Hold off forming micro-batches (already-running batches finish;
      * submissions keep queueing and admission control keeps applying).
      * For maintenance windows and deterministic scheduling tests.
      */
-    void pause();
+    void pause() LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** Resume batch formation; the deadline sweep runs first, so work
      *  that expired while paused never reaches a batch. */
-    void resume();
+    void resume() LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** Override the admission quota for one model (0 = no quota). Takes
      *  effect for subsequent submissions. */
-    void setModelQuota(const std::string &model, std::size_t max_queued);
+    void setModelQuota(const std::string &model, std::size_t max_queued)
+        LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** Serving counters (consistent snapshot). */
-    EngineStats stats() const;
+    EngineStats stats() const LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** Lock-cheap metric registry (latency/batch histograms, per-status
      *  counters, queue-depth gauge) — what GET /metrics renders. */
@@ -179,11 +181,13 @@ class InferenceEngine
         bool legacy = false; ///< deliver failures as exceptions (v1)
     };
 
-    std::future<InferResponse> enqueue(InferRequest request, bool legacy);
-    std::size_t quotaForLocked(const std::string &model) const;
-    void dispatchLoop();
-    void runBatch(const std::string &model_name,
-                  std::vector<Pending> batch);
+    std::future<InferResponse> enqueue(InferRequest request, bool legacy)
+        LIGHTRIDGE_EXCLUDES(mutex_);
+    std::size_t quotaForLocked(const std::string &model) const
+        LIGHTRIDGE_REQUIRES(mutex_);
+    void dispatchLoop() LIGHTRIDGE_EXCLUDES(mutex_);
+    void runBatch(const std::string &model_name, std::vector<Pending> batch)
+        LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** Resolve one pending with a non-Ok status (value or, for legacy
      *  pendings, the matching exception). Does not touch stats. */
@@ -194,18 +198,20 @@ class InferenceEngine
     BatchingConfig config_;
     ThreadPool *pool_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable queued_cv_; ///< dispatcher wakeup
-    std::condition_variable space_cv_;  ///< submit backpressure
-    std::condition_variable idle_cv_;   ///< drain wakeup
-    std::deque<Pending> queue_;
-    std::map<std::string, std::size_t> queued_per_model_;
-    std::map<std::string, std::size_t> quota_overrides_;
-    std::size_t in_flight_ = 0;
-    bool stop_ = false;
-    bool paused_ = false;
-    EngineStats stats_;
-    ServeMetrics metrics_;
+    mutable Mutex mutex_;
+    CondVar queued_cv_; ///< dispatcher wakeup
+    CondVar space_cv_;  ///< submit backpressure
+    CondVar idle_cv_;   ///< drain wakeup
+    std::deque<Pending> queue_ LIGHTRIDGE_GUARDED_BY(mutex_);
+    std::map<std::string, std::size_t> queued_per_model_
+        LIGHTRIDGE_GUARDED_BY(mutex_);
+    std::map<std::string, std::size_t> quota_overrides_
+        LIGHTRIDGE_GUARDED_BY(mutex_);
+    std::size_t in_flight_ LIGHTRIDGE_GUARDED_BY(mutex_) = 0;
+    bool stop_ LIGHTRIDGE_GUARDED_BY(mutex_) = false;
+    bool paused_ LIGHTRIDGE_GUARDED_BY(mutex_) = false;
+    EngineStats stats_ LIGHTRIDGE_GUARDED_BY(mutex_);
+    ServeMetrics metrics_; ///< internally wait-free (relaxed atomics)
 
     std::thread dispatcher_;
 };

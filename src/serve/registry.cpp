@@ -15,7 +15,7 @@ ModelRegistry::registerShared(const std::string &name,
 {
     if (!model)
         throw std::invalid_argument("ModelRegistry: null model for " + name);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     models_[name] = std::move(model);
 }
 
@@ -31,14 +31,14 @@ ModelRegistry::registerCheckpoint(const std::string &name,
 bool
 ModelRegistry::unload(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return models_.erase(name) > 0;
 }
 
 std::shared_ptr<const DonnModel>
 ModelRegistry::acquire(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = models_.find(name);
     if (it == models_.end())
         throw UnknownModelError(name);
@@ -48,14 +48,14 @@ ModelRegistry::acquire(const std::string &name) const
 bool
 ModelRegistry::has(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return models_.count(name) > 0;
 }
 
 std::vector<std::string>
 ModelRegistry::names() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(models_.size());
     for (const auto &entry : models_)
@@ -66,14 +66,14 @@ ModelRegistry::names() const
 std::size_t
 ModelRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return models_.size();
 }
 
 std::size_t
 ModelRegistry::externalRefCount(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = models_.find(name);
     if (it == models_.end())
         return 0;

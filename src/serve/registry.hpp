@@ -16,11 +16,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/model.hpp"
+#include "utils/sync.hpp"
 
 namespace lightridge {
 
@@ -51,7 +51,8 @@ class ModelRegistry
 
     /** Publish an already-shared instance (testing / advanced callers). */
     void registerShared(const std::string &name,
-                        std::shared_ptr<const DonnModel> model);
+                        std::shared_ptr<const DonnModel> model)
+        LIGHTRIDGE_EXCLUDES(mutex_);
 
     /**
      * Load a checkpoint file and publish it under `name`.
@@ -65,7 +66,7 @@ class ModelRegistry
      * Drop the registry's reference to `name`.
      * @return false when the name was not registered
      */
-    bool unload(const std::string &name);
+    bool unload(const std::string &name) LIGHTRIDGE_EXCLUDES(mutex_);
 
     /**
      * Acquire a serving reference. The returned instance is immutable
@@ -73,16 +74,17 @@ class ModelRegistry
      * across unload/hot-swap.
      * @throws UnknownModelError when the name is not registered
      */
-    std::shared_ptr<const DonnModel> acquire(const std::string &name) const;
+    std::shared_ptr<const DonnModel> acquire(const std::string &name) const
+        LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** True when `name` is currently registered. */
-    bool has(const std::string &name) const;
+    bool has(const std::string &name) const LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** Registered model names (sorted). */
-    std::vector<std::string> names() const;
+    std::vector<std::string> names() const LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** Number of registered models. */
-    std::size_t size() const;
+    std::size_t size() const LIGHTRIDGE_EXCLUDES(mutex_);
 
     /**
      * Outstanding external references to a registered model (0 when only
@@ -90,11 +92,13 @@ class ModelRegistry
      * is non-zero, but it is still safe — the instance is freed when the
      * last holder drops it.
      */
-    std::size_t externalRefCount(const std::string &name) const;
+    std::size_t externalRefCount(const std::string &name) const
+        LIGHTRIDGE_EXCLUDES(mutex_);
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::shared_ptr<const DonnModel>> models_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::shared_ptr<const DonnModel>> models_
+        LIGHTRIDGE_GUARDED_BY(mutex_);
 };
 
 } // namespace lightridge

@@ -28,7 +28,7 @@ SampleSource::Sample
 SampleSource::sample(const std::string &name, std::uint64_t seed,
                      std::size_t index)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const std::string key = name + ":" + std::to_string(seed);
     ClassDataset &data = cache_[key];
     if (index >= data.size()) {
@@ -162,6 +162,33 @@ httpStatusForServeStatus(ServeStatus status)
 
 namespace {
 
+// strerror(3) writes to shared static storage and the server formats
+// socket errors from N concurrent IO threads, so it must not be called
+// here. These overloads dispatch on the local strerror_r(3) flavour
+// (XSI returns int, GNU returns char* and may ignore the buffer)
+// without caring which one libc provides.
+std::string
+strerrorResult(int rc, const char *buf, int err)
+{
+    return rc == 0 ? std::string(buf)
+                   : "errno " + std::to_string(err);
+}
+
+std::string
+strerrorResult(const char *msg, const char *, int)
+{
+    return std::string(msg);
+}
+
+/** Thread-safe strerror(errno) replacement. */
+std::string
+errnoString(int err)
+{
+    char buf[256];
+    buf[0] = '\0';
+    return strerrorResult(::strerror_r(err, buf, sizeof(buf)), buf, err);
+}
+
 void
 setNonBlocking(int fd)
 {
@@ -231,7 +258,7 @@ HttpServer::start()
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
         throw std::runtime_error("HttpServer: socket() failed: " +
-                                 std::string(std::strerror(errno)));
+                                 errnoString(errno));
     int one = 1;
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -248,7 +275,7 @@ HttpServer::start()
     if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0 ||
         ::listen(listen_fd_, 256) != 0) {
-        const std::string reason = std::strerror(errno);
+        const std::string reason = errnoString(errno);
         ::close(listen_fd_);
         listen_fd_ = -1;
         throw std::runtime_error("HttpServer: cannot listen on " +
@@ -762,7 +789,7 @@ HttpClient::ensureConnected()
     if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
         ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        const std::string reason = std::strerror(errno);
+        const std::string reason = errnoString(errno);
         close();
         throw std::runtime_error("HttpClient: cannot connect to " +
                                  host_ + ":" + std::to_string(port_) +

@@ -28,7 +28,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +36,7 @@
 #include "serve/engine.hpp"
 #include "serve/http.hpp"
 #include "utils/json.hpp"
+#include "utils/sync.hpp"
 
 namespace lightridge {
 
@@ -59,11 +59,11 @@ class SampleSource
      *  dataset geometrically when the index is past what was generated.
      *  @throws JsonError on an unknown dataset name */
     Sample sample(const std::string &name, std::uint64_t seed,
-                  std::size_t index);
+                  std::size_t index) LIGHTRIDGE_EXCLUDES(mutex_);
 
   private:
-    std::mutex mutex_;
-    std::map<std::string, ClassDataset> cache_;
+    Mutex mutex_;
+    std::map<std::string, ClassDataset> cache_ LIGHTRIDGE_GUARDED_BY(mutex_);
 };
 
 /** One parsed serving request plus serve-side bookkeeping. */

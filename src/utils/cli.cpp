@@ -68,6 +68,9 @@ CliArgs::getBool(const std::string &name, bool fallback) const
 bool
 benchFullScale()
 {
+    // Read once at tool startup before any threads exist; getenv is only
+    // unsafe against a concurrent setenv, which this codebase never does.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv("LR_BENCH_FULL");
     return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
 }

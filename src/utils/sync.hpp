@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Annotated synchronization primitives for Clang Thread Safety Analysis.
+ *
+ * Thin zero-overhead wrappers over std::mutex / std::condition_variable
+ * that carry the capability annotations of thread_annotations.hpp, so a
+ * Clang `-Wthread-safety` build can prove lock discipline at compile
+ * time. All concurrent LightRidge components (serve engine / registry /
+ * server, the shared-instance layer modulation caches, the thread pool,
+ * the process-wide FFT-plan and transfer-function caches) use these
+ * instead of the raw std types.
+ *
+ * Conventions (see README "Static analysis & code health"):
+ *  - every member protected by a Mutex is declared
+ *    `LIGHTRIDGE_GUARDED_BY(mutex_)`;
+ *  - private helpers that expect the lock held are
+ *    `LIGHTRIDGE_REQUIRES(mutex_)` and named `...Locked`;
+ *  - condition waits are explicit `while (!pred) cv.wait(mutex_);`
+ *    loops, not lambda predicates — the analysis cannot see a lock held
+ *    inside a lambda body, an explicit loop it verifies exactly.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "utils/thread_annotations.hpp"
+
+namespace lightridge {
+
+/** std::mutex with thread-safety capability annotations. */
+class LIGHTRIDGE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() LIGHTRIDGE_ACQUIRE()
+    {
+        mutex_.lock();
+    }
+
+    void
+    unlock() LIGHTRIDGE_RELEASE()
+    {
+        mutex_.unlock();
+    }
+
+    bool
+    try_lock() LIGHTRIDGE_TRY_ACQUIRE(true)
+    {
+        return mutex_.try_lock();
+    }
+
+  private:
+    friend class CondVar;
+
+    std::mutex mutex_;
+};
+
+/** RAII scoped lock over a Mutex (the annotated lock_guard). */
+class LIGHTRIDGE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) LIGHTRIDGE_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() LIGHTRIDGE_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Condition variable working directly on the annotated Mutex.
+ *
+ * wait() is declared REQUIRES(mutex): the caller holds the lock before
+ * and after the call (the internal release/reacquire during the block
+ * is invisible to — and sound for — the analysis, which only reasons
+ * about the lock state at function boundaries). No predicate overloads
+ * on purpose: write the wait loop in the locked caller, where guarded
+ * reads are checked.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release `mutex`, block, reacquire before returning. */
+    void
+    wait(Mutex &mutex) LIGHTRIDGE_REQUIRES(mutex)
+    {
+        std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+        cv_.wait(lock);
+        lock.release(); // ownership stays with the caller's MutexLock
+    }
+
+    void
+    notify_one() noexcept
+    {
+        cv_.notify_one();
+    }
+
+    void
+    notify_all() noexcept
+    {
+        cv_.notify_all();
+    }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace lightridge

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotation macros.
+ *
+ * These wrap the capability attributes of Clang's `-Wthread-safety`
+ * analysis (the Abseil `GUARDED_BY` / capability model) so lock
+ * discipline is a compile-time contract instead of a runtime TSan
+ * finding: every mutex-protected member is declared `GUARDED_BY` its
+ * mutex, every function that must run under a lock is `REQUIRES`, and a
+ * Clang build with `-Wthread-safety -Werror` (CMake option
+ * `LIGHTRIDGE_THREAD_SAFETY`, default ON for Clang) rejects any access
+ * that violates the contract. On compilers without the attributes
+ * (GCC, MSVC) every macro expands to nothing.
+ *
+ * Use the annotated primitives of utils/sync.hpp (`Mutex`, `MutexLock`,
+ * `CondVar`) rather than the std types directly: the analysis only
+ * tracks capabilities it can see, and the std lock types carry no
+ * annotations.
+ */
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(x) // no-op
+#endif
+
+/** Marks a class as a capability (a lock). The string is the kind shown
+ *  in diagnostics, e.g. "mutex". */
+#define LIGHTRIDGE_CAPABILITY(x)                                            \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/** Marks an RAII class whose lifetime acquires/releases a capability. */
+#define LIGHTRIDGE_SCOPED_CAPABILITY                                        \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define LIGHTRIDGE_GUARDED_BY(x)                                            \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by `x`. */
+#define LIGHTRIDGE_PT_GUARDED_BY(x)                                         \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/** This capability must be acquired before the listed ones. */
+#define LIGHTRIDGE_ACQUIRED_BEFORE(...)                                     \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+/** This capability must be acquired after the listed ones. */
+#define LIGHTRIDGE_ACQUIRED_AFTER(...)                                      \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/** Caller must hold the listed capabilities exclusively. */
+#define LIGHTRIDGE_REQUIRES(...)                                            \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(                               \
+        requires_capability(__VA_ARGS__))
+
+/** Caller must hold the listed capabilities, shared or exclusive. */
+#define LIGHTRIDGE_REQUIRES_SHARED(...)                                     \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(                               \
+        requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability exclusively; caller must not hold it. */
+#define LIGHTRIDGE_ACQUIRE(...)                                             \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(                               \
+        acquire_capability(__VA_ARGS__))
+
+/** Function acquires the capability shared. */
+#define LIGHTRIDGE_ACQUIRE_SHARED(...)                                      \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(                               \
+        acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the capability; caller must hold it. */
+#define LIGHTRIDGE_RELEASE(...)                                             \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(                               \
+        release_capability(__VA_ARGS__))
+
+/** Function releases a shared hold of the capability. */
+#define LIGHTRIDGE_RELEASE_SHARED(...)                                      \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(                               \
+        release_shared_capability(__VA_ARGS__))
+
+/** Function attempts the acquisition; first argument is the success
+ *  return value. */
+#define LIGHTRIDGE_TRY_ACQUIRE(...)                                         \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(                               \
+        try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (deadlock prevention). */
+#define LIGHTRIDGE_EXCLUDES(...)                                            \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the capability is held (for code the analysis
+ *  cannot follow, e.g. callbacks invoked under a caller's lock). */
+#define LIGHTRIDGE_ASSERT_CAPABILITY(x)                                     \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/** Function returns a reference to the capability guarding its result. */
+#define LIGHTRIDGE_RETURN_CAPABILITY(x)                                     \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/** Escape hatch: disables the analysis for one function. Every use must
+ *  carry a comment explaining why the contract cannot be expressed. */
+#define LIGHTRIDGE_NO_THREAD_SAFETY_ANALYSIS                                \
+    LIGHTRIDGE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

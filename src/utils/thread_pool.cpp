@@ -1,6 +1,7 @@
 #include "utils/thread_pool.hpp"
 
 #include <atomic>
+#include <memory>
 
 namespace lightridge {
 
@@ -31,7 +32,7 @@ ThreadPool::ThreadPool(std::size_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -46,8 +47,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stop_ && jobs_.empty())
+                cv_.wait(mutex_);
             if (stop_ && jobs_.empty())
                 return;
             job = std::move(jobs_.front());
@@ -65,7 +67,7 @@ ThreadPool::enqueue(std::function<void()> job)
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         jobs_.push(std::move(job));
     }
     cv_.notify_one();
@@ -90,45 +92,48 @@ ThreadPool::parallelFor(std::size_t count,
     struct ForState
     {
         std::atomic<std::size_t> next{0};
-        std::atomic<std::size_t> done{0};
-        std::mutex mutex;
-        std::condition_variable cv;
-        std::exception_ptr error;
+        Mutex mutex;
+        CondVar cv;
+        std::size_t done LIGHTRIDGE_GUARDED_BY(mutex) = 0;
+        std::exception_ptr error LIGHTRIDGE_GUARDED_BY(mutex);
     };
     auto state = std::make_shared<ForState>();
     const std::size_t shards = std::min(count, threads_.size());
 
     auto shard = [state, shards, count, &fn] {
+        ForState &s = *state;
         for (;;) {
-            std::size_t i = state->next.fetch_add(1);
+            std::size_t i = s.next.fetch_add(1);
             if (i >= count)
                 break;
             try {
                 fn(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(state->mutex);
-                if (!state->error)
-                    state->error = std::current_exception();
+                MutexLock lock(s.mutex);
+                if (!s.error)
+                    s.error = std::current_exception();
                 // Drain remaining iterations so the loop terminates fast.
-                state->next.store(count);
+                s.next.store(count);
             }
         }
-        std::lock_guard<std::mutex> lock(state->mutex);
-        if (++state->done == shards)
-            state->cv.notify_one();
+        MutexLock lock(s.mutex);
+        if (++s.done == shards)
+            s.cv.notify_one();
     };
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (std::size_t s = 0; s < shards; ++s)
             jobs_.push(shard);
     }
     cv_.notify_all();
 
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->cv.wait(lock, [&] { return state->done.load() == shards; });
-    if (state->error)
-        std::rethrow_exception(state->error);
+    ForState &s = *state;
+    MutexLock lock(s.mutex);
+    while (s.done != shards)
+        s.cv.wait(s.mutex);
+    if (s.error)
+        std::rethrow_exception(s.error);
 }
 
 ThreadPool &

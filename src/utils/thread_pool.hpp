@@ -8,13 +8,13 @@
  */
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "utils/sync.hpp"
 
 namespace lightridge {
 
@@ -42,7 +42,8 @@ class ThreadPool
      * first exception is rethrown on the calling thread.
      */
     void parallelFor(std::size_t count,
-                     const std::function<void(std::size_t)> &fn);
+                     const std::function<void(std::size_t)> &fn)
+        LIGHTRIDGE_EXCLUDES(mutex_);
 
     /**
      * Enqueue one fire-and-forget job. Unlike parallelFor this does not
@@ -53,7 +54,7 @@ class ThreadPool
      * no concurrency), so single-core hosts degrade gracefully instead of
      * deadlocking on a queue nobody drains. Jobs must not throw.
      */
-    void enqueue(std::function<void()> job);
+    void enqueue(std::function<void()> job) LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** Shared process-wide pool sized from hardware concurrency. */
     static ThreadPool &global();
@@ -67,13 +68,13 @@ class ThreadPool
     static bool insideWorker();
 
   private:
-    void workerLoop();
+    void workerLoop() LIGHTRIDGE_EXCLUDES(mutex_);
 
     std::vector<std::thread> threads_;
-    std::queue<std::function<void()>> jobs_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    Mutex mutex_;
+    CondVar cv_;
+    std::queue<std::function<void()>> jobs_ LIGHTRIDGE_GUARDED_BY(mutex_);
+    bool stop_ LIGHTRIDGE_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace lightridge

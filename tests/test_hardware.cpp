@@ -295,5 +295,67 @@ TEST(FixedModulation, AdjointConsistency)
     EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9);
 }
 
+TEST(FixedModulation, InPlacePathsMatchByValuePathsBitwise)
+{
+    // The in-place overrides must be pure aliases of the by-value math:
+    // deployed models run through the zero-allocation serving path, and
+    // any drift here would silently change hardware-simulation results.
+    PropagatorConfig cfg;
+    cfg.grid = Grid{16, 36e-6};
+    cfg.wavelength = 532e-9;
+    cfg.distance = 0.01;
+    auto prop = std::make_shared<Propagator>(cfg);
+    Rng rng(11);
+    Field mod(16, 16);
+    for (std::size_t i = 0; i < mod.size(); ++i)
+        mod[i] = std::polar(rng.uniform(0.5, 1.0), rng.uniform(0, kTwoPi));
+    FixedModulationLayer layer(prop, mod);
+
+    Field x(16, 16);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+    // infer() (by-value reference math) vs inferInPlace on an alias.
+    Field reference(16, 16);
+    {
+        Field tmp = prop->forward(x);
+        tmp.hadamard(mod);
+        reference = tmp;
+    }
+    Field in_place = x;
+    layer.inferInPlace(in_place, PropagationWorkspace::threadLocal());
+    ASSERT_EQ(in_place.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(in_place[i], reference[i]);
+
+    Field via_infer = layer.infer(x);
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(via_infer[i], reference[i]);
+
+    Field via_forward =
+        layer.forward(x, /*training=*/true); // frozen layer: same path
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(via_forward[i], reference[i]);
+
+    // backward() vs backwardInPlace on an alias.
+    Field g(16, 16);
+    for (std::size_t i = 0; i < g.size(); ++i)
+        g[i] = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    Field grad_reference(16, 16);
+    {
+        Field tmp = g;
+        tmp.hadamardConj(mod);
+        grad_reference = prop->adjoint(tmp);
+    }
+    Field grad_in_place = g;
+    layer.backwardInPlace(grad_in_place, PropagationWorkspace::threadLocal());
+    for (std::size_t i = 0; i < grad_reference.size(); ++i)
+        EXPECT_EQ(grad_in_place[i], grad_reference[i]);
+
+    Field via_backward = layer.backward(g);
+    for (std::size_t i = 0; i < grad_reference.size(); ++i)
+        EXPECT_EQ(via_backward[i], grad_reference[i]);
+}
+
 } // namespace
 } // namespace lightridge

@@ -9,12 +9,14 @@
 #include <cstdio>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "utils/cli.hpp"
 #include "utils/csv.hpp"
 #include "utils/image_io.hpp"
 #include "utils/rng.hpp"
+#include "utils/sync.hpp"
 #include "utils/thread_pool.hpp"
 #include "utils/timer.hpp"
 
@@ -226,6 +228,64 @@ TEST(Timer, MeasuresNonNegativeDurations)
         x = x + i;
     EXPECT_GE(t.seconds(), 0.0);
     EXPECT_GE(t.milliseconds(), t.seconds() * 1000 - 1e-9);
+}
+
+TEST(Sync, MutexLockExcludesConcurrentCriticalSections)
+{
+    // Counter increments under the annotated Mutex from many threads must
+    // not lose updates (i.e. MutexLock really locks, not just annotates).
+    Mutex mutex;
+    std::size_t counter = 0;
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kIters = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::size_t i = 0; i < kIters; ++i) {
+                MutexLock lock(mutex);
+                ++counter;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    MutexLock lock(mutex);
+    EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(Sync, TryLockReportsContention)
+{
+    Mutex mutex;
+    ASSERT_TRUE(mutex.try_lock());
+    std::thread other([&] { EXPECT_FALSE(mutex.try_lock()); });
+    other.join();
+    mutex.unlock();
+    ASSERT_TRUE(mutex.try_lock());
+    mutex.unlock();
+}
+
+TEST(Sync, CondVarWakesExplicitWaitLoop)
+{
+    // The repo convention (explicit while-loops around CondVar::wait, no
+    // predicate lambdas) must round-trip a producer/consumer handoff.
+    Mutex mutex;
+    CondVar cv;
+    bool ready = false;
+    int observed = 0;
+    std::thread consumer([&] {
+        MutexLock lock(mutex);
+        while (!ready)
+            cv.wait(mutex);
+        observed = 42;
+    });
+    {
+        MutexLock lock(mutex);
+        ready = true;
+        cv.notify_one();
+    }
+    consumer.join();
+    EXPECT_EQ(observed, 42);
 }
 
 } // namespace

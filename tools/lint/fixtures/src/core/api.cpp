@@ -1,0 +1,9 @@
+#include "optics/propagator.hpp"
+
+// Seeded violations: by-value propagation calls in library code.
+void runHop(const lightridge::Propagator *prop, lightridge::Field &u)
+{
+    auto out = prop->forward(u);
+    auto back = prop->adjoint(out);
+    (void)back;
+}

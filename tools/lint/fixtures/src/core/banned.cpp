@@ -1,0 +1,14 @@
+#include <cstdio>
+#include <cstdlib>
+
+// Seeded violations: rand() and printf() in library code.
+int noise()
+{
+    int x = rand();
+    printf("x=%d\n", x);
+    // rand() in a comment must NOT be flagged, nor these relatives:
+    std::srand(7);
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%d", x);
+    return x;
+}

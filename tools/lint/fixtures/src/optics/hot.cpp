@@ -1,0 +1,20 @@
+#include "optics/propagator.hpp"
+
+using lightridge::Field;
+
+// Seeded violation: naked Field construction in a hot-path body.
+void stepInto(Field &u)
+{
+    Field scratch(8, 8);
+    u = scratch;
+}
+
+// Clean: Field construction outside any *Into / *InPlace body.
+Field makeBuffer()
+{
+    Field ok(8, 8);
+    return ok;
+}
+
+// Clean: declaration only, no body to scan.
+void declaredInPlace(Field &u);

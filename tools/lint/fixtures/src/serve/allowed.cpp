@@ -1,0 +1,13 @@
+#include <chrono>
+
+namespace sc = std::chrono;
+
+// Deliberately clean: the escape hatch suppresses both directive styles.
+long allowedStamp()
+{
+    // Epoch timestamps for request logging genuinely need wall time.
+    // lint:allow(serve-steady-clock)
+    auto a = std::chrono::system_clock::now();
+    auto b = sc::system_clock::now(); // lint:allow(serve-steady-clock)
+    return a.time_since_epoch().count() + b.time_since_epoch().count();
+}

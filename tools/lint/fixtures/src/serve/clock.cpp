@@ -1,0 +1,10 @@
+#include <chrono>
+
+// Seeded violation: wall clock used for a serving deadline.
+long deadlineMs()
+{
+    auto now = std::chrono::system_clock::now();
+    auto ok = std::chrono::steady_clock::now();
+    (void)ok;
+    return now.time_since_epoch().count();
+}

@@ -1,0 +1,10 @@
+#include "serve/engine.hpp"
+
+// Seeded violation: v1 shim called from new serving code.
+void submitOne(lightridge::InferenceEngine &engine)
+{
+    engine.submitLegacy("model", {});
+    // submitLegacy( in a comment must NOT be flagged.
+    const char *s = "submitLegacy(";
+    (void)s;
+}

@@ -1,0 +1,4 @@
+// Seeded violation: header without #pragma once.
+struct Nothing
+{
+};

@@ -1,0 +1,4 @@
+struct Early
+{
+};
+#pragma once
