@@ -31,6 +31,11 @@
  *    paused) must degrade gracefully — excess requests answered
  *    immediately with 503 + Retry-After while /healthz stays live, the
  *    survivor served after resume. Unconditional gate.
+ *  - "ensemble": fan-out throughput of a 2-member ensemble over both
+ *    registered models, with every fused response bitwise-equal to
+ *    offline fuseLogits over the members' direct inference outputs
+ *    (unconditional gate). Records the engine's ensemble/fan-out
+ *    counters so the artifact exposes the amplification factor.
  *
  * The artifact's "execution" block records the resolved acceptor/IO
  * thread and engine worker counts the run actually used.
@@ -389,6 +394,72 @@ main()
     server.stop();
     socket_engine.drain();
 
+    // ---- ensemble section: fan-out over both models, fused bitwise ----
+    EnsembleSpec ensemble_spec;
+    ensemble_spec.name = "digits_duo";
+    for (std::size_t n : sizes)
+        ensemble_spec.members.push_back("digits" + std::to_string(n));
+    ensemble_spec.fusion = FusionRule::MeanLogits;
+    registry.registerEnsemble(ensemble_spec);
+    std::vector<std::shared_ptr<const DonnModel>> duo_members;
+    for (std::size_t n : sizes)
+        duo_members.push_back(registry.acquire("digits" + std::to_string(n)));
+
+    BatchingConfig ensemble_batching;
+    ensemble_batching.max_batch = 32;
+    InferenceEngine ensemble_engine(registry, ensemble_batching);
+    auto ensembleRequest = [&](std::size_t i) {
+        InferRequest request;
+        request.model = "digits_duo";
+        request.image = frames.images[i];
+        request.id = i;
+        return request;
+    };
+    // Warm the fan-out path, then time one full asynchronous burst.
+    for (std::size_t i = 0; i < std::min<std::size_t>(requests, 8); ++i)
+        ensemble_engine.inferNow(ensembleRequest(i));
+    bool ensemble_parity_ok = true;
+    WallTimer ensemble_wall;
+    {
+        std::vector<std::future<InferResponse>> futures;
+        futures.reserve(requests);
+        for (std::size_t i = 0; i < requests; ++i)
+            futures.push_back(ensemble_engine.submit(ensembleRequest(i)));
+        for (std::size_t i = 0; i < requests; ++i) {
+            InferResponse response = futures[i].get();
+            std::vector<std::vector<Real>> member_logits;
+            for (const auto &member : duo_members)
+                member_logits.push_back(
+                    directLogits(*member, frames.images[i]));
+            std::vector<Real> expected;
+            fuseLogits(ensemble_spec.fusion, member_logits, expected);
+            ensemble_parity_ok = ensemble_parity_ok &&
+                                 response.status == ServeStatus::Ok &&
+                                 response.fan_out == duo_members.size() &&
+                                 response.logits == expected;
+        }
+    }
+    const double ensemble_ms = ensemble_wall.milliseconds();
+    ensemble_engine.drain();
+    const EngineStats ensemble_stats = ensemble_engine.stats();
+    const double ensemble_rps =
+        ensemble_ms > 0 ? 1e3 * static_cast<double>(requests) / ensemble_ms
+                        : 0.0;
+    const double ensemble_mean_fan_out =
+        ensemble_stats.ensembles > 0
+            ? static_cast<double>(ensemble_stats.fan_out) /
+                  static_cast<double>(ensemble_stats.ensembles)
+            : 0.0;
+    std::printf("\nensemble (%zu members, %s): %zu requests -> %.1f "
+                "fused rps, fan-out %llu over %llu calls (mean %.1f)\n",
+                duo_members.size(), fusionRuleName(ensemble_spec.fusion),
+                requests, ensemble_rps,
+                static_cast<unsigned long long>(ensemble_stats.fan_out),
+                static_cast<unsigned long long>(ensemble_stats.ensembles),
+                ensemble_mean_fan_out);
+    std::printf("ensemble parity (fused == offline fuseLogits): %s\n",
+                ensemble_parity_ok ? "yes" : "NO");
+
     std::printf("parity (engine == direct inferField, both modes): %s\n",
                 parity_ok ? "yes" : "NO");
     if (alloc_measured)
@@ -431,6 +502,8 @@ main()
     std::printf("gate: 4x overload degrades gracefully (503 + "
                 "Retry-After, health live) -> %s\n",
                 overload_pass ? "PASS" : "FAIL");
+    std::printf("gate: ensemble fusion bitwise == offline -> %s\n",
+                ensemble_parity_ok ? "PASS" : "FAIL");
     std::printf("gate: zero steady-state allocs (shared instance, no "
                 "clones) -> %s%s\n",
                 alloc_gate_pass ? "PASS" : "FAIL",
@@ -462,6 +535,23 @@ main()
         Json(overload_retry_after.load());
     artifact["overload"] = std::move(overload_section);
 
+    Json ensemble_section;
+    ensemble_section["model"] = Json(ensemble_spec.name);
+    Json ensemble_members;
+    for (const std::string &member : ensemble_spec.members)
+        ensemble_members.push(Json(member));
+    ensemble_section["members"] = std::move(ensemble_members);
+    ensemble_section["fusion"] =
+        Json(std::string(fusionRuleName(ensemble_spec.fusion)));
+    ensemble_section["requests"] = Json(requests);
+    ensemble_section["fused_rps"] = Json(ensemble_rps);
+    ensemble_section["ensembles"] =
+        Json(static_cast<std::size_t>(ensemble_stats.ensembles));
+    ensemble_section["fan_out"] =
+        Json(static_cast<std::size_t>(ensemble_stats.fan_out));
+    ensemble_section["mean_fan_out"] = Json(ensemble_mean_fan_out);
+    artifact["ensemble"] = std::move(ensemble_section);
+
     // Resolved execution shape of this run (not the configured knobs):
     // how many acceptor/IO threads the server actually span up and how
     // many workers the engine's pool fans batches across.
@@ -483,6 +573,7 @@ main()
     gates["socket_p99_bound_ms"] = Json(socket_p99_bound_ms);
     gates["socket_gate_pass"] = Json(socket_gate_pass);
     gates["overload_gate_pass"] = Json(overload_pass);
+    gates["ensemble_parity_pass"] = Json(ensemble_parity_ok);
     gates["alloc_gate_applies"] = Json(alloc_measured);
     gates["steady_state_field_allocs"] =
         Json(static_cast<std::size_t>(steady_allocs));
@@ -492,8 +583,9 @@ main()
     if (artifact.save(json_path))
         std::printf("[json] %s\n", json_path.c_str());
 
-    return (parity_ok && socket_parity_ok && throughput_gate_pass &&
-            socket_gate_pass && overload_pass && alloc_gate_pass)
+    return (parity_ok && socket_parity_ok && ensemble_parity_ok &&
+            throughput_gate_pass && socket_gate_pass && overload_pass &&
+            alloc_gate_pass)
                ? 0
                : 1;
 }

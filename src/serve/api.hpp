@@ -66,6 +66,64 @@ const char *priorityName(Priority priority);
  */
 Priority priorityFromName(const std::string &name);
 
+/** How an ensemble combines its members' detector readouts. */
+enum class FusionRule : std::uint8_t {
+    MeanLogits = 0, ///< arithmetic mean of the raw member logits
+    MeanProbs = 1,  ///< mean of the per-member softmax distributions
+    Vote = 2,       ///< one argmax vote per member, fused logits are
+                    ///< the per-class vote counts
+};
+
+/** Number of fusion rules. */
+inline constexpr std::size_t kFusionRuleCount = 3;
+
+/** Stable wire name of a fusion rule ("mean_logits", "mean_probs",
+ *  "vote"). */
+const char *fusionRuleName(FusionRule rule);
+
+/**
+ * Parse a wire fusion-rule name.
+ * @throws std::invalid_argument on an unknown name
+ */
+FusionRule fusionRuleFromName(const std::string &name);
+
+/**
+ * Declaration of an ensemble: one logical model name that fans a
+ * request out to N registered member models and fuses their logits
+ * into one response.
+ *
+ * Per-member status semantics: the fused response is Ok only when
+ * every member produced logits. Any member failure — DeadlineExceeded
+ * from the shared budget, Overloaded from a member-model quota shed,
+ * UnknownModel from an unload race, BadInput from an inference error —
+ * fails the whole fused response with that member's status (the first
+ * failure in member order wins) and an `error` naming the member.
+ */
+struct EnsembleSpec
+{
+    std::string name;                 ///< logical (routable) model name
+    std::vector<std::string> members; ///< registered member model names
+    FusionRule fusion = FusionRule::MeanLogits;
+};
+
+/**
+ * Fuse per-member logit vectors into `out` (resized to the class
+ * count). Deterministic operation order — members are consumed in
+ * vector order, so two calls over the same inputs are bitwise
+ * identical, which is what pins the engine's fused responses against
+ * offline fusion in tests:
+ *  - mean_logits: sum member logits class-wise, then scale by 1/N.
+ *  - mean_probs: per member, a max-stabilized softmax; the per-class
+ *    probabilities are accumulated pre-scaled by 1/N.
+ *  - vote: per member, argmax (first max wins ties); `out[c]` is the
+ *    number of members that voted for class c.
+ * @throws std::invalid_argument when `member_logits` is empty or the
+ *         member vectors disagree on class count
+ */
+void fuseLogits(FusionRule rule,
+                const std::vector<std::vector<Real>> &member_logits,
+                std::vector<Real> &out);
+
 /** One inference request: a raw amplitude frame for a named model. */
 struct InferRequest
 {
@@ -99,7 +157,10 @@ struct InferResponse
     int prediction = -1;        ///< argmax class
     double latency_ms = 0;      ///< submit-to-completion wall time
     std::size_t batch_size = 0; ///< micro-batch the request rode in
-                                ///< (0 when it never reached a batch)
+                                ///< (0 when it never reached a batch;
+                                ///< largest member batch for ensembles)
+    std::size_t fan_out = 0;    ///< member sub-requests an ensemble
+                                ///< fanned out to (0 for plain models)
 
     bool ok() const { return status == ServeStatus::Ok; }
 };

@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "optics/workspace.hpp"
@@ -57,6 +58,9 @@ InferenceEngine::submitLegacy(InferRequest request)
 std::future<InferResponse>
 InferenceEngine::enqueue(InferRequest request, bool legacy)
 {
+    if (registry_.isEnsemble(request.model))
+        return enqueueEnsemble(std::move(request), legacy);
+
     Pending pending;
     pending.request = std::move(request);
     pending.legacy = legacy;
@@ -72,48 +76,7 @@ InferenceEngine::enqueue(InferRequest request, bool legacy)
         if (stop_)
             throw std::runtime_error(
                 "InferenceEngine: submit after shutdown");
-
-        const std::string &model = pending.request.model;
-        const std::size_t quota = quotaForLocked(model);
-        if (quota > 0 && queued_per_model_[model] >= quota) {
-            // Admission control: evict the least-urgent (and among
-            // ties, youngest) queued request of this model that the
-            // newcomer strictly outranks; otherwise shed the newcomer.
-            std::size_t victim = queue_.size();
-            for (std::size_t i = 0; i < queue_.size(); ++i) {
-                const InferRequest &r = queue_[i].request;
-                if (r.model != model ||
-                    r.priority <= pending.request.priority)
-                    continue;
-                if (victim == queue_.size() ||
-                    r.priority >= queue_[victim].request.priority)
-                    victim = i;
-            }
-            if (victim < queue_.size()) {
-                shed.push_back(std::move(queue_[victim]));
-                queue_.erase(queue_.begin() +
-                             static_cast<std::ptrdiff_t>(victim));
-                metrics_.queueDepthAdd(-1);
-                queue_.push_back(std::move(pending));
-                metrics_.queueDepthAdd(+1);
-                queued = true;
-            } else {
-                shed.push_back(std::move(pending));
-            }
-            stats_.requests += 1;
-            stats_.failed += 1;
-            stats_.shed += 1;
-        } else {
-            while (!stop_ && queue_.size() >= config_.max_queue)
-                space_cv_.wait(mutex_);
-            if (stop_)
-                throw std::runtime_error(
-                    "InferenceEngine: submit after shutdown");
-            queued_per_model_[model] += 1;
-            queue_.push_back(std::move(pending));
-            metrics_.queueDepthAdd(+1);
-            queued = true;
-        }
+        queued = admitLocked(std::move(pending), shed);
     }
     if (queued)
         queued_cv_.notify_one();
@@ -121,12 +84,136 @@ InferenceEngine::enqueue(InferRequest request, bool legacy)
     for (Pending &victim : shed) {
         const double ms = millisecondsBetween(victim.enqueued, now);
         metrics_.recordResponse(ServeStatus::Overloaded, ms);
-        failPending(victim, ServeStatus::Overloaded,
-                    "queue quota exceeded for model: " +
-                        victim.request.model,
-                    ms);
+        deliverFailure(victim, ServeStatus::Overloaded,
+                       "queue quota exceeded for model: " +
+                           victim.request.model,
+                       ms);
     }
     return future;
+}
+
+std::future<InferResponse>
+InferenceEngine::enqueueEnsemble(InferRequest request, bool legacy)
+{
+    auto job = std::make_shared<EnsembleJob>();
+    job->parent.request = std::move(request);
+    job->parent.legacy = legacy;
+    job->parent.enqueued = std::chrono::steady_clock::now();
+    std::future<InferResponse> future = job->parent.promise.get_future();
+
+    ResolvedEnsemble resolved;
+    try {
+        resolved = registry_.resolveEnsemble(job->parent.request.model);
+    } catch (const UnknownModelError &e) {
+        // The ensemble (or one of its members) was unloaded since the
+        // caller's lookup: a typed UnknownModel response naming the
+        // missing member, mirroring the plain-model unload race.
+        {
+            MutexLock lock(mutex_);
+            if (stop_)
+                throw std::runtime_error(
+                    "InferenceEngine: submit after shutdown");
+            stats_.requests += 1;
+            stats_.failed += 1;
+        }
+        metrics_.recordResponse(ServeStatus::UnknownModel, 0.0);
+        failPending(job->parent, ServeStatus::UnknownModel, e.what(), 0.0);
+        return future;
+    }
+    job->spec = std::move(resolved.spec);
+    job->members = std::move(resolved.members);
+    const std::size_t fan = job->spec.members.size();
+    {
+        MutexLock lock(job->mutex);
+        job->remaining = fan;
+        job->member_logits.resize(fan);
+        job->member_status.assign(fan, ServeStatus::Ok);
+        job->member_error.resize(fan);
+    }
+
+    // Fan out: one member sub-request per member, admitted under a
+    // single lock hold so the members enter the queue back to back.
+    // Each inherits the parent's priority and deadline budget measured
+    // from the parent's enqueue time (one shared clock), and carries no
+    // image of its own — batches read the parent's frame in place.
+    std::vector<Pending> shed;
+    bool queued_any = false;
+    {
+        MutexLock lock(mutex_);
+        if (stop_)
+            throw std::runtime_error(
+                "InferenceEngine: submit after shutdown");
+        for (std::size_t m = 0; m < fan; ++m) {
+            Pending member;
+            member.request.model = job->spec.members[m];
+            member.request.id = job->parent.request.id;
+            member.request.deadline = job->parent.request.deadline;
+            member.request.priority = job->parent.request.priority;
+            member.enqueued = job->parent.enqueued;
+            member.job = job;
+            member.member_index = m;
+            if (admitLocked(std::move(member), shed))
+                queued_any = true;
+        }
+    }
+    if (queued_any)
+        queued_cv_.notify_all();
+    const auto now = std::chrono::steady_clock::now();
+    for (Pending &victim : shed) {
+        const double ms = millisecondsBetween(victim.enqueued, now);
+        metrics_.recordResponse(ServeStatus::Overloaded, ms);
+        deliverFailure(victim, ServeStatus::Overloaded,
+                       "queue quota exceeded for model: " +
+                           victim.request.model,
+                       ms);
+    }
+    return future;
+}
+
+bool
+InferenceEngine::admitLocked(Pending &&pending, std::vector<Pending> &shed)
+{
+    const std::string &model = pending.request.model;
+    const std::size_t quota = quotaForLocked(model);
+    if (quota > 0 && queued_per_model_[model] >= quota) {
+        // Admission control: evict the least-urgent (and among
+        // ties, youngest) queued request of this model that the
+        // newcomer strictly outranks; otherwise shed the newcomer.
+        std::size_t victim = queue_.size();
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            const InferRequest &r = queue_[i].request;
+            if (r.model != model ||
+                r.priority <= pending.request.priority)
+                continue;
+            if (victim == queue_.size() ||
+                r.priority >= queue_[victim].request.priority)
+                victim = i;
+        }
+        bool queued = false;
+        if (victim < queue_.size()) {
+            shed.push_back(std::move(queue_[victim]));
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(victim));
+            metrics_.queueDepthAdd(-1);
+            queue_.push_back(std::move(pending));
+            metrics_.queueDepthAdd(+1);
+            queued = true;
+        } else {
+            shed.push_back(std::move(pending));
+        }
+        stats_.requests += 1;
+        stats_.failed += 1;
+        stats_.shed += 1;
+        return queued;
+    }
+    while (!stop_ && queue_.size() >= config_.max_queue)
+        space_cv_.wait(mutex_);
+    if (stop_)
+        throw std::runtime_error("InferenceEngine: submit after shutdown");
+    queued_per_model_[model] += 1;
+    queue_.push_back(std::move(pending));
+    metrics_.queueDepthAdd(+1);
+    return true;
 }
 
 InferResponse
@@ -176,6 +263,26 @@ InferenceEngine::quotaForLocked(const std::string &model) const
                                         : config_.max_queued_per_model;
 }
 
+int
+InferenceEngine::retryAfterSeconds() const
+{
+    const double per_request_ms =
+        service_ms_ewma_.load(std::memory_order_relaxed);
+    std::size_t backlog;
+    {
+        MutexLock lock(mutex_);
+        backlog = queue_.size() + in_flight_;
+    }
+    // Expected drain time of the current backlog at the recent batch
+    // cadence, rounded up to whole seconds and clamped to [1, 60] (an
+    // idle or freshly started engine answers the minimum 1s).
+    const double wait_s =
+        std::ceil(static_cast<double>(backlog) * per_request_ms / 1e3);
+    if (wait_s <= 1.0)
+        return 1;
+    return wait_s >= 60.0 ? 60 : static_cast<int>(wait_s);
+}
+
 EngineStats
 InferenceEngine::stats() const
 {
@@ -207,6 +314,113 @@ InferenceEngine::failPending(Pending &pending, ServeStatus status,
     response.latency_ms = latency_ms;
     response.batch_size = 0;
     pending.promise.set_value(std::move(response));
+}
+
+void
+InferenceEngine::deliverFailure(Pending &pending, ServeStatus status,
+                                const std::string &error,
+                                double latency_ms)
+{
+    if (pending.job) {
+        ensembleMemberDone(pending, status, std::vector<Real>(), 0, error);
+        return;
+    }
+    failPending(pending, status, error, latency_ms);
+}
+
+void
+InferenceEngine::ensembleMemberDone(Pending &pending, ServeStatus status,
+                                    std::vector<Real> &&logits,
+                                    std::size_t batch_size,
+                                    const std::string &error)
+{
+    std::shared_ptr<EnsembleJob> job = std::move(pending.job);
+    bool last = false;
+    {
+        MutexLock lock(job->mutex);
+        if (status == ServeStatus::Ok) {
+            job->member_logits[pending.member_index] = std::move(logits);
+            job->max_member_batch =
+                std::max(job->max_member_batch, batch_size);
+        } else {
+            job->member_status[pending.member_index] = status;
+            job->member_error[pending.member_index] =
+                error.empty() ? serveStatusName(status) : error;
+        }
+        job->remaining -= 1;
+        last = job->remaining == 0;
+    }
+    if (last)
+        finishEnsemble(*job);
+}
+
+void
+InferenceEngine::finishEnsemble(EnsembleJob &job)
+{
+    const auto done = std::chrono::steady_clock::now();
+    const double ms = millisecondsBetween(job.parent.enqueued, done);
+    const std::size_t fan = job.spec.members.size();
+
+    InferResponse response;
+    response.id = job.parent.request.id;
+    response.model = job.spec.name;
+    response.fan_out = fan;
+    ServeStatus status = ServeStatus::Ok;
+    std::string error;
+    {
+        // Every member has resolved, so the job is quiescent; the lock
+        // is still taken (uncontended) for the guarded fields.
+        MutexLock lock(job.mutex);
+        for (std::size_t m = 0; m < fan; ++m) {
+            if (job.member_status[m] != ServeStatus::Ok) {
+                status = job.member_status[m];
+                error = "ensemble member \"" + job.spec.members[m] +
+                        "\": " + job.member_error[m];
+                break;
+            }
+        }
+        if (status == ServeStatus::Ok) {
+            try {
+                fuseLogits(job.spec.fusion, job.member_logits,
+                           response.logits);
+                response.batch_size = job.max_member_batch;
+            } catch (const std::exception &e) {
+                // Members disagreed on class count: a member hot-swap
+                // between ensemble validation and this request.
+                status = ServeStatus::BadInput;
+                error = e.what();
+                response.logits.clear();
+            }
+        }
+    }
+    if (status == ServeStatus::Ok) {
+        response.prediction = static_cast<int>(
+            std::max_element(response.logits.begin(),
+                             response.logits.end()) -
+            response.logits.begin());
+        response.latency_ms = ms;
+    }
+
+    // Parent stats commit before the parent promise resolves, same as
+    // the batch path (a client observing its future sees consistent
+    // counters); the lock order is job.mutex released above, then
+    // mutex_ — never both.
+    {
+        MutexLock lock(mutex_);
+        stats_.requests += 1;
+        stats_.ensembles += 1;
+        stats_.fan_out += fan;
+        if (status != ServeStatus::Ok)
+            stats_.failed += 1;
+    }
+    metrics_.recordResponse(status, ms);
+    metrics_.recordEnsemble(fan);
+
+    if (status != ServeStatus::Ok) {
+        failPending(job.parent, status, error, ms);
+        return;
+    }
+    job.parent.promise.set_value(std::move(response));
 }
 
 void
@@ -256,8 +470,8 @@ InferenceEngine::dispatchLoop()
                 const double ms =
                     millisecondsBetween(pending.enqueued, now);
                 metrics_.recordResponse(ServeStatus::DeadlineExceeded, ms);
-                failPending(pending, ServeStatus::DeadlineExceeded,
-                            "deadline exceeded before dispatch", ms);
+                deliverFailure(pending, ServeStatus::DeadlineExceeded,
+                               "deadline exceeded before dispatch", ms);
             }
             mutex_.lock();
             in_flight_ -= expired.size();
@@ -327,37 +541,75 @@ void
 InferenceEngine::runBatch(const std::string &model_name,
                           std::vector<Pending> batch)
 {
-    std::shared_ptr<const DonnModel> model;
-    try {
-        model = registry_.acquire(model_name);
-    } catch (...) {
-        const auto done = std::chrono::steady_clock::now();
-        {
-            MutexLock lock(mutex_);
-            stats_.requests += batch.size();
-            stats_.failed += batch.size();
-        }
-        for (Pending &pending : batch) {
-            const double ms = millisecondsBetween(pending.enqueued, done);
-            metrics_.recordResponse(ServeStatus::UnknownModel, ms);
-            failPending(pending, ServeStatus::UnknownModel,
-                        "unknown model: " + model_name, ms);
-        }
-        return;
+    // One batch can mix plain requests with ensemble member
+    // sub-requests for the same model name. Plain requests run on the
+    // instance acquired here (hot-swaps take effect per batch); member
+    // sub-requests run on the instance their job pinned at submit, so
+    // an ensemble request stays deterministic across a member
+    // unload/hot-swap mid-flight.
+    bool has_plain = false;
+    bool has_member = false;
+    for (const Pending &pending : batch) {
+        if (pending.job)
+            has_member = true;
+        else
+            has_plain = true;
     }
 
-    const Grid grid = model->spec().grid();
+    std::shared_ptr<const DonnModel> shared;
+    if (has_plain) {
+        try {
+            shared = registry_.acquire(model_name);
+        } catch (...) {
+            if (!has_member) {
+                const auto done = std::chrono::steady_clock::now();
+                {
+                    MutexLock lock(mutex_);
+                    stats_.requests += batch.size();
+                    stats_.failed += batch.size();
+                }
+                for (Pending &pending : batch) {
+                    const double ms =
+                        millisecondsBetween(pending.enqueued, done);
+                    metrics_.recordResponse(ServeStatus::UnknownModel, ms);
+                    failPending(pending, ServeStatus::UnknownModel,
+                                "unknown model: " + model_name, ms);
+                }
+                return;
+            }
+            // Mixed batch racing an unload: the plain requests fail
+            // UnknownModel below, the pinned member work still runs.
+        }
+    }
+
+    const auto started = std::chrono::steady_clock::now();
     std::vector<InferResponse> responses(batch.size());
+    std::vector<ServeStatus> statuses(batch.size(), ServeStatus::Ok);
     std::vector<std::exception_ptr> errors(batch.size());
     std::vector<std::string> messages(batch.size());
     pool_->parallelFor(batch.size(), [&](std::size_t i) {
+        const Pending &pending = batch[i];
+        const DonnModel *model =
+            pending.job ? pending.job->members[pending.member_index].get()
+                        : shared.get();
+        if (model == nullptr) {
+            statuses[i] = ServeStatus::UnknownModel;
+            messages[i] = "unknown model: " + model_name;
+            return;
+        }
         try {
             // Each pool worker leases scratch from its own thread-local
             // arena; the model instance itself is shared and const.
             PropagationWorkspace &workspace =
                 PropagationWorkspace::threadLocal();
+            const Grid grid = model->spec().grid();
             WorkspaceField u(workspace, grid.n, grid.n);
-            model->encodeInto(batch[i].request.image, u.get());
+            // Member sub-requests carry no frame of their own; encode
+            // straight from the parent's image (no per-member copy).
+            const RealMap &image = pending.job
+                                       ? pending.job->parent.request.image
+                                       : pending.request.image;
+            model->encodeInto(image, u.get());
             InferResponse &response = responses[i];
             response.logits = model->inferLogitsInPlace(u.get(), workspace);
             response.prediction = static_cast<int>(
@@ -365,9 +617,12 @@ InferenceEngine::runBatch(const std::string &model_name,
                                  response.logits.end()) -
                 response.logits.begin());
         } catch (const std::exception &e) {
+            statuses[i] = ServeStatus::BadInput;
             errors[i] = std::current_exception();
-            messages[i] = e.what();
+            messages[i] =
+                e.what()[0] != '\0' ? e.what() : "inference failed";
         } catch (...) {
+            statuses[i] = ServeStatus::BadInput;
             errors[i] = std::current_exception();
             messages[i] = "unknown inference error";
         }
@@ -375,8 +630,18 @@ InferenceEngine::runBatch(const std::string &model_name,
 
     const auto done = std::chrono::steady_clock::now();
     std::size_t failed = 0;
-    for (const std::exception_ptr &error : errors)
-        failed += error ? 1 : 0;
+    for (const ServeStatus status : statuses)
+        failed += status == ServeStatus::Ok ? 0 : 1;
+
+    // Recent per-request service time feeds retryAfterSeconds(). The
+    // dispatcher is the only writer, so load+store is race-free.
+    const double per_request_ms = millisecondsBetween(started, done) /
+                                  static_cast<double>(batch.size());
+    const double prev = service_ms_ewma_.load(std::memory_order_relaxed);
+    service_ms_ewma_.store(prev == 0.0
+                               ? per_request_ms
+                               : 0.8 * prev + 0.2 * per_request_ms,
+                           std::memory_order_relaxed);
 
     // Stats are committed before any promise resolves, so a client that
     // just observed its future complete reads consistent counters.
@@ -391,17 +656,22 @@ InferenceEngine::runBatch(const std::string &model_name,
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const double ms = millisecondsBetween(batch[i].enqueued, done);
-        if (errors[i]) {
-            metrics_.recordResponse(ServeStatus::BadInput, ms);
-            if (batch[i].legacy) {
+        metrics_.recordResponse(statuses[i], ms);
+        if (batch[i].job) {
+            // The last member to resolve fuses and answers the parent.
+            ensembleMemberDone(batch[i], statuses[i],
+                               std::move(responses[i].logits),
+                               batch.size(), messages[i]);
+            continue;
+        }
+        if (statuses[i] != ServeStatus::Ok) {
+            if (errors[i] && batch[i].legacy) {
                 batch[i].promise.set_exception(errors[i]);
             } else {
-                failPending(batch[i], ServeStatus::BadInput, messages[i],
-                            ms);
+                failPending(batch[i], statuses[i], messages[i], ms);
             }
             continue;
         }
-        metrics_.recordResponse(ServeStatus::Ok, ms);
         InferResponse &response = responses[i];
         response.id = batch[i].request.id;
         response.model = model_name;

@@ -29,12 +29,14 @@
  */
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,7 +73,10 @@ struct BatchingConfig
     std::size_t max_queued_per_model = 0;
 };
 
-/** Aggregate serving counters. */
+/** Aggregate serving counters. Ensemble member sub-requests ride the
+ *  ordinary queue and count like any other request; the fused parent
+ *  response adds one more `requests` tick plus the ensemble counters,
+ *  so one 3-member ensemble call contributes 4 to `requests`. */
 struct EngineStats
 {
     std::uint64_t requests = 0; ///< responses delivered (every status)
@@ -80,6 +85,8 @@ struct EngineStats
     std::uint64_t expired = 0;  ///< of failed: deadline sweep victims
     std::uint64_t batches = 0;  ///< micro-batches dispatched
     std::size_t max_batch = 0;  ///< largest micro-batch observed
+    std::uint64_t ensembles = 0; ///< fused ensemble responses delivered
+    std::uint64_t fan_out = 0;   ///< member sub-requests fanned out
 
     double
     meanBatch() const
@@ -119,6 +126,15 @@ class InferenceEngine
      * exceptions. A request past its deadline or shed by a quota may
      * resolve before this call returns. Blocks only when the *global*
      * queue is at max_queue and no per-model quota shed applied.
+     *
+     * A request naming a declared ensemble fans out to one sub-request
+     * per member; sub-requests inherit the request's priority and
+     * deadline budget (one shared clock, started at this submit), ride
+     * the ordinary per-member-model micro-batching alongside plain
+     * traffic, and the future resolves with one fused response once
+     * every member has (fusion per the ensemble's FusionRule; any
+     * member failure fails the fused response with that member's
+     * status — see serve/api.hpp EnsembleSpec).
      * @throws std::runtime_error when the engine is shutting down
      */
     std::future<InferResponse> submit(InferRequest request)
@@ -163,6 +179,15 @@ class InferenceEngine
     void setModelQuota(const std::string &model, std::size_t max_queued)
         LIGHTRIDGE_EXCLUDES(mutex_);
 
+    /**
+     * Seconds a shed client should wait before retrying, derived from
+     * the live backlog (queued + in-flight requests) times the recent
+     * per-request batch service time (an EWMA the dispatcher maintains),
+     * clamped to [1, 60]. Every 503 path of the HTTP front end returns
+     * this same value so clients back off consistently.
+     */
+    int retryAfterSeconds() const LIGHTRIDGE_EXCLUDES(mutex_);
+
     /** Serving counters (consistent snapshot). */
     EngineStats stats() const LIGHTRIDGE_EXCLUDES(mutex_);
 
@@ -173,21 +198,90 @@ class InferenceEngine
     const BatchingConfig &config() const { return config_; }
 
   private:
+    struct EnsembleJob;
+
     struct Pending
     {
         InferRequest request;
         std::promise<InferResponse> promise;
         std::chrono::steady_clock::time_point enqueued;
         bool legacy = false; ///< deliver failures as exceptions (v1)
+
+        /** Fan-out bookkeeping: member sub-requests of an ensemble
+         *  carry the shared job and their member slot; their `request`
+         *  holds the member model name but an *empty* image (batches
+         *  read the parent's frame in place — no per-member copy). */
+        std::shared_ptr<EnsembleJob> job;
+        std::size_t member_index = 0;
+    };
+
+    /**
+     * Shared state of one in-flight ensemble request. Created at
+     * submit, referenced by every member sub-request; the last member
+     * to resolve (any status, any thread) fuses and answers the parent.
+     * Member model instances are pinned at submit, so unloading or
+     * hot-swapping a member mid-request never changes this request's
+     * results.
+     */
+    struct EnsembleJob
+    {
+        Pending parent; ///< client-facing promise + original request
+        EnsembleSpec spec;
+        std::vector<std::shared_ptr<const DonnModel>> members;
+
+        Mutex mutex;
+        std::size_t remaining LIGHTRIDGE_GUARDED_BY(mutex) = 0;
+        std::vector<std::vector<Real>> member_logits
+            LIGHTRIDGE_GUARDED_BY(mutex);
+        /** Per-member outcome; the fused failure is the first non-Ok
+         *  in *member order*, independent of completion order. */
+        std::vector<ServeStatus> member_status
+            LIGHTRIDGE_GUARDED_BY(mutex);
+        std::vector<std::string> member_error
+            LIGHTRIDGE_GUARDED_BY(mutex);
+        std::size_t max_member_batch LIGHTRIDGE_GUARDED_BY(mutex) = 0;
     };
 
     std::future<InferResponse> enqueue(InferRequest request, bool legacy)
         LIGHTRIDGE_EXCLUDES(mutex_);
+    std::future<InferResponse> enqueueEnsemble(InferRequest request,
+                                               bool legacy)
+        LIGHTRIDGE_EXCLUDES(mutex_);
+
+    /**
+     * Admission-control core shared by plain and ensemble submits:
+     * queue `pending` under quota + backpressure rules, moving quota
+     * victims (an evicted queued entry or the newcomer itself) into
+     * `shed` for the caller to resolve outside the lock.
+     * @return true when `pending` was queued
+     * @throws std::runtime_error when the engine stops while blocked
+     */
+    bool admitLocked(Pending &&pending, std::vector<Pending> &shed)
+        LIGHTRIDGE_REQUIRES(mutex_);
+
     std::size_t quotaForLocked(const std::string &model) const
         LIGHTRIDGE_REQUIRES(mutex_);
     void dispatchLoop() LIGHTRIDGE_EXCLUDES(mutex_);
     void runBatch(const std::string &model_name, std::vector<Pending> batch)
         LIGHTRIDGE_EXCLUDES(mutex_);
+
+    /** Resolve one pending with a non-Ok status, routing ensemble
+     *  member sub-requests to their job. Does not touch stats. */
+    void deliverFailure(Pending &pending, ServeStatus status,
+                        const std::string &error, double latency_ms)
+        LIGHTRIDGE_EXCLUDES(mutex_);
+
+    /** Record one member result on its job; the last member triggers
+     *  finishEnsemble. Consumes `pending.job`. */
+    void ensembleMemberDone(Pending &pending, ServeStatus status,
+                            std::vector<Real> &&logits,
+                            std::size_t batch_size,
+                            const std::string &error)
+        LIGHTRIDGE_EXCLUDES(mutex_);
+
+    /** Fuse member logits (or pick the first member failure), commit
+     *  parent stats/metrics, and resolve the parent promise. */
+    void finishEnsemble(EnsembleJob &job) LIGHTRIDGE_EXCLUDES(mutex_);
 
     /** Resolve one pending with a non-Ok status (value or, for legacy
      *  pendings, the matching exception). Does not touch stats. */
@@ -212,6 +306,10 @@ class InferenceEngine
     bool paused_ LIGHTRIDGE_GUARDED_BY(mutex_) = false;
     EngineStats stats_ LIGHTRIDGE_GUARDED_BY(mutex_);
     ServeMetrics metrics_; ///< internally wait-free (relaxed atomics)
+
+    /** EWMA of per-request batch service time in ms (dispatcher-only
+     *  writer; retryAfterSeconds() reads it relaxed). */
+    std::atomic<double> service_ms_ewma_{0.0};
 
     std::thread dispatcher_;
 };

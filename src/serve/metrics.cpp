@@ -129,6 +129,13 @@ ServeMetrics::renderPrometheus(const std::string &extra) const
     out << "# TYPE lightridge_queue_depth gauge\n";
     line("queue_depth", {}, static_cast<double>(queueDepth()));
 
+    out << "# TYPE lightridge_ensemble_requests_total counter\n";
+    line("ensemble_requests_total", {},
+         static_cast<double>(ensembleCount()));
+    out << "# TYPE lightridge_ensemble_fan_out_total counter\n";
+    line("ensemble_fan_out_total", {},
+         static_cast<double>(ensembleFanOut()));
+
     out << "# TYPE lightridge_shed_total counter\n";
     line("shed_total", {},
          static_cast<double>(statusCount(ServeStatus::Overloaded)));

@@ -174,6 +174,29 @@ class ServeMetrics
         batch_.record(batch_size);
     }
 
+    /** One ensemble request fanned out to `fan_out` member
+     *  sub-requests (recorded when the fused response resolves). */
+    void
+    recordEnsemble(std::size_t fan_out) noexcept
+    {
+        ensembles_.add();
+        ensemble_fan_out_.add(fan_out);
+    }
+
+    /** Fused ensemble responses delivered. */
+    std::uint64_t
+    ensembleCount() const noexcept
+    {
+        return ensembles_.value();
+    }
+
+    /** Member sub-requests fanned out across all ensemble responses. */
+    std::uint64_t
+    ensembleFanOut() const noexcept
+    {
+        return ensemble_fan_out_.value();
+    }
+
     /** Queue depth gauge (dispatcher queue, pre-batch). */
     void
     queueDepthAdd(std::ptrdiff_t delta) noexcept
@@ -211,6 +234,8 @@ class ServeMetrics
     std::array<StripedCounter, kServeStatusCount> by_status_;
     LatencyHistogram latency_;
     BatchHistogram batch_;
+    StripedCounter ensembles_;
+    StripedCounter ensemble_fan_out_;
     std::atomic<std::int64_t> queue_depth_{0};
 };
 

@@ -1,5 +1,7 @@
 #include "serve/registry.hpp"
 
+#include <algorithm>
+
 namespace lightridge {
 
 void
@@ -16,6 +18,10 @@ ModelRegistry::registerShared(const std::string &name,
     if (!model)
         throw std::invalid_argument("ModelRegistry: null model for " + name);
     MutexLock lock(mutex_);
+    if (ensembles_.count(name) > 0)
+        throw std::invalid_argument(
+            "ModelRegistry: \"" + name +
+            "\" is an ensemble; cannot register a model under it");
     models_[name] = std::move(model);
 }
 
@@ -28,11 +34,76 @@ ModelRegistry::registerCheckpoint(const std::string &name,
     registerModel(name, DonnModel::load(path));
 }
 
+void
+ModelRegistry::registerEnsemble(EnsembleSpec spec)
+{
+    if (spec.members.empty())
+        throw std::invalid_argument("ensemble \"" + spec.name +
+                                    "\" has no members");
+    MutexLock lock(mutex_);
+    if (models_.count(spec.name) > 0)
+        throw std::invalid_argument(
+            "ensemble \"" + spec.name +
+            "\" collides with a registered model of the same name");
+    std::size_t classes = 0;
+    for (const std::string &member : spec.members) {
+        if (member == spec.name)
+            throw std::invalid_argument("ensemble \"" + spec.name +
+                                        "\" names itself as a member");
+        if (ensembles_.count(member) > 0)
+            throw std::invalid_argument(
+                "ensemble \"" + spec.name + "\" member \"" + member +
+                "\" is itself an ensemble (nesting is not supported)");
+        auto it = models_.find(member);
+        if (it == models_.end())
+            throw std::invalid_argument("ensemble \"" + spec.name +
+                                        "\" member \"" + member +
+                                        "\" is not a registered model");
+        const std::size_t member_classes =
+            it->second->detector().numClasses();
+        if (classes == 0)
+            classes = member_classes;
+        else if (member_classes != classes)
+            throw std::invalid_argument(
+                "ensemble \"" + spec.name + "\" member \"" + member +
+                "\" has " + std::to_string(member_classes) +
+                " classes, expected " + std::to_string(classes));
+    }
+    ensembles_[spec.name] = std::move(spec);
+}
+
+bool
+ModelRegistry::isEnsemble(const std::string &name) const
+{
+    MutexLock lock(mutex_);
+    return ensembles_.count(name) > 0;
+}
+
+ResolvedEnsemble
+ModelRegistry::resolveEnsemble(const std::string &name) const
+{
+    MutexLock lock(mutex_);
+    auto it = ensembles_.find(name);
+    if (it == ensembles_.end())
+        throw UnknownModelError(name);
+    ResolvedEnsemble resolved;
+    resolved.spec = it->second;
+    resolved.members.reserve(resolved.spec.members.size());
+    for (const std::string &member : resolved.spec.members) {
+        auto model = models_.find(member);
+        if (model == models_.end())
+            throw UnknownModelError(name + " (ensemble member " + member +
+                                    ")");
+        resolved.members.push_back(model->second);
+    }
+    return resolved;
+}
+
 bool
 ModelRegistry::unload(const std::string &name)
 {
     MutexLock lock(mutex_);
-    return models_.erase(name) > 0;
+    return models_.erase(name) + ensembles_.erase(name) > 0;
 }
 
 std::shared_ptr<const DonnModel>
@@ -49,7 +120,7 @@ bool
 ModelRegistry::has(const std::string &name) const
 {
     MutexLock lock(mutex_);
-    return models_.count(name) > 0;
+    return models_.count(name) > 0 || ensembles_.count(name) > 0;
 }
 
 std::vector<std::string>
@@ -57,9 +128,12 @@ ModelRegistry::names() const
 {
     MutexLock lock(mutex_);
     std::vector<std::string> out;
-    out.reserve(models_.size());
+    out.reserve(models_.size() + ensembles_.size());
     for (const auto &entry : models_)
         out.push_back(entry.first);
+    for (const auto &entry : ensembles_)
+        out.push_back(entry.first);
+    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -67,7 +141,7 @@ std::size_t
 ModelRegistry::size() const
 {
     MutexLock lock(mutex_);
-    return models_.size();
+    return models_.size() + ensembles_.size();
 }
 
 std::size_t

@@ -51,6 +51,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -107,6 +108,8 @@ statsJson(const InferenceEngine &engine, double wall_ms,
     j["batches"] = Json(static_cast<std::size_t>(stats.batches));
     j["mean_batch"] = Json(stats.meanBatch());
     j["max_batch"] = Json(stats.max_batch);
+    j["ensembles"] = Json(static_cast<std::size_t>(stats.ensembles));
+    j["fan_out"] = Json(static_cast<std::size_t>(stats.fan_out));
     j["wall_ms"] = Json(wall_ms);
     j["throughput_rps"] =
         Json(wall_ms > 0
@@ -225,6 +228,12 @@ runSocketMode(ServingService &service, InferenceEngine &engine,
         static_cast<std::size_t>(args.getInt("io-threads", 0));
     config.max_connections =
         static_cast<std::size_t>(args.getInt("max-connections", 1024));
+    // All three shed paths (connection limit here, engine sheds and
+    // submit-time overloads inside ServingService) advertise the same
+    // backlog-derived Retry-After.
+    config.retry_after_hint = [&engine] {
+        return engine.retryAfterSeconds();
+    };
 
     HttpServer server(config, [&service](HttpRequest &&request) {
         return service.handle(std::move(request));
@@ -307,8 +316,19 @@ main(int argc, char **argv)
             batching.max_queue = static_cast<std::size_t>(
                 b.numberOr("max_queue", batching.max_queue));
         }
+        // Two passes: models first, then ensembles, so an ensemble may
+        // name members declared later in the file. Duplicate names are
+        // a manifest error — silently hot-swapping the earlier entry
+        // almost certainly serves the wrong model.
+        std::set<std::string> seen;
         for (const Json &entry : manifest.at("models").asArray()) {
             const std::string &name = entry.at("name").asString();
+            if (!seen.insert(name).second)
+                throw JsonError("manifest declares model \"" + name +
+                                "\" more than once");
+            if (entry.has("kind") &&
+                entry.at("kind").asString() == "ensemble")
+                continue;
             if (entry.has("checkpoint")) {
                 registry.registerCheckpoint(
                     name, entry.at("checkpoint").asString());
@@ -334,6 +354,31 @@ main(int argc, char **argv)
                              name.c_str(),
                              registry.acquire(name)->spec().size,
                              registry.acquire(name)->spec().size);
+        }
+        for (const Json &entry : manifest.at("models").asArray()) {
+            if (!entry.has("kind") ||
+                entry.at("kind").asString() != "ensemble")
+                continue;
+            EnsembleSpec spec;
+            spec.name = entry.at("name").asString();
+            for (const Json &member : entry.at("members").asArray())
+                spec.members.push_back(member.asString());
+            if (entry.has("fusion")) {
+                try {
+                    spec.fusion =
+                        fusionRuleFromName(entry.at("fusion").asString());
+                } catch (const std::invalid_argument &e) {
+                    throw JsonError(e.what());
+                }
+            }
+            const std::size_t fan = spec.members.size();
+            // Self-referencing or missing members are rejected here
+            // (registerEnsemble validates against the registry).
+            registry.registerEnsemble(std::move(spec));
+            if (!quiet)
+                std::fprintf(stderr,
+                             "[serve] registered %s (ensemble of %zu)\n",
+                             entry.at("name").asString().c_str(), fan);
         }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "lightridge_serve: bad manifest %s: %s\n",

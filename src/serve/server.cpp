@@ -126,6 +126,8 @@ serveResponseJson(const InferResponse &response, int label,
     j["model"] = Json(response.model);
     j["status"] = Json(std::string(serveStatusName(response.status)));
     j["latency_ms"] = Json(response.latency_ms);
+    if (response.fan_out > 0)
+        j["fan_out"] = Json(response.fan_out);
     if (response.ok()) {
         j["prediction"] = Json(response.prediction);
         if (label >= 0)
@@ -362,7 +364,9 @@ HttpServer::acceptReady(std::vector<std::unique_ptr<Connection>> &conns)
             HttpResponse reject;
             reject.status = 503;
             reject.content_type = "text/plain";
-            reject.headers["Retry-After"] = "1";
+            reject.headers["Retry-After"] = std::to_string(
+                config_.retry_after_hint ? config_.retry_after_hint()
+                                         : 1);
             reject.body = "connection limit reached\n";
             const std::string bytes =
                 serializeHttpResponse(reject, false);
@@ -655,7 +659,8 @@ ServingService::renderHttp(const InferResponse &response,
     HttpResponse http;
     http.status = httpStatusForServeStatus(response.status);
     if (response.status == ServeStatus::Overloaded)
-        http.headers["Retry-After"] = "1";
+        http.headers["Retry-After"] =
+            std::to_string(engine_.retryAfterSeconds());
     http.body = responseJson(response, label).dump() + "\n";
     return http;
 }
@@ -747,7 +752,8 @@ ServingService::inferRoute(const std::string &model,
         future = engine_.submit(std::move(parsed.request));
     } catch (const std::exception &e) {
         out.response = jsonError(503, "overloaded", e.what());
-        out.response.headers["Retry-After"] = "1";
+        out.response.headers["Retry-After"] =
+            std::to_string(engine_.retryAfterSeconds());
         return out;
     }
     out.deferred = std::make_unique<InferReply>(std::move(future),

@@ -130,6 +130,16 @@ struct HttpServerConfig
     std::size_t max_connections = 1024; ///< across all IO threads
     int idle_timeout_ms = 30000;        ///< keep-alive idle cutoff
     HttpParser::Limits limits;
+
+    /**
+     * Seconds for the Retry-After header on connection-limit 503s.
+     * The transport has no engine reference, so the owner wires this to
+     * `InferenceEngine::retryAfterSeconds` and all three shed paths
+     * (connection limit, engine shed, submit-time overload) advertise
+     * one consistently derived backoff. Unset falls back to 1s.
+     * Called from IO threads — must be thread-safe and non-blocking.
+     */
+    std::function<int()> retry_after_hint;
 };
 
 /** Transport-level counters (rendered under /metrics next to the

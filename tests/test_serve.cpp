@@ -15,6 +15,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -589,6 +590,449 @@ TEST(InferenceEngine, DrainWaitsForAllWork)
         EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
                   std::future_status::ready);
 }
+
+// ---------------------------------------------------------------------
+// Ensemble mode
+// ---------------------------------------------------------------------
+
+/** Every non-Ok response obeys the documented InferResponse invariant:
+ *  empty logits, prediction -1, non-empty error. */
+void
+expectFailureContract(const InferResponse &response)
+{
+    ASSERT_NE(response.status, ServeStatus::Ok);
+    EXPECT_TRUE(response.logits.empty())
+        << serveStatusName(response.status);
+    EXPECT_EQ(response.prediction, -1)
+        << serveStatusName(response.status);
+    EXPECT_FALSE(response.error.empty())
+        << serveStatusName(response.status);
+}
+
+TEST(Fusion, RulesAreDeterministicAndDocumented)
+{
+    const std::vector<std::vector<Real>> members = {
+        {Real(1), Real(3), Real(2)},
+        {Real(2), Real(0), Real(4)},
+    };
+    std::vector<Real> fused;
+
+    // mean_logits: class-wise sum, then one scale by 1/N.
+    fuseLogits(FusionRule::MeanLogits, members, fused);
+    ASSERT_EQ(fused.size(), 3u);
+    for (std::size_t c = 0; c < 3; ++c)
+        EXPECT_EQ(fused[c],
+                  (members[0][c] + members[1][c]) * (Real(1) / Real(2)));
+
+    // mean_probs: a probability distribution (sums to ~1).
+    fuseLogits(FusionRule::MeanProbs, members, fused);
+    Real total = 0;
+    for (Real p : fused) {
+        EXPECT_GT(p, Real(0));
+        total += p;
+    }
+    EXPECT_NEAR(static_cast<double>(total), 1.0, 1e-6);
+
+    // vote: per-member argmax counts; ties break to the lowest class.
+    fuseLogits(FusionRule::Vote, members, fused);
+    EXPECT_EQ(fused, (std::vector<Real>{Real(0), Real(1), Real(1)}));
+    const std::vector<std::vector<Real>> tied = {
+        {Real(5), Real(5), Real(1)},
+    };
+    fuseLogits(FusionRule::Vote, tied, fused);
+    EXPECT_EQ(fused, (std::vector<Real>{Real(1), Real(0), Real(0)}));
+
+    EXPECT_THROW(fuseLogits(FusionRule::MeanLogits, {}, fused),
+                 std::invalid_argument);
+    const std::vector<std::vector<Real>> ragged = {
+        {Real(1), Real(2)},
+        {Real(1), Real(2), Real(3)},
+    };
+    EXPECT_THROW(fuseLogits(FusionRule::MeanLogits, ragged, fused),
+                 std::invalid_argument);
+
+    for (const FusionRule rule :
+         {FusionRule::MeanLogits, FusionRule::MeanProbs, FusionRule::Vote})
+        EXPECT_EQ(fusionRuleFromName(fusionRuleName(rule)), rule);
+    EXPECT_THROW(fusionRuleFromName("median"), std::invalid_argument);
+}
+
+TEST(ModelRegistry, EnsembleDeclarationAndValidation)
+{
+    ModelRegistry registry;
+    registry.registerModel("a", tinyModel(16, 1));
+    registry.registerModel("b", tinyModel(16, 2));
+
+    EnsembleSpec spec;
+    spec.name = "duo";
+    spec.members = {"a", "b"};
+    registry.registerEnsemble(spec);
+
+    EXPECT_TRUE(registry.isEnsemble("duo"));
+    EXPECT_FALSE(registry.isEnsemble("a"));
+    EXPECT_TRUE(registry.has("duo"));
+    EXPECT_EQ(registry.size(), 3u);
+    const std::vector<std::string> names = registry.names();
+    EXPECT_NE(std::find(names.begin(), names.end(), "duo"), names.end());
+
+    // An ensemble name has no single instance to acquire.
+    EXPECT_THROW(registry.acquire("duo"), UnknownModelError);
+
+    ResolvedEnsemble resolved = registry.resolveEnsemble("duo");
+    ASSERT_EQ(resolved.members.size(), 2u);
+    EXPECT_EQ(resolved.spec.name, "duo");
+    EXPECT_EQ(resolved.members[0], registry.acquire("a"));
+
+    // Validation: empty members, self-reference, missing member,
+    // nesting, model/ensemble name collisions (both directions).
+    EnsembleSpec bad;
+    bad.name = "empty";
+    EXPECT_THROW(registry.registerEnsemble(bad), std::invalid_argument);
+    bad.name = "selfish";
+    bad.members = {"a", "selfish"};
+    EXPECT_THROW(registry.registerEnsemble(bad), std::invalid_argument);
+    bad.name = "ghostly";
+    bad.members = {"a", "ghost"};
+    EXPECT_THROW(registry.registerEnsemble(bad), std::invalid_argument);
+    bad.name = "nested";
+    bad.members = {"duo"};
+    EXPECT_THROW(registry.registerEnsemble(bad), std::invalid_argument);
+    bad.name = "a"; // collides with a registered model
+    bad.members = {"b"};
+    EXPECT_THROW(registry.registerEnsemble(bad), std::invalid_argument);
+    EXPECT_THROW(registry.registerModel("duo", tinyModel(16, 3)),
+                 std::invalid_argument);
+
+    // Unloading a member keeps the ensemble declared but unresolvable.
+    EXPECT_TRUE(registry.unload("a"));
+    EXPECT_TRUE(registry.isEnsemble("duo"));
+    EXPECT_THROW(registry.resolveEnsemble("duo"), UnknownModelError);
+    registry.registerModel("a", tinyModel(16, 1));
+    EXPECT_NO_THROW(registry.resolveEnsemble("duo"));
+
+    EXPECT_TRUE(registry.unload("duo"));
+    EXPECT_FALSE(registry.has("duo"));
+    EXPECT_THROW(registry.resolveEnsemble("duo"), UnknownModelError);
+}
+
+TEST(InferenceEngine, EnsembleFusionMatchesOfflineFusion)
+{
+    ModelRegistry registry;
+    registry.registerModel("m1", tinyModel(16, 11));
+    registry.registerModel("m2", tinyModel(16, 12));
+    registry.registerModel("m3", tinyModel(16, 13));
+    const std::vector<std::shared_ptr<const DonnModel>> members = {
+        registry.acquire("m1"), registry.acquire("m2"),
+        registry.acquire("m3")};
+    const std::vector<FusionRule> rules = {
+        FusionRule::MeanLogits, FusionRule::MeanProbs, FusionRule::Vote};
+    for (const FusionRule rule : rules) {
+        EnsembleSpec spec;
+        spec.name = std::string("ens_") + fusionRuleName(rule);
+        spec.members = {"m1", "m2", "m3"};
+        spec.fusion = rule;
+        registry.registerEnsemble(spec);
+    }
+
+    InferenceEngine engine(registry);
+    const std::vector<RealMap> frames = testFrames(6);
+    for (const FusionRule rule : rules) {
+        const std::string name =
+            std::string("ens_") + fusionRuleName(rule);
+        std::vector<std::future<InferResponse>> futures;
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            InferRequest request;
+            request.model = name;
+            request.image = frames[i];
+            request.id = i + 1;
+            futures.push_back(engine.submit(std::move(request)));
+        }
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            const InferResponse response = futures[i].get();
+            ASSERT_EQ(response.status, ServeStatus::Ok)
+                << fusionRuleName(rule) << ": " << response.error;
+            EXPECT_EQ(response.id, i + 1);
+            EXPECT_EQ(response.model, name);
+            EXPECT_EQ(response.fan_out, 3u);
+            EXPECT_GE(response.batch_size, 1u);
+
+            // Bitwise parity: the engine's fused logits equal offline
+            // fusion of the members' direct inference outputs.
+            std::vector<std::vector<Real>> member_logits;
+            for (const auto &member : members)
+                member_logits.push_back(directLogits(*member, frames[i]));
+            std::vector<Real> expected;
+            fuseLogits(rule, member_logits, expected);
+            EXPECT_EQ(response.logits, expected) << fusionRuleName(rule);
+            EXPECT_EQ(response.prediction,
+                      static_cast<int>(
+                          std::max_element(expected.begin(),
+                                           expected.end()) -
+                          expected.begin()));
+        }
+    }
+    engine.drain();
+
+    const EngineStats stats = engine.stats();
+    const std::size_t calls = rules.size() * frames.size();
+    EXPECT_EQ(stats.ensembles, calls);
+    EXPECT_EQ(stats.fan_out, calls * 3);
+    // Each ensemble call = 3 member sub-requests + 1 fused response.
+    EXPECT_EQ(stats.requests, calls * 4);
+    EXPECT_EQ(stats.failed, 0u);
+    const ServeMetrics &metrics = engine.metrics();
+    EXPECT_EQ(metrics.requestCount(), stats.requests);
+    EXPECT_EQ(metrics.ensembleCount(), stats.ensembles);
+    EXPECT_EQ(metrics.ensembleFanOut(), stats.fan_out);
+    EXPECT_NE(metrics.renderPrometheus().find(
+                  "lightridge_ensemble_fan_out_total"),
+              std::string::npos);
+}
+
+TEST(InferenceEngine, EnsembleMemberShedFailsTheFusedResponse)
+{
+    ModelRegistry registry;
+    registry.registerModel("a", tinyModel(16, 1));
+    registry.registerModel("b", tinyModel(16, 2));
+    EnsembleSpec spec;
+    spec.name = "duo";
+    spec.members = {"a", "b"};
+    registry.registerEnsemble(spec);
+
+    InferenceEngine engine(registry);
+    engine.setModelQuota("a", 1);
+    engine.pause();
+
+    // Fill member a's quota with a plain request, then fan out: the
+    // ensemble's sub-request for a is shed (equal priority never
+    // evicts), so the fused response fails Overloaded.
+    InferRequest plain;
+    plain.model = "a";
+    plain.image = testFrames(1)[0];
+    std::future<InferResponse> plain_future =
+        engine.submit(std::move(plain));
+
+    InferRequest fanout;
+    fanout.model = "duo";
+    fanout.image = testFrames(1)[0];
+    std::future<InferResponse> fused_future =
+        engine.submit(std::move(fanout));
+
+    engine.resume();
+    const InferResponse fused = fused_future.get();
+    EXPECT_EQ(fused.status, ServeStatus::Overloaded);
+    expectFailureContract(fused);
+    EXPECT_NE(fused.error.find("\"a\""), std::string::npos)
+        << fused.error;
+    EXPECT_EQ(plain_future.get().status, ServeStatus::Ok);
+
+    engine.drain();
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.failed, 2u); // the shed member + the fused parent
+    EXPECT_EQ(engine.metrics().requestCount(), stats.requests);
+}
+
+TEST(InferenceEngine, EnsembleDeadlineExpiryMapsToDeadlineExceeded)
+{
+    ModelRegistry registry;
+    registry.registerModel("a", tinyModel(16, 1));
+    registry.registerModel("b", tinyModel(16, 2));
+    EnsembleSpec spec;
+    spec.name = "duo";
+    spec.members = {"a", "b"};
+    registry.registerEnsemble(spec);
+
+    InferenceEngine engine(registry);
+    engine.pause(); // both members queued, then swept on resume
+
+    InferRequest doomed;
+    doomed.model = "duo";
+    doomed.image = testFrames(1)[0];
+    doomed.deadline = std::chrono::milliseconds(-1);
+    std::future<InferResponse> future = engine.submit(std::move(doomed));
+
+    engine.resume();
+    const InferResponse response = future.get();
+    EXPECT_EQ(response.status, ServeStatus::DeadlineExceeded);
+    expectFailureContract(response);
+    EXPECT_EQ(response.batch_size, 0u);
+
+    engine.drain();
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.expired, 2u); // both member sub-requests
+    EXPECT_EQ(stats.failed, 3u);
+    EXPECT_EQ(stats.requests, 3u);
+    EXPECT_EQ(stats.batches, 0u); // nothing reached a batch slot
+}
+
+TEST(InferenceEngine, EnsembleAfterMemberUnloadIsUnknownModel)
+{
+    ModelRegistry registry;
+    registry.registerModel("a", tinyModel(16, 1));
+    registry.registerModel("b", tinyModel(16, 2));
+    EnsembleSpec spec;
+    spec.name = "duo";
+    spec.members = {"a", "b"};
+    registry.registerEnsemble(spec);
+    registry.unload("b");
+
+    InferenceEngine engine(registry);
+    InferRequest request;
+    request.model = "duo";
+    request.image = testFrames(1)[0];
+    const InferResponse response = engine.inferNow(std::move(request));
+    EXPECT_EQ(response.status, ServeStatus::UnknownModel);
+    expectFailureContract(response);
+    EXPECT_NE(response.error.find("b"), std::string::npos);
+}
+
+TEST(InferenceEngine, UnloadMemberWhileEnsembleBusyIsSafe)
+{
+    ModelRegistry registry;
+    DonnModel original = tinyModel(16, 1);
+    DonnModel replacement = original.clone(); // same weights: fused
+                                              // results stay comparable
+    registry.registerModel("a", std::move(original));
+    registry.registerModel("b", tinyModel(16, 2));
+    EnsembleSpec spec;
+    spec.name = "duo";
+    spec.members = {"a", "b"};
+    registry.registerEnsemble(spec);
+
+    const std::vector<RealMap> frames = testFrames(4);
+    std::vector<std::vector<Real>> expected;
+    {
+        std::shared_ptr<const DonnModel> a = registry.acquire("a");
+        std::shared_ptr<const DonnModel> b = registry.acquire("b");
+        for (const RealMap &frame : frames) {
+            std::vector<Real> fused;
+            fuseLogits(FusionRule::MeanLogits,
+                       {directLogits(*a, frame), directLogits(*b, frame)},
+                       fused);
+            expected.push_back(std::move(fused));
+        }
+    }
+
+    InferenceEngine engine(registry);
+    std::atomic<int> wrong{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < 3; ++c) {
+        clients.emplace_back([&, c] {
+            for (int round = 0; round < 12; ++round) {
+                const std::size_t i = (c + round) % frames.size();
+                InferRequest request;
+                request.model = "duo";
+                request.image = frames[i];
+                InferResponse response =
+                    engine.inferNow(std::move(request));
+                if (response.status == ServeStatus::UnknownModel) {
+                    ++rejected; // raced an unload window: acceptable
+                } else if (response.status != ServeStatus::Ok ||
+                           response.logits != expected[i]) {
+                    ++wrong;
+                }
+            }
+        });
+    }
+
+    // Hot-swap and briefly unload a member while clients hammer the
+    // ensemble. In-flight requests finish on their pinned instances.
+    for (int round = 0; round < 6; ++round) {
+        registry.registerModel("a", replacement.clone());
+        std::this_thread::yield();
+        registry.unload("a");
+        registry.registerModel("a", replacement.clone());
+    }
+    for (std::thread &t : clients)
+        t.join();
+    EXPECT_EQ(wrong.load(), 0);
+    engine.drain();
+}
+
+TEST(InferenceEngine, RetryAfterSecondsStaysClamped)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    InferenceEngine engine(registry);
+    EXPECT_EQ(engine.retryAfterSeconds(), 1); // idle engine: minimum
+
+    InferRequest request;
+    request.model = "m";
+    request.image = testFrames(1)[0];
+    engine.inferNow(std::move(request));
+    const int after = engine.retryAfterSeconds();
+    EXPECT_GE(after, 1);
+    EXPECT_LE(after, 60);
+}
+
+TEST(InferenceEngine, NonOkResponsesKeepTheContract)
+{
+    ModelRegistry registry;
+    registry.registerModel("m", tinyModel(16, 1));
+    InferenceEngine engine(registry);
+
+    InferRequest ghost;
+    ghost.model = "ghost";
+    ghost.image = testFrames(1)[0];
+    expectFailureContract(engine.inferNow(std::move(ghost)));
+
+    InferRequest late;
+    late.model = "m";
+    late.image = testFrames(1)[0];
+    late.deadline = std::chrono::milliseconds(-1);
+    expectFailureContract(engine.inferNow(std::move(late)));
+
+    engine.setModelQuota("m", 1);
+    engine.pause();
+    InferRequest fill;
+    fill.model = "m";
+    fill.image = testFrames(1)[0];
+    std::future<InferResponse> queued = engine.submit(std::move(fill));
+    InferRequest extra;
+    extra.model = "m";
+    extra.image = testFrames(1)[0];
+    std::future<InferResponse> shed = engine.submit(std::move(extra));
+    expectFailureContract(shed.get());
+    engine.resume();
+    EXPECT_EQ(queued.get().status, ServeStatus::Ok);
+    engine.drain();
+}
+
+#if defined(LIGHTRIDGE_ALLOC_STATS)
+TEST(InferenceEngine, SteadyStateEnsembleServingAllocatesNoFields)
+{
+    ModelRegistry registry;
+    registry.registerModel("a", tinyModel(16, 1));
+    registry.registerModel("b", tinyModel(16, 2));
+    EnsembleSpec spec;
+    spec.name = "duo";
+    spec.members = {"a", "b"};
+    registry.registerEnsemble(spec);
+    InferenceEngine engine(registry);
+    const std::vector<RealMap> frames = testFrames(6);
+
+    auto burst = [&] {
+        std::vector<std::future<InferResponse>> futures;
+        for (const RealMap &frame : frames) {
+            InferRequest request;
+            request.model = "duo";
+            request.image = frame;
+            futures.push_back(engine.submit(std::move(request)));
+        }
+        for (auto &future : futures)
+            ASSERT_EQ(future.get().status, ServeStatus::Ok);
+    };
+
+    burst(); // warm arenas, plans, modulation tables
+    engine.drain();
+    resetFieldAllocCount();
+    burst(); // steady state: fan-out borrows the parent frame in place
+    engine.drain();
+    EXPECT_EQ(fieldAllocCount(), 0u);
+}
+#endif
 
 #if defined(LIGHTRIDGE_ALLOC_STATS)
 TEST(InferenceEngine, SteadyStateServingAllocatesNoFields)
