@@ -13,6 +13,7 @@
  */
 #include <cstdio>
 
+#include "api/robustness.hpp"
 #include "bench_common.hpp"
 #include "core/trainer.hpp"
 #include "data/synth_digits.hpp"
@@ -54,12 +55,15 @@ runOne(const ClassDataset &train, const ClassDataset &test,
     EvalResult clean = evaluateWithConfidence(model, test);
     out.acc = clean.accuracy;
     out.confidence = clean.confidence;
-    const Real noise_levels[3] = {0.01, 0.03, 0.05};
-    for (int k = 0; k < 3; ++k) {
-        Rng nrng(7);
+    // Detector-noise curve via the shared robustness engine (same seeded
+    // readout draws the old hand-rolled loop used).
+    RobustnessSweepConfig sweep;
+    sweep.detector_noise = {0.01, 0.03, 0.05};
+    sweep.seed = 7;
+    RobustnessReport report = robustnessSweep(model, test, sweep);
+    for (int k = 0; k < 3; ++k)
         out.acc_noise[k] =
-            evaluateAccuracy(model, test, noise_levels[k], &nrng);
-    }
+            report.accuracyAt("detector", sweep.detector_noise[k]);
     return out;
 }
 

@@ -69,7 +69,28 @@ main()
                 retained(rows[0]), retained(rows[1]), retained(rows[2]));
     std::printf("paper shape: unit size drops hardest (0.97 -> ~0.3 at "
                 "+-5%%), wavelength/distance milder (~0.7)\n");
+    std::printf("applied perturbation at +10%%: wavelength %.3g m, "
+                "distance %.3g m, unit size %.3g m\n",
+                rows[0].applied.back(), rows[1].applied.back(),
+                rows[2].applied.back());
 
     bench::saveCsv(csv, "table3_sensitivity");
+
+    Json artifact;
+    artifact["bench"] = Json("table3_sensitivity");
+    artifact["scale"] = Json(benchFullScale() ? "full" : "quick");
+    Json base_j;
+    base_j["wavelength"] = Json(base.wavelength);
+    base_j["unit_size"] = Json(base.unit_size);
+    base_j["distance"] = Json(base.distance);
+    artifact["base"] = std::move(base_j);
+    Json rows_j;
+    for (const auto &row : rows)
+        rows_j.push(row.toJson());
+    artifact["rows"] = std::move(rows_j);
+    const std::string json_path =
+        bench::resultsDir() + "/BENCH_table3_sensitivity.json";
+    if (artifact.save(json_path))
+        std::printf("[json] %s\n", json_path.c_str());
     return 0;
 }

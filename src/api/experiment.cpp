@@ -360,6 +360,8 @@ ExperimentSpec::toJson() const
     j["detector"] = std::move(det);
 
     j["train"] = trainConfigToJson(train);
+    if (perturbation.active())
+        j["perturbation"] = perturbation.toJson();
     return j;
 }
 
@@ -368,7 +370,8 @@ ExperimentSpec::fromJson(const Json &j)
 {
     expectKeys(j,
                {"name", "task", "dataset", "data", "system", "wavelength",
-                "model_seed", "layers", "detector", "train"},
+                "model_seed", "layers", "detector", "train",
+                "perturbation"},
                "experiment");
     ExperimentSpec spec;
     if (j.has("name"))
@@ -438,6 +441,8 @@ ExperimentSpec::fromJson(const Json &j)
 
     if (j.has("train"))
         spec.train = trainConfigFromJson(j.at("train"));
+    if (j.has("perturbation"))
+        spec.perturbation = PerturbationSpec::fromJson(j.at("perturbation"));
     return spec;
 }
 
@@ -543,8 +548,12 @@ buildSpecModel(const ExperimentSpec &spec, std::size_t num_classes,
 ExperimentResult
 runExperiment(const ExperimentSpec &spec,
               const Session::Callback &epoch_callback,
-              const std::string &save_model_path)
+              const std::string &save_model_path,
+              const RobustnessSweepConfig *robustness_sweep)
 {
+    if (robustness_sweep != nullptr && spec.task != "classification")
+        throw JsonError("robustness sweep requires a classification task, "
+                        "got: " + spec.task);
     ExperimentResult result;
     result.name = spec.name;
     result.task = spec.task;
@@ -597,8 +606,14 @@ runExperiment(const ExperimentSpec &spec,
         result.num_classes = classes;
         DonnModel model = buildSpecModel(spec, classes, &rng);
         ClassificationTask task(model, train, &test);
+        task.setPerturbationSpec(spec.perturbation);
         runSession(task);
         result.final_metrics = task.evaluate();
+        if (robustness_sweep != nullptr) {
+            result.robustness =
+                robustnessSweep(model, test, *robustness_sweep);
+            result.has_robustness = true;
+        }
     } else if (spec.task == "segmentation") {
         if (spec.dataset != "city")
             throw JsonError("segmentation task needs dataset city, got: " +
@@ -614,6 +629,7 @@ runExperiment(const ExperimentSpec &spec,
         // the full detector-plane intensity map.
         DonnModel model = buildSpecModel(spec, 2, &rng);
         SegmentationTask task(model, train, &test);
+        task.setPerturbationSpec(spec.perturbation);
         runSession(task);
         result.final_metrics = task.evaluate();
         result.secondary = task.evaluateMse(test);
@@ -621,6 +637,9 @@ runExperiment(const ExperimentSpec &spec,
         if (spec.dataset != "scenes")
             throw JsonError("rgb task needs dataset scenes, got: " +
                             spec.dataset);
+        if (spec.perturbation.active())
+            throw JsonError("perturbation-vaccinated training is not "
+                            "supported for the rgb task");
         SceneConfig sc;
         if (spec.data.image_size > 0)
             sc.image_size = spec.data.image_size;
@@ -678,6 +697,9 @@ ExperimentResult::report(const ExperimentSpec &spec) const
     execution["pipeline"] = Json(pipeline);
     execution["hw_threads"] = Json(hw_threads);
     j["execution"] = std::move(execution);
+
+    if (has_robustness)
+        j["robustness"] = robustness.toJson();
 
     j["seconds"] = Json(seconds);
     return j;

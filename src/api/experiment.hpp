@@ -19,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "api/robustness.hpp"
 #include "core/session.hpp"
 #include "core/task.hpp"
+#include "optics/perturbation.hpp"
 #include "utils/json.hpp"
 
 namespace lightridge {
@@ -129,6 +131,14 @@ struct ExperimentSpec
     DetectorSpec detector;
     TrainConfig train;
 
+    /**
+     * Misalignment-vaccinated training: per-batch fabrication/alignment
+     * errors injected into every free-space hop during training (lateral
+     * shift, axial jitter, phase noise). Defaults to inactive — specs
+     * without a "perturbation" block train exactly as before.
+     */
+    PerturbationSpec perturbation;
+
     /** Serialize (enums as strings, layers verbatim). */
     Json toJson() const;
 
@@ -166,8 +176,15 @@ struct ExperimentResult
     bool pipeline = false;
     std::size_t hw_threads = 0;
 
+    /**
+     * Post-training accuracy-vs-error sweep (when requested); empty
+     * points otherwise. Serialized as the report's "robustness" block.
+     */
+    RobustnessReport robustness;
+    bool has_robustness = false;
+
     /** Full JSON report (spec echo + per-epoch stats + final metrics +
-     *  execution block). */
+     *  execution block + optional robustness block). */
     Json report(const ExperimentSpec &spec) const;
 };
 
@@ -192,10 +209,14 @@ DonnModel buildSpecModel(const ExperimentSpec &spec, std::size_t num_classes,
  *        checkpointed here after training (the serving onboarding path:
  *        train with lightridge_run, register the checkpoint with
  *        lightridge_serve)
+ * @param robustness_sweep when non-null, run an accuracy-vs-error sweep
+ *        on the trained model over the test set (classification only;
+ *        throws JsonError for other tasks)
  */
 ExperimentResult
 runExperiment(const ExperimentSpec &spec,
               const Session::Callback &epoch_callback = nullptr,
-              const std::string &save_model_path = "");
+              const std::string &save_model_path = "",
+              const RobustnessSweepConfig *robustness_sweep = nullptr);
 
 } // namespace lightridge

@@ -1,0 +1,180 @@
+#include "api/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/task.hpp"
+#include "optics/perturbation.hpp"
+#include "utils/rng.hpp"
+
+namespace lightridge {
+
+RobustnessSweepConfig
+RobustnessSweepConfig::defaults(const SystemSpec &system)
+{
+    RobustnessSweepConfig config;
+    const Real p = system.pixel;
+    config.lateral_shifts = {0.0, 0.5 * p, 1.0 * p, 2.0 * p};
+    const Real d = system.distance;
+    config.axial_shifts = {0.0, 0.01 * d, 0.02 * d, 0.05 * d};
+    config.phase_sigmas = {0.0, 0.1, 0.25, 0.5};
+    config.detector_noise = {0.0, 0.01, 0.03, 0.05};
+    return config;
+}
+
+Real
+RobustnessReport::accuracyAt(const std::string &axis, Real value) const
+{
+    Real best_dist = 0;
+    Real best_acc = 0;
+    bool found = false;
+    for (const RobustnessPoint &point : points) {
+        if (point.axis != axis)
+            continue;
+        Real dist = std::abs(point.value - value);
+        if (!found || dist < best_dist) {
+            found = true;
+            best_dist = dist;
+            best_acc = point.accuracy;
+        }
+    }
+    return best_acc;
+}
+
+Real
+RobustnessReport::meanAccuracy(const std::string &axis) const
+{
+    Real sum = 0;
+    std::size_t n = 0;
+    for (const RobustnessPoint &point : points)
+        if (point.axis == axis) {
+            sum += point.accuracy;
+            ++n;
+        }
+    return n > 0 ? sum / static_cast<Real>(n) : 0;
+}
+
+Real
+RobustnessReport::worstAccuracy(const std::string &axis) const
+{
+    Real worst = 0;
+    bool found = false;
+    for (const RobustnessPoint &point : points)
+        if (point.axis == axis && (!found || point.accuracy < worst)) {
+            found = true;
+            worst = point.accuracy;
+        }
+    return worst;
+}
+
+Json
+RobustnessReport::toJson() const
+{
+    Json j;
+    j["clean_accuracy"] = Json(clean_accuracy);
+    Json curves;
+    for (const char *axis : {"lateral", "axial", "phase", "detector"}) {
+        Json curve;
+        bool any = false;
+        for (const RobustnessPoint &point : points) {
+            if (point.axis != axis)
+                continue;
+            Json pj;
+            pj["value"] = Json(point.value);
+            pj["accuracy"] = Json(point.accuracy);
+            curve.push(std::move(pj));
+            any = true;
+        }
+        if (any)
+            curves[axis] = std::move(curve);
+    }
+    j["curves"] = std::move(curves);
+    return j;
+}
+
+namespace {
+
+/** Detach-on-scope-exit so a throwing evaluation never leaves the model
+ *  pointing at a dead realization. */
+struct PerturbationGuard
+{
+    DonnModel &model;
+
+    ~PerturbationGuard() { model.setPerturbation(nullptr); }
+};
+
+} // namespace
+
+RobustnessReport
+robustnessSweep(DonnModel &model, const ClassDataset &test,
+                const RobustnessSweepConfig &config)
+{
+    RobustnessReport report;
+    report.clean_accuracy = evaluateAccuracy(model, test);
+
+    const std::vector<const Propagator *> hops = modelLayerHops(model);
+    const Propagator *final_hop = model.hopPropagator().get();
+    PerturbationRealization realization;
+    realization.layers.resize(model.depth());
+    PerturbationGuard guard{model};
+
+    auto measure = [&](const char *axis, Real value) {
+        model.setPerturbation(&realization);
+        Real acc = evaluateAccuracy(model, test);
+        model.setPerturbation(nullptr);
+        report.points.push_back(RobustnessPoint{axis, value, acc});
+    };
+
+    auto fillHops = [&](Real dx, Real dz) {
+        realization.clear();
+        realization.layers.resize(model.depth());
+        for (std::size_t i = 0; i < hops.size(); ++i)
+            if (hops[i] != nullptr)
+                fillHopPerturbation(*hops[i], dx, 0.0, dz,
+                                    realization.layers[i].hop);
+        fillHopPerturbation(*final_hop, dx, 0.0, dz,
+                            realization.final_hop);
+    };
+
+    for (Real shift : config.lateral_shifts) {
+        fillHops(shift, 0.0);
+        measure("lateral", shift);
+    }
+    for (Real shift : config.axial_shifts) {
+        fillHops(0.0, shift);
+        measure("axial", shift);
+    }
+
+    const std::size_t n = model.spec().size;
+    for (Real sigma : config.phase_sigmas) {
+        realization.clear();
+        realization.layers.resize(model.depth());
+        // Fresh stream per sigma so each curve point stands alone
+        // (reordering or subsetting the grid cannot change a value).
+        Rng rng(config.seed);
+        for (std::size_t i = 0; i < hops.size(); ++i) {
+            if (hops[i] == nullptr || sigma <= 0)
+                continue;
+            LayerPerturbation &layer = realization.layers[i];
+            layer.has_noise = true;
+            layer.noise = Field(n, n);
+            layer.noise_conj = Field(n, n);
+            for (std::size_t u = 0; u < layer.noise.size(); ++u) {
+                Real eps = rng.normal(0.0, sigma);
+                layer.noise[u] = std::polar<Real>(1.0, eps);
+                layer.noise_conj[u] = std::polar<Real>(1.0, -eps);
+            }
+        }
+        measure("phase", sigma);
+    }
+
+    for (Real frac : config.detector_noise) {
+        Rng nrng(config.seed);
+        Real acc = evaluateAccuracy(model, test, frac, &nrng);
+        report.points.push_back(RobustnessPoint{"detector", frac, acc});
+    }
+
+    return report;
+}
+
+} // namespace lightridge

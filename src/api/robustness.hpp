@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Robustness scenario engine: accuracy-vs-error sweeps for trained DONNs.
+ *
+ * A deployed D2NN never sees its nominal geometry: layers sit laterally
+ * off-axis, inter-plane distances drift, phase masks carry fabrication
+ * noise, and detectors read out with shot noise. robustnessSweep()
+ * measures a trained model's accuracy across a deterministic grid of
+ * those errors — one curve per axis — reusing the same HopPerturbation
+ * machinery that misalignment-vaccinated training injects per batch, so
+ * the sweep measures exactly the error model training can vaccinate
+ * against. The resulting RobustnessReport serializes to JSON for bench
+ * artifacts, the lightridge_run results block, and the CI gates that
+ * check vaccinated >= unvaccinated accuracy under misalignment.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+#include "utils/json.hpp"
+
+namespace lightridge {
+
+/**
+ * Error grid for one sweep. Values are physical units: lateral/axial in
+ * metres, phase in radians, detector noise as an intensity fraction.
+ * Empty axes are skipped. Every lateral/axial value is applied to every
+ * free-space hop simultaneously (worst-case coherent stack-up: each
+ * plane offset by the value from its predecessor).
+ */
+struct RobustnessSweepConfig
+{
+    std::vector<Real> lateral_shifts; ///< per-hop lateral offset [m]
+    std::vector<Real> axial_shifts;   ///< per-hop distance error [m]
+    std::vector<Real> phase_sigmas;   ///< phase-screen stddev [rad]
+    std::vector<Real> detector_noise; ///< detector noise fraction
+    uint64_t seed = 7; ///< phase-screen / detector-noise draw seed
+
+    /**
+     * Default grid scaled to a system's geometry: lateral up to two
+     * diffraction units, axial up to 5% of the hop distance, phase up to
+     * 0.5 rad, detector noise up to 5% (the Fig. 7 levels).
+     */
+    static RobustnessSweepConfig defaults(const SystemSpec &system);
+};
+
+/** One measured point of a robustness curve. */
+struct RobustnessPoint
+{
+    std::string axis; ///< "lateral" | "axial" | "phase" | "detector"
+    Real value = 0;   ///< applied error (physical units)
+    Real accuracy = 0;
+};
+
+/** Accuracy-vs-error curves of one model over one test set. */
+struct RobustnessReport
+{
+    Real clean_accuracy = 0;
+    std::vector<RobustnessPoint> points;
+
+    /** Accuracy at the grid point of `axis` nearest to `value`. */
+    Real accuracyAt(const std::string &axis, Real value) const;
+
+    /** Mean accuracy over an axis' curve (0 when the axis is empty). */
+    Real meanAccuracy(const std::string &axis) const;
+
+    /** Minimum accuracy over an axis' curve (0 when empty). */
+    Real worstAccuracy(const std::string &axis) const;
+
+    /** {"clean_accuracy":..., "curves": {axis: [{value, accuracy}...]}} */
+    Json toJson() const;
+};
+
+/**
+ * Measure a trained model's accuracy across the config's error grids.
+ * Deterministic: fixed (model, test, config) always produces the same
+ * report, and the model is restored to its unperturbed state afterwards.
+ * @throws std::logic_error for Fraunhofer models (no convolution kernel
+ *         to perturb) when a lateral or axial axis is non-empty
+ */
+RobustnessReport robustnessSweep(DonnModel &model, const ClassDataset &test,
+                                 const RobustnessSweepConfig &config);
+
+} // namespace lightridge

@@ -6,7 +6,7 @@
  *   lightridge_run <spec.json> [spec2.json ...]
  *                  [--out=results.json] [--out-dir=DIR]
  *                  [--save-model=ckpt.json] [--dump-spec]
- *                  [--workers=N] [--quiet]
+ *                  [--workers=N] [--quiet] [--robustness-sweep]
  *
  * Single-spec runs behave as before (--out names the report). Passing
  * several specs (listed before any flags) enters batch mode: the specs
@@ -14,7 +14,10 @@
  * transfer-function caches are shared across every experiment, and each
  * report lands in --out-dir (default ".") as <name>_results.json.
  * --save-model checkpoints the trained model (single-spec only) — the
- * handoff point to lightridge_serve.
+ * handoff point to lightridge_serve. --robustness-sweep additionally
+ * measures the trained model's accuracy-vs-misalignment curves (lateral,
+ * axial, phase, detector noise; grid scaled to the system geometry) and
+ * adds them to the report's "robustness" block (classification only).
  *
  * The spec format is documented in api/experiment.hpp (see
  * examples/specs/ for runnable samples). Exit codes: 0 success,
@@ -42,17 +45,20 @@ usage()
         "                      [--out=results.json] [--out-dir=DIR]\n"
         "                      [--save-model=ckpt.json] [--dump-spec]\n"
         "                      [--workers=N] [--quiet]\n"
+        "                      [--robustness-sweep]\n"
         "\n"
         "Executes declarative DONN experiment specs (task: "
         "classification,\nsegmentation, or rgb) through the Task/Session "
         "engine and writes\nJSON results reports. Several specs run in "
-        "one process sharing\nthe propagation caches (batch mode).\n");
+        "one process sharing\nthe propagation caches (batch mode).\n"
+        "--robustness-sweep adds accuracy-vs-misalignment curves to the\n"
+        "report (classification specs only).\n");
 }
 
 /** Run one spec: train, report, optionally checkpoint. 0 on success. */
 int
 runOne(const ExperimentSpec &spec, const std::string &out_path,
-       const std::string &save_model, bool quiet)
+       const std::string &save_model, bool quiet, bool sweep)
 {
     std::printf("[lightridge_run] %s: task=%s dataset=%s size=%zu "
                 "epochs=%d workers=%zu%s\n",
@@ -74,7 +80,12 @@ runOne(const ExperimentSpec &spec, const std::string &out_path,
 
     ExperimentResult result;
     try {
-        result = runExperiment(spec, progress, save_model);
+        RobustnessSweepConfig sweep_config;
+        if (sweep)
+            sweep_config =
+                RobustnessSweepConfig::defaults(spec.resolvedSystem());
+        result = runExperiment(spec, progress, save_model,
+                               sweep ? &sweep_config : nullptr);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "lightridge_run: %s: %s\n", spec.name.c_str(),
                      e.what());
@@ -100,6 +111,16 @@ runOne(const ExperimentSpec &spec, const std::string &out_path,
                         ? 1.0 / static_cast<double>(result.num_classes)
                         : 0.0,
                     result.workers_used, result.seconds, out_path.c_str());
+    }
+    if (sweep) {
+        std::printf("[robustness] clean=%.3f lateral(worst)=%.3f "
+                    "axial(worst)=%.3f phase(worst)=%.3f "
+                    "detector(worst)=%.3f\n",
+                    result.robustness.clean_accuracy,
+                    result.robustness.worstAccuracy("lateral"),
+                    result.robustness.worstAccuracy("axial"),
+                    result.robustness.worstAccuracy("phase"),
+                    result.robustness.worstAccuracy("detector"));
     }
     if (!save_model.empty())
         std::printf("[model] -> %s\n", save_model.c_str());
@@ -152,6 +173,7 @@ main(int argc, char **argv)
             spec.train.workers =
                 static_cast<std::size_t>(args.getInt("workers", 0));
     const bool quiet = args.getBool("quiet", false);
+    const bool sweep = args.getBool("robustness-sweep", false);
 
     if (args.has("dump-spec")) {
         for (const ExperimentSpec &spec : specs)
@@ -190,7 +212,8 @@ main(int argc, char **argv)
             specs.size() == 1
                 ? args.getString("out", stem + "_results.json")
                 : out_dir + "/" + stem + "_results.json";
-        failures += runOne(specs[s], out_path, save_model, quiet) != 0;
+        failures +=
+            runOne(specs[s], out_path, save_model, quiet, sweep) != 0;
     }
 
     if (specs.size() > 1)

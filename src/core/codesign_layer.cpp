@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "optics/perturbation.hpp"
+
 namespace lightridge {
 
 CodesignLayer::CodesignLayer(std::shared_ptr<const Propagator> propagator,
@@ -97,7 +99,9 @@ CodesignLayer::forwardInPlace(Field &u, bool training,
 
     const std::size_t n = sideLength();
     const std::size_t k = lut_.size();
-    propagator_->forwardInto(u, cached_diffracted_, workspace);
+    const LayerPerturbation *pert = perturb_;
+    propagator_->forwardInto(u, cached_diffracted_, workspace,
+                             pert ? &pert->hop : nullptr);
     ensureFieldShape(cached_modulation_, n, n);
 
     cached_probs_.resize(n * n * k);
@@ -111,6 +115,12 @@ CodesignLayer::forwardInPlace(Field &u, bool training,
     }
 
     ensureFieldShape(u, n, n);
+    if (pert && pert->has_noise) {
+        for (std::size_t i = 0; i < u.size(); ++i)
+            u[i] = gamma_ * cached_diffracted_[i] * cached_modulation_[i] *
+                   pert->noise[i];
+        return;
+    }
     for (std::size_t i = 0; i < u.size(); ++i)
         u[i] = gamma_ * cached_diffracted_[i] * cached_modulation_[i];
 }
@@ -140,8 +150,14 @@ void
 CodesignLayer::inferInPlace(Field &u, PropagationWorkspace &workspace) const
 {
     std::shared_ptr<const InferModulation> mod = inferModulation();
-    propagator_->forwardInto(u, u, workspace);
+    const LayerPerturbation *pert = perturb_;
+    propagator_->forwardInto(u, u, workspace, pert ? &pert->hop : nullptr);
     const Field &table = mod->table;
+    if (pert && pert->has_noise) {
+        for (std::size_t i = 0; i < u.size(); ++i)
+            u[i] = gamma_ * u[i] * table[i] * pert->noise[i];
+        return;
+    }
     for (std::size_t i = 0; i < u.size(); ++i)
         u[i] = gamma_ * u[i] * table[i];
 }
@@ -170,10 +186,14 @@ CodesignLayer::backwardInPlace(Field &g, PropagationWorkspace &workspace)
     if (cached_probs_.size() != n * n * k)
         throw std::logic_error("CodesignLayer::backward before forward");
 
+    const LayerPerturbation *pert = perturb_;
+    const bool noisy = pert && pert->has_noise;
     std::vector<Real> dldp(k);
     for (std::size_t i = 0; i < n * n; ++i) {
-        // dL/dp_j = Re(conj(G_out) * gamma * U_diff * m_j)
+        // dL/dp_j = Re(conj(G_out) * gamma * U_diff * e^{j eps} * m_j)
         Complex base = gamma_ * cached_diffracted_[i];
+        if (noisy)
+            base *= pert->noise[i];
         Complex gc = std::conj(g[i]);
         Real inner = 0;
         const Real *p = cached_probs_.data() + i * k;
@@ -187,9 +207,15 @@ CodesignLayer::backwardInPlace(Field &g, PropagationWorkspace &workspace)
             lg[j] += p[j] * (dldp[j] - inner) / tau_;
     }
 
-    for (std::size_t i = 0; i < g.size(); ++i)
-        g[i] = g[i] * std::conj(gamma_ * cached_modulation_[i]);
-    propagator_->adjointInto(g, g, workspace);
+    if (noisy) {
+        for (std::size_t i = 0; i < g.size(); ++i)
+            g[i] = g[i] * std::conj(gamma_ * cached_modulation_[i]) *
+                   pert->noise_conj[i];
+    } else {
+        for (std::size_t i = 0; i < g.size(); ++i)
+            g[i] = g[i] * std::conj(gamma_ * cached_modulation_[i]);
+    }
+    propagator_->adjointInto(g, g, workspace, pert ? &pert->hop : nullptr);
 }
 
 std::vector<ParamView>

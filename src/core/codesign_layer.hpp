@@ -51,6 +51,10 @@ class CodesignLayer : public Layer
     void backwardInPlace(Field &g, PropagationWorkspace &workspace) override;
     void inferInPlace(Field &u,
                       PropagationWorkspace &workspace) const override;
+    void setPerturbation(const LayerPerturbation *perturbation) override
+    {
+        perturb_ = perturbation;
+    }
     LayerPtr clone() const override;
     std::vector<ParamView> params() override;
     Json toJson() const override;
@@ -70,6 +74,8 @@ class CodesignLayer : public Layer
     void setGamma(Real gamma) { gamma_ = gamma; }
 
     const DeviceLut &lut() const { return lut_; }
+
+    const Propagator &propagator() const { return *propagator_; }
 
     /** Per-unit argmax device-level indices (the deployable weights). */
     std::vector<std::size_t> levelIndices() const;
@@ -130,6 +136,10 @@ class CodesignLayer : public Layer
     std::vector<Real> cached_probs_; // n*n*K soft assignments
     Field cached_diffracted_;
     Field cached_modulation_; // per-unit soft modulation M_i
+
+    // Attached misalignment realization (externally owned; see
+    // Layer::setPerturbation). Clones start detached.
+    const LayerPerturbation *perturb_ = nullptr;
 };
 
 } // namespace lightridge

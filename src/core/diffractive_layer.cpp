@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "optics/perturbation.hpp"
+
 namespace lightridge {
 
 DiffractiveLayer::DiffractiveLayer(
@@ -85,11 +87,25 @@ DiffractiveLayer::forwardInPlace(Field &u, bool training,
         return;
     }
     ensureModulation();
-    propagator_->forwardInto(u, cached_diffracted_, workspace);
+    const LayerPerturbation *p = perturb_;
+    propagator_->forwardInto(u, cached_diffracted_, workspace,
+                             p ? &p->hop : nullptr);
     ensureFieldShape(cached_out_, cached_diffracted_.rows(),
                      cached_diffracted_.cols());
     ensureFieldShape(u, cached_diffracted_.rows(),
                      cached_diffracted_.cols());
+    if (p && p->has_noise) {
+        // The phase screen multiplies into cached_out_ as well, so the
+        // phase-gradient identity dL/dphi = Re(conj(G) * j * U_out) in
+        // backwardInPlace() holds unchanged under noise.
+        for (std::size_t i = 0; i < cached_out_.size(); ++i) {
+            Complex v = gamma_ * cached_diffracted_[i] * modulation_[i] *
+                        p->noise[i];
+            cached_out_[i] = v;
+            u[i] = v;
+        }
+        return;
+    }
     for (std::size_t i = 0; i < cached_out_.size(); ++i) {
         Complex v = gamma_ * cached_diffracted_[i] * modulation_[i];
         cached_out_[i] = v;
@@ -120,8 +136,14 @@ DiffractiveLayer::inferInPlace(Field &u,
                                PropagationWorkspace &workspace) const
 {
     std::shared_ptr<const InferModulation> mod = inferModulation();
-    propagator_->forwardInto(u, u, workspace);
+    const LayerPerturbation *p = perturb_;
+    propagator_->forwardInto(u, u, workspace, p ? &p->hop : nullptr);
     const Field &table = mod->table;
+    if (p && p->has_noise) {
+        for (std::size_t i = 0; i < u.size(); ++i)
+            u[i] = gamma_ * u[i] * table[i] * p->noise[i];
+        return;
+    }
     for (std::size_t i = 0; i < u.size(); ++i)
         u[i] = gamma_ * u[i] * table[i];
 }
@@ -151,11 +173,18 @@ DiffractiveLayer::backwardInPlace(Field &g, PropagationWorkspace &workspace)
         phase_grad_[i] += std::real(std::conj(g[i]) * tangent);
     }
 
-    // G before modulation: G_diff = G_out * conj(gamma * e^{j phi}).
-    for (std::size_t i = 0; i < g.size(); ++i)
-        g[i] = g[i] * gamma_ * modulation_conj_[i];
+    const LayerPerturbation *p = perturb_;
+    // G before modulation: G_diff = G_out * conj(gamma * e^{j phi}),
+    // times conj(e^{j eps}) when a phase screen was applied.
+    if (p && p->has_noise) {
+        for (std::size_t i = 0; i < g.size(); ++i)
+            g[i] = g[i] * gamma_ * modulation_conj_[i] * p->noise_conj[i];
+    } else {
+        for (std::size_t i = 0; i < g.size(); ++i)
+            g[i] = g[i] * gamma_ * modulation_conj_[i];
+    }
 
-    propagator_->adjointInto(g, g, workspace);
+    propagator_->adjointInto(g, g, workspace, p ? &p->hop : nullptr);
 }
 
 std::vector<ParamView>

@@ -44,6 +44,10 @@ class DiffractiveLayer : public Layer
     void backwardInPlace(Field &g, PropagationWorkspace &workspace) override;
     void inferInPlace(Field &u,
                       PropagationWorkspace &workspace) const override;
+    void setPerturbation(const LayerPerturbation *perturbation) override
+    {
+        perturb_ = perturbation;
+    }
     LayerPtr clone() const override;
     std::vector<ParamView> params() override;
     Json toJson() const override;
@@ -118,6 +122,10 @@ class DiffractiveLayer : public Layer
     // Activation caches (training only).
     Field cached_diffracted_;
     Field cached_out_;
+
+    // Attached misalignment realization (externally owned; see
+    // Layer::setPerturbation). Clones start detached.
+    const LayerPerturbation *perturb_ = nullptr;
 };
 
 } // namespace lightridge

@@ -22,6 +22,8 @@
 
 namespace lightridge {
 
+struct LayerPerturbation;
+
 /** Mutable view of one trainable parameter buffer and its gradient. */
 struct ParamView
 {
@@ -90,6 +92,20 @@ class Layer
     {
         (void)workspace;
         u = infer(u);
+    }
+
+    /**
+     * Attach one sampled misalignment realization (or detach with
+     * nullptr). The pointed-to realization must outlive every
+     * forward/backward/infer call made while attached; it is read-only
+     * during compute, so several threads may evaluate one perturbed
+     * layer concurrently. Non-optical layers ignore the call. Clones
+     * start detached.
+     */
+    virtual void
+    setPerturbation(const LayerPerturbation *perturbation)
+    {
+        (void)perturbation;
     }
 
     /**

@@ -5,6 +5,7 @@
 
 #include "core/layer_norm.hpp"
 #include "core/skip.hpp"
+#include "optics/perturbation.hpp"
 
 namespace lightridge {
 
@@ -184,7 +185,8 @@ DonnModel::forwardFieldInPlace(Field &u, bool training,
     }
     for (LayerPtr &layer : layers_)
         layer->forwardInPlace(u, training, workspace);
-    propagator_->forwardInto(u, u, workspace);
+    propagator_->forwardInto(u, u, workspace,
+                             perturb_ ? &perturb_->final_hop : nullptr);
 }
 
 Field
@@ -200,7 +202,8 @@ DonnModel::inferFieldInPlace(Field &u, PropagationWorkspace &workspace) const
 {
     for (const LayerPtr &layer : layers_)
         layer->inferInPlace(u, workspace);
-    propagator_->forwardInto(u, u, workspace);
+    propagator_->forwardInto(u, u, workspace,
+                             perturb_ ? &perturb_->final_hop : nullptr);
 }
 
 std::vector<Field>
@@ -303,9 +306,23 @@ DonnModel::backwardField(const Field &grad_at_detector)
 void
 DonnModel::backwardFieldInPlace(Field &g, PropagationWorkspace &workspace)
 {
-    propagator_->adjointInto(g, g, workspace);
+    propagator_->adjointInto(g, g, workspace,
+                             perturb_ ? &perturb_->final_hop : nullptr);
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
         (*it)->backwardInPlace(g, workspace);
+}
+
+void
+DonnModel::setPerturbation(const PerturbationRealization *realization)
+{
+    perturb_ = realization;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const LayerPerturbation *lp =
+            (realization && i < realization->layers.size())
+                ? &realization->layers[i]
+                : nullptr;
+        layers_[i]->setPerturbation(lp);
+    }
 }
 
 DonnModel::DonnModel(SystemSpec spec, Laser laser,

@@ -25,6 +25,8 @@
 
 namespace lightridge {
 
+struct PerturbationRealization;
+
 /**
  * Stable checkpoint header. Every checkpoint written by save() carries a
  * magic string and a format version at the top of the JSON document, so
@@ -95,6 +97,22 @@ class DonnModel
     std::shared_ptr<const Propagator> hopPropagator() const
     {
         return propagator_;
+    }
+
+    /**
+     * Attach one sampled misalignment realization across the stack (or
+     * detach with nullptr): entry i of realization->layers goes to layer
+     * i, final_hop perturbs the layer->detector hop. The realization is
+     * externally owned and must outlive every pass made while attached;
+     * it is read-only during compute, so perturbed inference may still
+     * run concurrently on a shared instance. Clones start detached.
+     */
+    void setPerturbation(const PerturbationRealization *realization);
+
+    /** Currently attached realization (nullptr when unperturbed). */
+    const PerturbationRealization *perturbation() const
+    {
+        return perturb_;
     }
 
     /**
@@ -222,6 +240,8 @@ class DonnModel
     Field source_profile_; ///< cached illumination profile of the laser
     std::vector<LayerPtr> layers_;
     DetectorPlane detector_;
+    /** Attached misalignment realization (externally owned). */
+    const PerturbationRealization *perturb_ = nullptr;
 };
 
 /**

@@ -88,6 +88,20 @@ Session::trainEpoch()
     return trainEpochSerial(order);
 }
 
+uint64_t
+Session::perturbationDrawSeed(uint64_t seed, int epoch,
+                              std::size_t batch_index)
+{
+    // Epoch and batch index occupy disjoint bit ranges, and the mixing
+    // constant differs from replicaSeeds' so the misalignment stream can
+    // never alias a replica noise stream. Depends only on
+    // (seed, epoch, batch): the same errors are drawn for a batch no
+    // matter how many workers process it.
+    uint64_t tag = (static_cast<uint64_t>(epoch) << 32) |
+                   static_cast<uint64_t>(batch_index);
+    return seed ^ (0xbf58476d1ce4e5b9ull * tag);
+}
+
 std::vector<uint64_t>
 Session::replicaSeeds(std::size_t workers) const
 {
@@ -109,11 +123,15 @@ Session::trainEpochSerial(const std::vector<std::size_t> &order)
     EpochStats stats;
     WallTimer timer;
 
+    const bool perturbed = task_.perturbationActive();
     std::size_t correct = 0;
     std::size_t in_batch = 0;
     task_.zeroGrad();
-    for (std::size_t idx : order) {
-        SampleResult sample = task_.trainSample(idx);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (perturbed && in_batch == 0)
+            task_.samplePerturbation(
+                perturbationSeed(i / config_.batch));
+        SampleResult sample = task_.trainSample(order[i]);
         stats.train_loss += sample.loss;
         if (sample.hit)
             ++correct;
@@ -127,6 +145,8 @@ Session::trainEpochSerial(const std::vector<std::size_t> &order)
         optimizer_.step();
         task_.zeroGrad();
     }
+    if (perturbed)
+        task_.clearPerturbation();
     const std::size_t n = std::max<std::size_t>(order.size(), 1);
     stats.train_loss /= n;
     stats.train_acc = static_cast<Real>(correct) / n;
@@ -146,6 +166,7 @@ Session::trainEpochParallel(const std::vector<std::size_t> &order,
     std::vector<ParamView> main_params = task_.params();
     ThreadPool &pool = ThreadPool::global();
 
+    const bool perturbed = task_.perturbationActive();
     std::size_t correct = 0;
     std::vector<Real> loss_part(workers);
     std::vector<std::size_t> correct_part(workers);
@@ -156,6 +177,12 @@ Session::trainEpochParallel(const std::vector<std::size_t> &order,
         const std::size_t batch =
             std::min(config_.batch, order.size() - start);
         const std::size_t active = std::min(workers, batch);
+
+        // The pool is idle here, so rewriting the shared misalignment
+        // realization is race-free; workers read it concurrently below.
+        if (perturbed)
+            task_.samplePerturbation(
+                perturbationSeed(start / config_.batch));
 
         std::fill(loss_part.begin(), loss_part.end(), Real(0));
         std::fill(correct_part.begin(), correct_part.end(), std::size_t{0});
@@ -191,6 +218,8 @@ Session::trainEpochParallel(const std::vector<std::size_t> &order,
         task_.zeroGrad();
         task_.syncReplicas();
     }
+    if (perturbed)
+        task_.clearPerturbation();
 
     const std::size_t n = std::max<std::size_t>(order.size(), 1);
     stats.train_loss /= n;
@@ -345,10 +374,18 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
         latch.complete(slot, 1);
     };
 
+    const bool perturbed = task_.perturbationActive();
+
     auto launch = [&](std::size_t t) {
         std::size_t start = 0, batch = 0, active = 0;
         batchShape(t, start, batch, active);
         const std::size_t slot = t % 2;
+        // launch(t) runs on the main thread with no replica jobs in
+        // flight for either slot (batch t-1 was just waited on, batch
+        // t-2 one iteration earlier), so the shared misalignment
+        // realization can be rewritten before batch t's jobs read it.
+        if (perturbed)
+            task_.samplePerturbation(perturbationSeed(t));
         latch.arm(slot, active);
         for (std::size_t r = 0; r < active; ++r) {
             try {
@@ -406,6 +443,8 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
         task_.zeroGrad();
     }
     task_.syncReplicas();
+    if (perturbed)
+        task_.clearPerturbation();
 
     const std::size_t n = std::max<std::size_t>(order.size(), 1);
     stats.train_loss /= n;

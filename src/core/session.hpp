@@ -76,9 +76,25 @@ class Session
     static std::size_t resolveWorkers(const TrainConfig &config,
                                       std::size_t train_size);
 
+    /**
+     * Seed of the misalignment draw for one batch of vaccinated
+     * training: a pure function of (train seed, epoch, batch index),
+     * mixed on a stream constant disjoint from the replica-seed stream.
+     * Independent of worker count and schedule (serial / parallel /
+     * pipelined), so the drawn error sequence is too. Exposed static
+     * for the determinism tests.
+     */
+    static uint64_t perturbationDrawSeed(uint64_t seed, int epoch,
+                                         std::size_t batch_index);
+
   private:
     void annealTau(int epoch);
     std::vector<uint64_t> replicaSeeds(std::size_t workers) const;
+    uint64_t perturbationSeed(std::size_t batch_index) const
+    {
+        return perturbationDrawSeed(config_.seed, epoch_counter_,
+                                    batch_index);
+    }
     EpochStats trainEpochSerial(const std::vector<std::size_t> &order);
     EpochStats trainEpochParallel(const std::vector<std::size_t> &order,
                                   std::size_t workers);

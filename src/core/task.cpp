@@ -54,6 +54,20 @@ bindModelNoiseRng(DonnModel &model, Rng *rng)
     });
 }
 
+std::vector<const Propagator *>
+modelLayerHops(const DonnModel &model)
+{
+    std::vector<const Propagator *> hops(model.depth(), nullptr);
+    for (std::size_t i = 0; i < model.depth(); ++i) {
+        const Layer *layer = model.layer(i);
+        if (auto *d = dynamic_cast<const DiffractiveLayer *>(layer))
+            hops[i] = &d->propagator();
+        else if (auto *c = dynamic_cast<const CodesignLayer *>(layer))
+            hops[i] = &c->propagator();
+    }
+    return hops;
+}
+
 // --------------------------------------------------------------------------
 // DonnTaskBase replica engine
 // --------------------------------------------------------------------------
@@ -109,6 +123,40 @@ DonnTaskBase::syncReplicas()
             *replica->params[p].value = *main_params[p].value;
         replica->model.detector().setAmpFactor(model_.detector().ampFactor());
     }
+}
+
+void
+DonnTaskBase::setPerturbationSpec(const PerturbationSpec &spec)
+{
+    if (!spec.active()) {
+        clearPerturbation();
+        perturb_sampler_.reset();
+        return;
+    }
+    perturb_sampler_ = std::make_unique<PerturbationSampler>(
+        spec, modelLayerHops(model_), model_.hopPropagator().get());
+}
+
+void
+DonnTaskBase::samplePerturbation(uint64_t draw_seed)
+{
+    if (!perturb_sampler_)
+        return;
+    // One shared realization for the primary and every replica: the
+    // values are seed-determined (identical at any worker count) and
+    // read-only while workers are in flight.
+    perturb_sampler_->sample(draw_seed, perturb_realization_);
+    model_.setPerturbation(&perturb_realization_);
+    for (auto &replica : replicas_)
+        replica->model.setPerturbation(&perturb_realization_);
+}
+
+void
+DonnTaskBase::clearPerturbation()
+{
+    model_.setPerturbation(nullptr);
+    for (auto &replica : replicas_)
+        replica->model.setPerturbation(nullptr);
 }
 
 // --------------------------------------------------------------------------

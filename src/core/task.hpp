@@ -22,6 +22,7 @@
 #include "core/loss.hpp"
 #include "core/model.hpp"
 #include "core/multichannel.hpp"
+#include "optics/perturbation.hpp"
 
 namespace lightridge {
 
@@ -174,6 +175,28 @@ class Task
     /** Gumbel-softmax temperature annealing hook (codesign layers). */
     virtual void setTau(Real tau) = 0;
 
+    /**
+     * True when a misalignment spec with at least one active error axis
+     * is bound (vaccinated training). The Session then draws one
+     * realization per batch through samplePerturbation().
+     */
+    virtual bool perturbationActive() const { return false; }
+
+    /**
+     * Draw the per-batch misalignment realization from the given seed
+     * and attach it to the primary model and every live replica. The
+     * seed is a pure function of (train seed, epoch, batch index), so
+     * the drawn error sequence is identical at any worker count.
+     * No-op on tasks without a bound spec.
+     */
+    virtual void samplePerturbation(uint64_t draw_seed)
+    {
+        (void)draw_seed;
+    }
+
+    /** Detach perturbations everywhere (evaluation runs clean). */
+    virtual void clearPerturbation() {}
+
     /** Test metrics; zeros when !hasTest(). */
     virtual TaskMetrics evaluate() = 0;
 
@@ -196,6 +219,14 @@ void applyModelTau(DonnModel &model, Real tau);
 
 /** Re-point every noise-enabled codesign layer at the given rng. */
 void bindModelNoiseRng(DonnModel &model, Rng *rng);
+
+/**
+ * Hop propagators feeding each top-level layer of a model (nullptr for
+ * non-optical slots, e.g. layer norms and skip blocks, which take no
+ * perturbation): the layer-slot geometry a PerturbationSampler is built
+ * from. The final layer->detector hop is model.hopPropagator().
+ */
+std::vector<const Propagator *> modelLayerHops(const DonnModel &model);
 
 /**
  * Shared replica machinery for tasks whose primary model is a DonnModel
@@ -228,6 +259,27 @@ class DonnTaskBase : public Task
         return model_.save(path);
     }
 
+    /**
+     * Bind a misalignment spec for vaccinated training: builds the
+     * per-batch sampler from the model's hop geometry. A spec with no
+     * active axis unbinds (training reverts to the exact unperturbed
+     * path). Throws for Fraunhofer systems.
+     */
+    void setPerturbationSpec(const PerturbationSpec &spec);
+
+    bool perturbationActive() const override
+    {
+        return perturb_sampler_ != nullptr;
+    }
+    void samplePerturbation(uint64_t draw_seed) override;
+    void clearPerturbation() override;
+
+    /** Realization currently attached (nullptr when clean); tests. */
+    const PerturbationRealization *currentPerturbation() const
+    {
+        return model_.perturbation();
+    }
+
   protected:
     explicit DonnTaskBase(DonnModel &model) : model_(model) {}
 
@@ -251,6 +303,16 @@ class DonnTaskBase : public Task
 
     DonnModel &model_;
     std::vector<std::unique_ptr<Replica>> replicas_;
+
+    /**
+     * Vaccination state: the sampler (null = no spec bound) and the one
+     * shared realization storage every batch draw overwrites. Replicas
+     * attach to the same storage — it is read-only during compute and
+     * the Session only redraws between batches, when no worker is in
+     * flight.
+     */
+    std::unique_ptr<PerturbationSampler> perturb_sampler_;
+    PerturbationRealization perturb_realization_;
 };
 
 /** Single-stack image classification workload (the paper's main task). */

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "api/robustness.hpp"
 #include "core/session.hpp"
 #include "data/synth_digits.hpp"
+#include "optics/perturbation.hpp"
 #include "utils/log.hpp"
 
 namespace lightridge {
@@ -57,6 +59,30 @@ evaluateDesign(const DesignPoint &point, const QuickEvalConfig &config)
     ClassificationTask task(model, train);
     Session(task, tc).fit();
     return evaluateAccuracy(model, test);
+}
+
+Real
+evaluateDesignRobust(const DesignPoint &point, const QuickEvalConfig &config,
+                     const std::vector<Real> &lateral_shifts)
+{
+    ClassDataset train, test;
+    makeData(config, &train, &test);
+
+    Rng rng(config.seed + 2);
+    DonnModel model = buildModel(point, config, &rng);
+
+    TrainConfig tc;
+    tc.epochs = config.epochs;
+    tc.batch = 32;
+    tc.lr = config.lr;
+    tc.seed = config.seed + 3;
+    ClassificationTask task(model, train);
+    Session(task, tc).fit();
+
+    RobustnessSweepConfig sweep;
+    sweep.lateral_shifts = lateral_shifts;
+    sweep.seed = config.seed;
+    return robustnessSweep(model, test, sweep).meanAccuracy("lateral");
 }
 
 std::vector<DsePoint>
@@ -172,6 +198,54 @@ DseEngine::guidedSearch(Real wavelength, const SweepGrid &grid,
     return best;
 }
 
+DsePoint
+DseEngine::guidedSearchRobust(Real wavelength, const SweepGrid &grid,
+                              const QuickEvalConfig &config,
+                              std::size_t top_k,
+                              const std::vector<Real> &lateral_shifts,
+                              std::size_t *emulations_used) const
+{
+    std::vector<DsePoint> predicted = predictGrid(wavelength, grid);
+    std::sort(predicted.begin(), predicted.end(),
+              [](const DsePoint &a, const DsePoint &b) {
+                  return a.accuracy > b.accuracy;
+              });
+    top_k = std::min(top_k, predicted.size());
+
+    DsePoint best;
+    best.accuracy = -1;
+    for (std::size_t i = 0; i < top_k; ++i) {
+        Real measured =
+            evaluateDesignRobust(predicted[i].design, config,
+                                 lateral_shifts);
+        if (measured > best.accuracy) {
+            best.design = predicted[i].design;
+            best.accuracy = measured;
+        }
+    }
+    if (emulations_used != nullptr)
+        *emulations_used = top_k;
+    return best;
+}
+
+Json
+SensitivityRow::toJson() const
+{
+    Json j;
+    j["parameter"] = Json(parameter);
+    Json sj, aj, accj;
+    for (Real s : shifts)
+        sj.push(Json(s));
+    for (Real a : applied)
+        aj.push(Json(a));
+    for (Real a : accuracies)
+        accj.push(Json(a));
+    j["shifts"] = std::move(sj);
+    j["applied"] = std::move(aj);
+    j["accuracies"] = std::move(accj);
+    return j;
+}
+
 std::vector<SensitivityRow>
 sensitivityAnalysis(const DesignPoint &base, const QuickEvalConfig &config,
                     const std::vector<Real> &shifts)
@@ -199,13 +273,35 @@ sensitivityAnalysis(const DesignPoint &base, const QuickEvalConfig &config,
     Real amp = base_model.detector().ampFactor();
 
     auto eval_at = [&](const DesignPoint &point) -> Real {
-        Rng dummy(1);
         DonnModel shifted = buildModel(point, config, nullptr);
         for (std::size_t i = 0; i < shifted.depth(); ++i)
             static_cast<DiffractiveLayer *>(shifted.layer(i))->phase() =
                 phases[i];
         shifted.detector().setAmpFactor(amp);
         return evaluateAccuracy(shifted, test);
+    };
+
+    // The distance row rides the axial perturbation path instead of
+    // rebuilding the model: the transfer function at D + dz comes from
+    // the process-wide kernel LRU — the same function a rebuild would
+    // compute — attached to the trained base model as a HopPerturbation.
+    const std::vector<const Propagator *> hops =
+        modelLayerHops(base_model);
+    auto eval_distance = [&](Real dz) -> Real {
+        if (dz == 0.0)
+            return evaluateAccuracy(base_model, test);
+        PerturbationRealization realization;
+        realization.layers.resize(base_model.depth());
+        for (std::size_t i = 0; i < hops.size(); ++i)
+            if (hops[i] != nullptr)
+                fillHopPerturbation(*hops[i], 0.0, 0.0, dz,
+                                    realization.layers[i].hop);
+        fillHopPerturbation(*base_model.hopPropagator(), 0.0, 0.0, dz,
+                            realization.final_hop);
+        base_model.setPerturbation(&realization);
+        Real acc = evaluateAccuracy(base_model, test);
+        base_model.setPerturbation(nullptr);
+        return acc;
     };
 
     std::vector<SensitivityRow> rows(3);
@@ -216,16 +312,17 @@ sensitivityAnalysis(const DesignPoint &base, const QuickEvalConfig &config,
         DesignPoint p = base;
         p.wavelength = base.wavelength * (1 + s);
         rows[0].shifts.push_back(s);
+        rows[0].applied.push_back(base.wavelength * s);
         rows[0].accuracies.push_back(eval_at(p));
 
-        p = base;
-        p.distance = base.distance * (1 + s);
         rows[1].shifts.push_back(s);
-        rows[1].accuracies.push_back(eval_at(p));
+        rows[1].applied.push_back(base.distance * s);
+        rows[1].accuracies.push_back(eval_distance(base.distance * s));
 
         p = base;
         p.unit_size = base.unit_size * (1 + s);
         rows[2].shifts.push_back(s);
+        rows[2].applied.push_back(base.unit_size * s);
         rows[2].accuracies.push_back(eval_at(p));
     }
     return rows;

@@ -114,6 +114,20 @@ class DseEngine
                           const QuickEvalConfig &config, std::size_t top_k,
                           std::size_t *emulations_used = nullptr) const;
 
+    /**
+     * Guided search under a robustness objective: the top-k predicted
+     * points are verified with evaluateDesignRobust() (mean accuracy
+     * across a lateral-misalignment grid) instead of clean accuracy, so
+     * the returned "star point" is the design that best tolerates
+     * assembly error. The returned accuracy is the robust metric.
+     */
+    DsePoint guidedSearchRobust(Real wavelength, const SweepGrid &grid,
+                                const QuickEvalConfig &config,
+                                std::size_t top_k,
+                                const std::vector<Real> &lateral_shifts,
+                                std::size_t *emulations_used =
+                                    nullptr) const;
+
     std::size_t trainingSize() const { return features_.size(); }
 
   private:
@@ -129,7 +143,13 @@ struct SensitivityRow
 {
     std::string parameter; ///< "wavelength" | "distance" | "unit size"
     std::vector<Real> shifts;     ///< relative shifts applied (e.g. -0.10)
+    /** Applied perturbation in physical units [m]: the absolute delta
+     *  each shift adds to the parameter (e.g. -0.03 m for a -10% shift
+     *  of a 0.3 m distance), not grid cells or bare fractions. */
+    std::vector<Real> applied;
     std::vector<Real> accuracies; ///< accuracy at each shift
+
+    Json toJson() const;
 };
 
 /**
@@ -141,5 +161,15 @@ struct SensitivityRow
 std::vector<SensitivityRow>
 sensitivityAnalysis(const DesignPoint &base, const QuickEvalConfig &config,
                     const std::vector<Real> &shifts);
+
+/**
+ * Robust design metric: train an emulated DONN at the design point, then
+ * report its mean accuracy across a lateral-misalignment grid (each shift
+ * applied to every free-space hop, the robustnessSweep "lateral" axis).
+ * Rewards designs that tolerate assembly error, not just peak accuracy.
+ */
+Real evaluateDesignRobust(const DesignPoint &point,
+                          const QuickEvalConfig &config,
+                          const std::vector<Real> &lateral_shifts);
 
 } // namespace lightridge

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Fabrication/alignment error model for misalignment-vaccinated training.
+ *
+ * Physical D2NNs degrade sharply under assembly error: a layer mounted a
+ * few pixels off-axis, an inter-plane distance off by a fraction of a
+ * millimetre, or phase-mask fabrication noise can erase most of the
+ * simulated accuracy. Mengu et al. (arXiv:2005.11464) show that training
+ * *with* modeled misalignment ("vaccination") recovers it, and Soshnikov
+ * et al. (arXiv:2407.16456) extend the idea to transverse-shift-tolerant
+ * designs.
+ *
+ * This header declares the three error axes and how one sampled
+ * realization is represented so the optics hot path can apply it with
+ * zero steady-state allocations:
+ *
+ *  - lateral shift (dx, dy): a frequency-domain linear phase ramp,
+ *    exp(-j 2 pi (fx dx + fy dy)), fused into the existing
+ *    pad -> FFT2 -> Hadamard -> iFFT2 pipeline as a separable
+ *    row/column phasor product (Fourier shift theorem);
+ *  - axial jitter (dz): the transfer function at z + dz, acquired through
+ *    the process-wide kernel LRU with dz quantized to a small set of
+ *    levels so the cache stays warm;
+ *  - phase noise (sigma): an additive per-unit phase screen folded into
+ *    the layer's modulation as a precomputed exp(+/- j eps) phasor pair.
+ *
+ * All three are exact linear operators with exact adjoints (conjugate
+ * ramp / conjugate kernel / conjugate phasor), so vaccination trains with
+ * FD-checked gradients.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/field.hpp"
+#include "utils/json.hpp"
+#include "utils/rng.hpp"
+#include "utils/types.hpp"
+
+namespace lightridge {
+
+class Propagator;
+
+/** One scalar error distribution declared in the spec. */
+struct ErrorDist
+{
+    enum class Kind
+    {
+        None,     ///< axis disabled
+        Uniform,  ///< uniform in [-scale, scale]
+        Gaussian, ///< normal with stddev = scale
+    };
+
+    Kind kind = Kind::None;
+    Real scale = 0.0; ///< half-width (uniform) or stddev (gaussian), in
+                      ///< the axis' physical unit (metres / radians)
+
+    bool enabled() const { return kind != Kind::None && scale > 0.0; }
+
+    /** Draw one value (0 when disabled). */
+    Real sample(Rng &rng) const;
+
+    /**
+     * Largest magnitude the axis is allowed to reach: scale for uniform,
+     * 3*scale for gaussian (draws are clamped to the bound where a hard
+     * limit matters, e.g. axial quantization).
+     */
+    Real bound() const;
+
+    Json toJson() const;
+    /** Strict parse of a {"dist": ..., "scale": ...} block. */
+    static ErrorDist fromJson(const Json &j, const std::string &where);
+};
+
+/**
+ * Spec-declared misalignment model: which error axes are active and how
+ * large each is. Parsed strictly from the "perturbation" block of an
+ * ExperimentSpec (unknown keys throw JsonError).
+ */
+struct PerturbationSpec
+{
+    /** Master switch; a disabled spec is a bitwise no-op in training. */
+    bool enabled = true;
+    /** Per-hop lateral shift [m]; dx and dy drawn independently. */
+    ErrorDist lateral;
+    /** Per-hop axial distance jitter [m], quantized to axial_levels. */
+    ErrorDist axial;
+    /**
+     * Number of discrete dz levels across [-bound, bound]. Quantization
+     * keeps the perturbed-kernel working set bounded so the
+     * transfer-function LRU serves every steady-state draw from cache.
+     */
+    std::size_t axial_levels = 9;
+    /** Per-unit phase-screen noise stddev [rad] on every layer. */
+    Real phase_sigma = 0.0;
+
+    /** True when enabled and at least one axis is active. */
+    bool active() const;
+
+    /** Snap a drawn dz to the nearest quantization level. */
+    Real quantizeAxial(Real dz) const;
+
+    /** All quantization levels ({0} when the axial axis is disabled). */
+    std::vector<Real> axialLevels() const;
+
+    Json toJson() const;
+    static PerturbationSpec fromJson(const Json &j);
+};
+
+/**
+ * One sampled realization of the error on a single free-space hop, in
+ * the precomputed form the propagator consumes. Storage is reused draw
+ * to draw: the ramp vectors keep their capacity and the kernel handle is
+ * a shared_ptr into the transfer-function LRU, so refreshing a
+ * realization allocates no Fields in steady state.
+ */
+struct HopPerturbation
+{
+    /** Applied lateral shift [m] (reporting; the ramps encode it). */
+    Real dx = 0.0;
+    Real dy = 0.0;
+    /** Applied (quantized) axial jitter [m]. */
+    Real dz = 0.0;
+
+    bool has_shift = false;
+    /** Separable frequency-domain shift phasors at the padded size:
+     *  spectrum[r][c] *= ramp_row[r] * ramp_col[c]. */
+    std::vector<Complex> ramp_row;
+    std::vector<Complex> ramp_col;
+
+    /** Transfer function at z + dz (null = nominal kernel). */
+    std::shared_ptr<const Field> kernel;
+
+    bool any() const { return has_shift || kernel != nullptr; }
+    void clear();
+};
+
+/** Sampled error state of one modulation layer (its input hop plus an
+ *  optional phase screen over the layer's units). */
+struct LayerPerturbation
+{
+    HopPerturbation hop;
+
+    bool has_noise = false;
+    Field noise;      ///< exp(+j eps) per unit
+    Field noise_conj; ///< exp(-j eps) per unit
+
+    bool any() const { return has_noise || hop.any(); }
+    void clear();
+};
+
+/** One full per-batch realization across the model: one entry per
+ *  top-level layer plus the final layer->detector hop. */
+struct PerturbationRealization
+{
+    std::vector<LayerPerturbation> layers;
+    HopPerturbation final_hop;
+
+    bool any() const;
+    void clear();
+};
+
+/**
+ * Precompute one hop's realization: the perturbed-distance kernel via the
+ * transfer-function LRU and the separable shift ramps at the propagator's
+ * padded size. dz is clamped so the perturbed distance stays positive.
+ * Throws for Fraunhofer propagators (no convolution kernel to perturb).
+ */
+void fillHopPerturbation(const Propagator &prop, Real dx, Real dy, Real dz,
+                         HopPerturbation &out);
+
+/**
+ * Draws per-batch perturbation realizations for a fixed model geometry.
+ *
+ * The sampler is constructed once per task from the model's hop
+ * propagators (nullptr entries mark non-optical layer slots, e.g.
+ * layer norms, which take no perturbation). sample() is a pure function
+ * of the draw seed: the Session derives one seed per (seed, epoch,
+ * batch) so every worker count sees the identical error sequence.
+ */
+class PerturbationSampler
+{
+  public:
+    PerturbationSampler(PerturbationSpec spec,
+                        std::vector<const Propagator *> layer_hops,
+                        const Propagator *final_hop);
+
+    const PerturbationSpec &spec() const { return spec_; }
+
+    /**
+     * Draw one realization into `out` (storage reused across calls).
+     * Deterministic: equal seeds produce bitwise-equal realizations.
+     */
+    void sample(std::uint64_t draw_seed, PerturbationRealization &out) const;
+
+  private:
+    void sampleHop(Rng &rng, const Propagator &prop,
+                   HopPerturbation &out) const;
+
+    PerturbationSpec spec_;
+    std::vector<const Propagator *> layer_hops_;
+    const Propagator *final_hop_ = nullptr;
+};
+
+} // namespace lightridge

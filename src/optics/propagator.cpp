@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "fft/kernels.hpp"
+#include "optics/perturbation.hpp"
 #include "utils/sync.hpp"
 
 namespace lightridge {
@@ -250,12 +251,38 @@ Propagator::outputPitch() const
 }
 
 void
+Propagator::applyShiftRamp(Complex *spectrum, const HopPerturbation &hop,
+                           bool conjugate) const
+{
+    // Separable Fourier-shift phasor: spectrum[r][c] *= row[r] * col[c]
+    // (conjugated in the adjoint so the perturbed operator stays exact).
+    const std::size_t p = padded_n_;
+    for (std::size_t r = 0; r < p; ++r) {
+        const Complex row =
+            conjugate ? std::conj(hop.ramp_row[r]) : hop.ramp_row[r];
+        Complex *line = spectrum + r * p;
+        if (conjugate) {
+            for (std::size_t c = 0; c < p; ++c)
+                line[c] *= row * std::conj(hop.ramp_col[c]);
+        } else {
+            for (std::size_t c = 0; c < p; ++c)
+                line[c] *= row * hop.ramp_col[c];
+        }
+    }
+}
+
+void
 Propagator::convolveInto(const Field &in, Field &out, bool conjugate_kernel,
-                         PropagationWorkspace &workspace) const
+                         PropagationWorkspace &workspace,
+                         const HopPerturbation *hop) const
 {
     const std::size_t n = config_.grid.n;
     if (in.rows() != n || in.cols() != n)
         throw std::invalid_argument("Propagator: field shape mismatch");
+
+    const Field &kern =
+        (hop && hop->kernel) ? *hop->kernel : *kernel_;
+    const bool shift = hop && hop->has_shift;
 
     if (padded_n_ == n) {
         // Same-size spectral algorithm: transform directly in the output
@@ -266,9 +293,11 @@ Propagator::convolveInto(const Field &in, Field &out, bool conjugate_kernel,
         }
         fft_->forward(&out);
         if (conjugate_kernel)
-            out.hadamardConj(*kernel_);
+            out.hadamardConj(kern);
         else
-            out.hadamard(*kernel_);
+            out.hadamard(kern);
+        if (shift)
+            applyShiftRamp(out.data(), *hop, conjugate_kernel);
         fft_->inverse(&out);
         return;
     }
@@ -293,9 +322,11 @@ Propagator::convolveInto(const Field &in, Field &out, bool conjugate_kernel,
     // runs the vectorized interleaved complex product in Simd mode.
     fft_->forward(&work.get());
     if (conjugate_kernel)
-        work->hadamardConj(*kernel_);
+        work->hadamardConj(kern);
     else
-        work->hadamard(*kernel_);
+        work->hadamard(kern);
+    if (shift)
+        applyShiftRamp(work->data(), *hop, conjugate_kernel);
     fft_->inverse(&work.get());
 
     ensureFieldShape(out, n, n);
@@ -361,24 +392,34 @@ Propagator::fraunhoferAdjointInto(const Field &grad_out, Field &out) const
 
 void
 Propagator::forwardInto(const Field &in, Field &out,
-                        PropagationWorkspace &workspace) const
+                        PropagationWorkspace &workspace,
+                        const HopPerturbation *hop) const
 {
     if (config_.approx == Diffraction::Fraunhofer) {
+        if (hop && hop->any())
+            throw std::logic_error(
+                "Propagator: perturbations are not supported on "
+                "Fraunhofer hops");
         fraunhoferForwardInto(in, out);
         return;
     }
-    convolveInto(in, out, /*conjugate_kernel=*/false, workspace);
+    convolveInto(in, out, /*conjugate_kernel=*/false, workspace, hop);
 }
 
 void
 Propagator::adjointInto(const Field &grad_out, Field &out,
-                        PropagationWorkspace &workspace) const
+                        PropagationWorkspace &workspace,
+                        const HopPerturbation *hop) const
 {
     if (config_.approx == Diffraction::Fraunhofer) {
+        if (hop && hop->any())
+            throw std::logic_error(
+                "Propagator: perturbations are not supported on "
+                "Fraunhofer hops");
         fraunhoferAdjointInto(grad_out, out);
         return;
     }
-    convolveInto(grad_out, out, /*conjugate_kernel=*/true, workspace);
+    convolveInto(grad_out, out, /*conjugate_kernel=*/true, workspace, hop);
 }
 
 Field

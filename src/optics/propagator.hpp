@@ -24,6 +24,8 @@
 
 namespace lightridge {
 
+struct HopPerturbation;
+
 /** Full specification of one free-space hop. */
 struct PropagatorConfig
 {
@@ -72,13 +74,26 @@ class Propagator
      * allocations in steady state: padded scratch is leased from the
      * workspace and `out` is resized at most once. `out` may alias `in`
      * (the layer pipeline propagates fields fully in place).
+     *
+     * `hop` optionally applies one sampled misalignment realization
+     * (see optics/perturbation.hpp): a non-null perturbed kernel
+     * replaces the nominal transfer function (axial jitter at z + dz)
+     * and the separable shift ramps multiply the spectrum after the
+     * kernel Hadamard (lateral shift). Passing nullptr is
+     * bitwise-identical to the unperturbed pipeline.
      */
     void forwardInto(const Field &in, Field &out,
-                     PropagationWorkspace &workspace) const;
+                     PropagationWorkspace &workspace,
+                     const HopPerturbation *hop = nullptr) const;
 
-    /** Adjoint counterpart of forwardInto(); `out` may alias the input. */
+    /**
+     * Adjoint counterpart of forwardInto(); `out` may alias the input.
+     * With a perturbation, applies the exact adjoint of the perturbed
+     * operator (conjugate kernel and conjugate shift ramps).
+     */
     void adjointInto(const Field &grad_out, Field &out,
-                     PropagationWorkspace &workspace) const;
+                     PropagationWorkspace &workspace,
+                     const HopPerturbation *hop = nullptr) const;
 
     /** Sample pitch of the output plane (differs for Fraunhofer). */
     Real outputPitch() const;
@@ -86,9 +101,16 @@ class Propagator
     /** The cached frequency-domain kernel (empty for Fraunhofer). */
     const Field &kernel() const;
 
+    /** Working (padded) transform size; shift ramps and perturbed
+     *  kernels must be built at this size. */
+    std::size_t paddedSize() const { return padded_n_; }
+
   private:
     void convolveInto(const Field &in, Field &out, bool conjugate_kernel,
-                      PropagationWorkspace &workspace) const;
+                      PropagationWorkspace &workspace,
+                      const HopPerturbation *hop) const;
+    void applyShiftRamp(Complex *spectrum, const HopPerturbation &hop,
+                        bool conjugate) const;
     void fraunhoferForwardInto(const Field &in, Field &out) const;
     void fraunhoferAdjointInto(const Field &grad_out, Field &out) const;
 

@@ -169,14 +169,14 @@ namespace {
 // here. These overloads dispatch on the local strerror_r(3) flavour
 // (XSI returns int, GNU returns char* and may ignore the buffer)
 // without caring which one libc provides.
-std::string
+[[maybe_unused]] std::string
 strerrorResult(int rc, const char *buf, int err)
 {
     return rc == 0 ? std::string(buf)
                    : "errno " + std::to_string(err);
 }
 
-std::string
+[[maybe_unused]] std::string
 strerrorResult(const char *msg, const char *, int)
 {
     return std::string(msg);

@@ -1,0 +1,21 @@
+#include "optics/perturbation.hpp"
+
+using lightridge::Field;
+using lightridge::HopPerturbation;
+
+// Seeded violation: naked Field construction in the perturbation-sampler
+// hot path (redrawn every training batch).
+void fillHopPerturbation(HopPerturbation &out)
+{
+    Field screen(8, 8);
+    out.kernel = nullptr;
+    (void)screen;
+}
+
+// Clean: perturbation code outside the hot-path functions may build
+// Fields (one-time setup, not a per-batch redraw).
+Field makeNoiseTemplate()
+{
+    Field screen(8, 8);
+    return screen;
+}

@@ -15,9 +15,13 @@ checks, with file/line diagnostics:
                        the zero-allocation *Into / *InPlace APIs (PR 4) and
                        the v2 submit() API.
   zero-alloc-hot-path  naked `Field` construction inside *Into / *InPlace
-                       function bodies - these are the zero-allocation
+                       function bodies, or inside the perturbation-sampler
+                       hot path (fillHopPerturbation, samplePerturbation,
+                       PerturbationSampler::sample/sampleHop, redrawn every
+                       training batch) - these are the zero-allocation
                        steady-state paths; buffers must come from the
-                       PropagationWorkspace or member caches.
+                       PropagationWorkspace, ensureFieldShape, or member
+                       caches.
   include-guard        headers must start with `#pragma once` (exactly one).
 
 Escape hatch: append `// lint:allow(<rule-id>)` to the offending line (or
@@ -263,27 +267,30 @@ def rule_deprecated_api(ctx):
                 "code uses InferenceEngine::submit() and Expected results")
 
 
-# Function definitions whose body is a zero-allocation steady-state path.
-HOT_PATH_DEF_RE = re.compile(
-    r"\b[A-Za-z_][A-Za-z0-9_]*(?:Into|InPlace)\s*\([^;]*$|"
-    r"\b[A-Za-z_][A-Za-z0-9_]*(?:Into|InPlace)\s*\([^;{]*\)[^;]*$")
+# Function definitions whose body is a zero-allocation steady-state path:
+# the *Into/*InPlace naming convention, plus the perturbation-sampler
+# functions (redrawn once per training batch, so they are steady-state
+# even though their names predate the convention).
+HOT_PATH_NAME_RE = re.compile(
+    r"\b(?:[A-Za-z_][A-Za-z0-9_]*(?:Into|InPlace)|fillHopPerturbation|"
+    r"samplePerturbation|PerturbationSampler::sample|sampleHop)\s*\(")
 NAKED_FIELD_RE = re.compile(
     r"(?<![A-Za-z0-9_:])Field\s+[A-Za-z_][A-Za-z0-9_]*\s*[({=]|"
     r"(?<![A-Za-z0-9_:])Field\s*\(")
 
 
 def iter_hot_path_bodies(masked_lines):
-    """Yield (name_line, body_start, body_end) for *Into/*InPlace defs.
+    """Yield (name_line, body_start, body_end) for hot-path definitions.
 
-    A definition is a line mentioning fooInto(/fooInPlace( that is not a
-    declaration (no trailing ';' before the body opens). Bodies are found
-    by brace counting on the masked text.
+    A definition is a line mentioning a HOT_PATH_NAME_RE function that is
+    not a declaration (no trailing ';' before the body opens). Bodies are
+    found by brace counting on the masked text.
     """
     n = len(masked_lines)
     i = 0
     while i < n:
         line = masked_lines[i]
-        m = re.search(r"\b[A-Za-z_][A-Za-z0-9_]*(?:Into|InPlace)\s*\(", line)
+        m = HOT_PATH_NAME_RE.search(line)
         if not m:
             i += 1
             continue
@@ -332,9 +339,11 @@ def rule_zero_alloc_hot_path(ctx):
             if NAKED_FIELD_RE.search(line):
                 yield Violation(
                     "zero-alloc-hot-path", ctx.rel, idx + 1,
-                    "naked Field construction inside a *Into/*InPlace body; "
-                    "steady-state paths must reuse PropagationWorkspace or "
-                    "member buffers (PR 4 zero-allocation contract)")
+                    "naked Field construction inside a zero-allocation "
+                    "hot-path body (*Into/*InPlace or perturbation sampler); "
+                    "steady-state paths must reuse PropagationWorkspace, "
+                    "ensureFieldShape, or member buffers (PR 4 "
+                    "zero-allocation contract)")
 
 
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
