@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Streaming-dataset benchmark: decode/compute overlap of the
+ * double-buffered prefetcher.
+ *
+ * Packs a synthesized digits dataset into equal shards, then drives one
+ * epoch of the ShardStream staging protocol per prefetch depth with a
+ * calibrated per-shard consume load (spun to roughly one shard's decode
+ * cost, the regime double buffering is designed for). With prefetch=0
+ * every shard decodes synchronously inside stageRange; with prefetch=1
+ * the pool decodes shard t+1 while the main thread consumes shard t, so
+ * the epoch approaches max(decode, consume) per shard instead of their
+ * sum.
+ *
+ * Emits bench_results/BENCH_data.json. Gate: prefetch=1 over prefetch=0
+ * epoch speedup >= 1.3x, applied only on hosts with >= 4 hardware
+ * threads (overlap needs a real spare core; single-CPU runners report
+ * without failing, per the hardware-conditioning convention).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/shard.hpp"
+#include "data/stream.hpp"
+#include "data/synth_digits.hpp"
+#include "utils/json.hpp"
+#include "utils/thread_pool.hpp"
+#include "utils/timer.hpp"
+
+using namespace lightridge;
+
+namespace {
+
+/** Consume every staged sample once; the simulated train-step load. */
+Real
+consumeRange(const ShardedClassSource &source, std::size_t lo,
+             std::size_t hi, const std::vector<std::size_t> &order)
+{
+    Real sum = 0;
+    for (std::size_t pos = lo; pos < hi; ++pos) {
+        const RealMap &image = source.image(order[pos]);
+        for (std::size_t p = 0; p < image.size(); ++p)
+            sum += image[p];
+    }
+    return sum;
+}
+
+/**
+ * One epoch over the stream: stage each shard-sized batch, then spin the
+ * consume load `reps` times. Returns the wall seconds (checksum printed
+ * so the work cannot be optimized away).
+ */
+double
+epochSeconds(ShardedClassSource &source, std::size_t shard_samples,
+             std::size_t reps, const std::vector<std::size_t> &order,
+             Real *checksum)
+{
+    WallTimer timer;
+    source.beginEpoch(&order);
+    Real sum = 0;
+    for (std::size_t lo = 0; lo < order.size(); lo += shard_samples) {
+        const std::size_t hi =
+            std::min(lo + shard_samples, order.size());
+        source.stageRange(lo, hi);
+        for (std::size_t r = 0; r < reps; ++r)
+            sum += consumeRange(source, lo, hi, order);
+    }
+    source.endEpoch();
+    *checksum += sum;
+    return timer.seconds();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    (void)args;
+    bench::banner("bench_data: streaming prefetch overlap",
+                  "out-of-core training input pipeline");
+
+    const std::size_t hw_threads = ThreadPool::global().workerCount();
+    const std::size_t shards = scaled(6, 16);
+    const std::size_t shard_samples = scaled(48, 192);
+    const std::size_t samples = shards * shard_samples;
+
+    const std::string dir = bench::resultsDir() + "/data_shards";
+    std::filesystem::remove_all(dir);
+    ClassDataset data = makeSynthDigits(samples, 7);
+    PackOptions options;
+    options.shard_samples = shard_samples;
+    DatasetManifest manifest = writeShards(data, dir, options);
+    std::uint64_t shard_bytes = manifest.shards[0].bytes;
+    std::printf("dataset: %zu samples in %zu shards (%.1f KiB payload "
+                "each)\n",
+                samples, shards, shard_bytes / 1024.0);
+
+    std::vector<std::size_t> order(samples);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    Real checksum = 0;
+
+    // Calibrate the consume load to ~one shard's decode cost: time a
+    // bare synchronous epoch (decode only), then a single consume pass,
+    // and size reps so overlap has decode-scale work to hide behind.
+    double decode_s = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        ShardedClassSource bare(manifest, 0);
+        decode_s = std::min(
+            decode_s, epochSeconds(bare, shard_samples, 0, order,
+                                   &checksum));
+    }
+    double consume_once_s;
+    {
+        ShardedClassSource probe(manifest, 0);
+        WallTimer timer;
+        probe.beginEpoch(&order);
+        probe.stageRange(0, shard_samples);
+        timer.reset();
+        checksum += consumeRange(probe, 0, shard_samples, order);
+        consume_once_s = timer.seconds();
+        probe.endEpoch();
+    }
+    const double decode_per_shard =
+        decode_s / static_cast<double>(shards);
+    const std::size_t reps = std::max<std::size_t>(
+        1, static_cast<std::size_t>(decode_per_shard /
+                                    std::max(consume_once_s, 1e-9)));
+    std::printf("calibration: decode %.2f ms/shard, consume pass %.2f ms "
+                "-> %zu reps/shard\n",
+                1e3 * decode_per_shard, 1e3 * consume_once_s, reps);
+
+    CsvWriter csv;
+    csv.header({"prefetch", "epoch_ms", "bytes_read", "speedup_vs_sync"});
+    Json rows;
+    double sync_ms = 0;
+    double best_speedup = 0;
+    for (std::size_t prefetch : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{2}}) {
+        ShardedClassSource source(manifest, prefetch);
+        double seconds = 1e300;
+        for (int rep = 0; rep < 3; ++rep)
+            seconds = std::min(
+                seconds, epochSeconds(source, shard_samples, reps, order,
+                                      &checksum));
+        const double ms = 1e3 * seconds;
+        if (prefetch == 0)
+            sync_ms = ms;
+        const double speedup = prefetch == 0 ? 1.0 : sync_ms / ms;
+        if (prefetch > 0)
+            best_speedup = std::max(best_speedup, speedup);
+        std::printf("prefetch=%zu: %8.1f ms/epoch  %8.2fx vs sync  "
+                    "(%.1f MiB read)\n",
+                    prefetch, ms, speedup,
+                    source.bytesRead() / (1024.0 * 1024.0));
+        csv.rowNumeric({static_cast<double>(prefetch), ms,
+                        static_cast<double>(source.bytesRead()), speedup});
+        Json row;
+        row["prefetch"] = Json(prefetch);
+        row["epoch_ms"] = Json(ms);
+        row["bytes_read"] = Json(source.bytesRead());
+        row["speedup_vs_sync"] = Json(speedup);
+        rows.push(std::move(row));
+    }
+
+    const bool gate_applies = hw_threads >= 4;
+    const bool gate_pass = !gate_applies || best_speedup >= 1.3;
+    std::printf("\ngate: prefetch overlap >= 1.3x vs synchronous at >= 4 "
+                "hw threads -> %s (%.2fx%s)\n",
+                gate_pass ? "PASS" : "FAIL", best_speedup,
+                gate_applies ? "" : ", skipped: < 4 hw threads");
+    std::printf("checksum: %.6g\n", static_cast<double>(checksum));
+
+    bench::saveCsv(csv, "data_stream");
+    Json artifact;
+    artifact["bench"] = Json("data");
+    artifact["scale"] = Json(benchFullScale() ? "full" : "quick");
+    artifact["hw_threads"] = Json(hw_threads);
+    artifact["shards"] = Json(shards);
+    artifact["shard_samples"] = Json(shard_samples);
+    artifact["shard_bytes"] = Json(shard_bytes);
+    artifact["consume_reps"] = Json(reps);
+    artifact["epochs"] = std::move(rows);
+    Json gates;
+    gates["prefetch_best_speedup"] = Json(best_speedup);
+    gates["gate_applies"] = Json(gate_applies);
+    gates["gate_pass"] = Json(gate_pass);
+    artifact["gates"] = std::move(gates);
+    const std::string json_path = bench::resultsDir() + "/BENCH_data.json";
+    if (artifact.save(json_path))
+        std::printf("[json] %s\n", json_path.c_str());
+    std::filesystem::remove_all(dir);
+
+    return gate_pass ? 0 : 1;
+}

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <memory>
+
 #include "core/layer_norm.hpp"
 #include "core/skip.hpp"
+#include "data/shard.hpp"
+#include "data/stream.hpp"
 #include "data/synth_city.hpp"
 #include "data/synth_digits.hpp"
 #include "data/synth_fashion.hpp"
@@ -283,6 +287,7 @@ trainConfigToJson(const TrainConfig &config)
     j["tau_end"] = Json(config.tau_end);
     j["workers"] = Json(config.workers);
     j["pipeline"] = Json(config.pipeline);
+    j["dev_eval_every_batches"] = Json(config.dev_eval_every_batches);
     j["verbose"] = Json(config.verbose);
     return j;
 }
@@ -293,7 +298,8 @@ trainConfigFromJson(const Json &j)
     expectKeys(j,
                {"epochs", "batch", "lr", "loss", "seed", "shuffle",
                 "calibrate", "calib_target", "calib_probe", "gamma",
-                "tau_start", "tau_end", "workers", "pipeline", "verbose"},
+                "tau_start", "tau_end", "workers", "pipeline",
+                "dev_eval_every_batches", "verbose"},
                "train config");
     TrainConfig config;
     config.epochs = static_cast<int>(j.numberOr("epochs", config.epochs));
@@ -315,6 +321,8 @@ trainConfigFromJson(const Json &j)
     config.workers = sizeOr(j, "workers", config.workers);
     if (j.has("pipeline"))
         config.pipeline = j.at("pipeline").asBool();
+    config.dev_eval_every_batches = sizeOr(j, "dev_eval_every_batches",
+                                           config.dev_eval_every_batches);
     if (j.has("verbose"))
         config.verbose = j.at("verbose").asBool();
     return config;
@@ -330,7 +338,20 @@ ExperimentSpec::toJson() const
     Json j;
     j["name"] = Json(name);
     j["task"] = Json(task);
-    j["dataset"] = Json(dataset);
+    if (source.kind == "synth") {
+        // The historical string form round-trips untouched.
+        j["dataset"] = Json(dataset);
+    } else {
+        Json ds;
+        ds["kind"] = Json(source.kind);
+        ds["manifest"] = Json(source.manifest);
+        if (!source.test_manifest.empty())
+            ds["test_manifest"] = Json(source.test_manifest);
+        ds["prefetch"] = Json(source.prefetch);
+        if (source.preload)
+            ds["preload"] = Json(true);
+        j["dataset"] = std::move(ds);
+    }
 
     Json dj;
     dj["train"] = Json(data.train_samples);
@@ -381,10 +402,45 @@ ExperimentSpec::fromJson(const Json &j)
     if (spec.task != "classification" && spec.task != "segmentation" &&
         spec.task != "rgb")
         throw JsonError("unknown task kind: " + spec.task);
-    if (j.has("dataset"))
+    if (j.has("dataset") && j.at("dataset").isObject()) {
+        const Json &ds = j.at("dataset");
+        expectKeys(ds,
+                   {"kind", "name", "manifest", "test_manifest", "prefetch",
+                    "preload"},
+                   "dataset");
+        if (ds.has("kind"))
+            spec.source.kind = ds.at("kind").asString();
+        if (spec.source.kind == "sharded") {
+            if (ds.has("name"))
+                throw JsonError(
+                    "dataset: \"name\" only applies to kind \"synth\"");
+            if (!ds.has("manifest"))
+                throw JsonError(
+                    "dataset: kind \"sharded\" requires \"manifest\"");
+            spec.source.manifest = ds.at("manifest").asString();
+            if (ds.has("test_manifest"))
+                spec.source.test_manifest =
+                    ds.at("test_manifest").asString();
+            spec.source.prefetch =
+                sizeOr(ds, "prefetch", spec.source.prefetch);
+            if (ds.has("preload"))
+                spec.source.preload = ds.at("preload").asBool();
+        } else if (spec.source.kind == "synth") {
+            if (ds.has("manifest") || ds.has("test_manifest") ||
+                ds.has("prefetch") || ds.has("preload"))
+                throw JsonError("dataset: manifest/test_manifest/prefetch/"
+                                "preload only apply to kind \"sharded\"");
+            if (ds.has("name"))
+                spec.dataset = ds.at("name").asString();
+        } else {
+            throw JsonError("unknown dataset kind: " + spec.source.kind);
+        }
+    } else if (j.has("dataset")) {
         spec.dataset = j.at("dataset").asString();
-    if (spec.dataset != "digits" && spec.dataset != "fashion" &&
-        spec.dataset != "city" && spec.dataset != "scenes")
+    }
+    if (spec.source.kind == "synth" && spec.dataset != "digits" &&
+        spec.dataset != "fashion" && spec.dataset != "city" &&
+        spec.dataset != "scenes")
         throw JsonError("unknown dataset: " + spec.dataset);
 
     if (j.has("data")) {
@@ -506,6 +562,10 @@ epochStatsJson(const EpochStats &stats)
     j["test_acc"] = Json(stats.test_acc);
     j["test_top3"] = Json(stats.test_top3);
     j["seconds"] = Json(stats.seconds);
+    if (stats.mid_epoch) {
+        j["mid_epoch"] = Json(true);
+        j["batch"] = Json(stats.batch);
+    }
     return j;
 }
 
@@ -578,86 +638,176 @@ runExperiment(const ExperimentSpec &spec,
                                      save_model_path);
     };
 
+    // Resolved-source fields for the report's execution block, read off
+    // the source after training so bytes_read reflects what actually
+    // streamed.
+    auto recordSource = [&](const DataSource &source) {
+        result.data_source = source.sourceKind();
+        result.data_shards = source.shardSizes().size();
+        result.data_prefetch = source.prefetchDepth();
+        result.data_bytes_read = source.bytesRead();
+    };
+    const bool sharded = spec.source.kind == "sharded";
+
     if (spec.task == "classification") {
-        if (spec.dataset != "digits" && spec.dataset != "fashion")
-            throw JsonError("classification task needs dataset digits or "
-                            "fashion, got: " + spec.dataset);
         ClassDataset train, test;
-        if (spec.dataset == "digits") {
-            DigitConfig dc;
-            if (spec.data.image_size > 0)
-                dc.image_size = spec.data.image_size;
-            train = makeSynthDigits(spec.data.train_samples, spec.data.seed,
-                                    dc);
-            test = makeSynthDigits(spec.data.test_samples,
-                                   spec.data.seed + 1, dc);
+        bool has_test = false;
+        std::unique_ptr<ClassSource> source;
+        if (sharded) {
+            DatasetManifest manifest =
+                DatasetManifest::load(spec.source.manifest);
+            if (!spec.source.test_manifest.empty()) {
+                test = materializeClassDataset(
+                    DatasetManifest::load(spec.source.test_manifest));
+                has_test = true;
+            }
+            if (spec.source.preload) {
+                // Parity mode: whole split in memory, but with the
+                // manifest's shard layout so the epoch order matches the
+                // streamed run bitwise.
+                train = materializeClassDataset(manifest);
+                source = std::make_unique<InMemoryClassSource>(
+                    train, manifest.shardSizes());
+            } else {
+                source = std::make_unique<ShardedClassSource>(
+                    std::move(manifest), spec.source.prefetch);
+            }
         } else {
-            FashionConfig fc;
-            if (spec.data.image_size > 0)
-                fc.image_size = spec.data.image_size;
-            train = makeSynthFashion(spec.data.train_samples,
-                                     spec.data.seed, fc);
-            test = makeSynthFashion(spec.data.test_samples,
-                                    spec.data.seed + 1, fc);
+            if (spec.dataset != "digits" && spec.dataset != "fashion")
+                throw JsonError("classification task needs dataset digits "
+                                "or fashion, got: " + spec.dataset);
+            if (spec.dataset == "digits") {
+                DigitConfig dc;
+                if (spec.data.image_size > 0)
+                    dc.image_size = spec.data.image_size;
+                train = makeSynthDigits(spec.data.train_samples,
+                                        spec.data.seed, dc);
+                test = makeSynthDigits(spec.data.test_samples,
+                                       spec.data.seed + 1, dc);
+            } else {
+                FashionConfig fc;
+                if (spec.data.image_size > 0)
+                    fc.image_size = spec.data.image_size;
+                train = makeSynthFashion(spec.data.train_samples,
+                                         spec.data.seed, fc);
+                test = makeSynthFashion(spec.data.test_samples,
+                                        spec.data.seed + 1, fc);
+            }
+            has_test = true;
+            source = std::make_unique<InMemoryClassSource>(train);
         }
         std::size_t classes = spec.detector.classes > 0
                                   ? spec.detector.classes
-                                  : train.num_classes;
+                                  : source->numClasses();
         result.num_classes = classes;
         DonnModel model = buildSpecModel(spec, classes, &rng);
-        ClassificationTask task(model, train, &test);
+        ClassificationTask task(model, *source,
+                                has_test ? &test : nullptr);
         task.setPerturbationSpec(spec.perturbation);
         runSession(task);
+        recordSource(*source);
         result.final_metrics = task.evaluate();
         if (robustness_sweep != nullptr) {
+            if (!has_test)
+                throw JsonError("robustness sweep requires a test split "
+                                "(dataset has no test_manifest)");
             result.robustness =
                 robustnessSweep(model, test, *robustness_sweep);
             result.has_robustness = true;
         }
     } else if (spec.task == "segmentation") {
-        if (spec.dataset != "city")
-            throw JsonError("segmentation task needs dataset city, got: " +
-                            spec.dataset);
-        CityConfig cc;
-        if (spec.data.image_size > 0)
-            cc.image_size = spec.data.image_size;
-        SegDataset train = makeSynthCity(spec.data.train_samples,
-                                         spec.data.seed, cc);
-        SegDataset test = makeSynthCity(spec.data.test_samples,
-                                        spec.data.seed + 1, cc);
+        SegDataset train, test;
+        bool has_test = false;
+        std::unique_ptr<SegSource> source;
+        if (sharded) {
+            DatasetManifest manifest =
+                DatasetManifest::load(spec.source.manifest);
+            if (!spec.source.test_manifest.empty()) {
+                test = materializeSegDataset(
+                    DatasetManifest::load(spec.source.test_manifest));
+                has_test = true;
+            }
+            if (spec.source.preload) {
+                train = materializeSegDataset(manifest);
+                source = std::make_unique<InMemorySegSource>(
+                    train, manifest.shardSizes());
+            } else {
+                source = std::make_unique<ShardedSegSource>(
+                    std::move(manifest), spec.source.prefetch);
+            }
+        } else {
+            if (spec.dataset != "city")
+                throw JsonError("segmentation task needs dataset city, "
+                                "got: " + spec.dataset);
+            CityConfig cc;
+            if (spec.data.image_size > 0)
+                cc.image_size = spec.data.image_size;
+            train = makeSynthCity(spec.data.train_samples, spec.data.seed,
+                                  cc);
+            test = makeSynthCity(spec.data.test_samples,
+                                 spec.data.seed + 1, cc);
+            has_test = true;
+            source = std::make_unique<InMemorySegSource>(train);
+        }
         // Placeholder detector keeps serialization uniform; the output is
         // the full detector-plane intensity map.
         DonnModel model = buildSpecModel(spec, 2, &rng);
-        SegmentationTask task(model, train, &test);
+        SegmentationTask task(model, *source, has_test ? &test : nullptr);
         task.setPerturbationSpec(spec.perturbation);
         runSession(task);
+        recordSource(*source);
         result.final_metrics = task.evaluate();
-        result.secondary = task.evaluateMse(test);
+        if (has_test)
+            result.secondary = task.evaluateMse(test);
     } else if (spec.task == "rgb") {
-        if (spec.dataset != "scenes")
-            throw JsonError("rgb task needs dataset scenes, got: " +
-                            spec.dataset);
         if (spec.perturbation.active())
             throw JsonError("perturbation-vaccinated training is not "
                             "supported for the rgb task");
-        SceneConfig sc;
-        if (spec.data.image_size > 0)
-            sc.image_size = spec.data.image_size;
-        RgbDataset train = makeSynthScenes(spec.data.train_samples,
-                                           spec.data.seed, sc);
-        RgbDataset test = makeSynthScenes(spec.data.test_samples,
-                                          spec.data.seed + 1, sc);
+        RgbDataset train, test;
+        bool has_test = false;
+        std::unique_ptr<RgbSource> source;
+        if (sharded) {
+            DatasetManifest manifest =
+                DatasetManifest::load(spec.source.manifest);
+            if (!spec.source.test_manifest.empty()) {
+                test = materializeRgbDataset(
+                    DatasetManifest::load(spec.source.test_manifest));
+                has_test = true;
+            }
+            if (spec.source.preload) {
+                train = materializeRgbDataset(manifest);
+                source = std::make_unique<InMemoryRgbSource>(
+                    train, manifest.shardSizes());
+            } else {
+                source = std::make_unique<ShardedRgbSource>(
+                    std::move(manifest), spec.source.prefetch);
+            }
+        } else {
+            if (spec.dataset != "scenes")
+                throw JsonError("rgb task needs dataset scenes, got: " +
+                                spec.dataset);
+            SceneConfig sc;
+            if (spec.data.image_size > 0)
+                sc.image_size = spec.data.image_size;
+            train = makeSynthScenes(spec.data.train_samples, spec.data.seed,
+                                    sc);
+            test = makeSynthScenes(spec.data.test_samples,
+                                   spec.data.seed + 1, sc);
+            has_test = true;
+            source = std::make_unique<InMemoryRgbSource>(train);
+        }
         std::size_t classes = spec.detector.classes > 0
                                   ? spec.detector.classes
-                                  : train.num_classes;
+                                  : source->numClasses();
         result.num_classes = classes;
         std::vector<std::unique_ptr<DonnModel>> channels;
         for (int ch = 0; ch < 3; ++ch)
             channels.push_back(std::make_unique<DonnModel>(
                 buildSpecModel(spec, classes, &rng)));
         MultiChannelDonn model(std::move(channels));
-        RgbTask task(model, train, &test);
+        RgbTask task(model, *source, has_test ? &test : nullptr);
         runSession(task);
+        recordSource(*source);
         result.final_metrics = task.evaluate();
     } else {
         throw JsonError("unknown task kind: " + spec.task);
@@ -696,6 +846,10 @@ ExperimentResult::report(const ExperimentSpec &spec) const
     execution["workers_requested"] = Json(workers_requested);
     execution["pipeline"] = Json(pipeline);
     execution["hw_threads"] = Json(hw_threads);
+    execution["data_source"] = Json(data_source);
+    execution["data_shards"] = Json(data_shards);
+    execution["data_prefetch"] = Json(data_prefetch);
+    execution["data_bytes_read"] = Json(data_bytes_read);
     j["execution"] = std::move(execution);
 
     if (has_robustness)

@@ -96,6 +96,36 @@ struct DataSpec
     std::size_t image_size = 0; ///< 0 = generator default
 };
 
+/**
+ * Where training data comes from. The spec's "dataset" key accepts
+ * either a plain string ("digits") — synthesized in memory, exactly as
+ * before — or an object: {"kind": "sharded", "manifest": ".../
+ * manifest.json", ...} trains out of core through the streaming
+ * prefetcher (see data/stream.hpp). Streamed and preloaded training
+ * over the same manifest are bitwise identical at any worker count.
+ */
+struct DatasetSourceSpec
+{
+    std::string kind = "synth"; ///< synth|sharded
+
+    /** Train-split manifest path (sharded only). */
+    std::string manifest;
+
+    /** Held-out split manifest; empty trains without evaluation. */
+    std::string test_manifest;
+
+    /** Shards of decode lookahead (sharded only; 0 = synchronous). */
+    std::size_t prefetch = 1;
+
+    /**
+     * Materialize the whole train split in memory instead of streaming,
+     * keeping the manifest's shard layout so the epoch order — and
+     * therefore training — matches the streamed run bitwise. The
+     * parity-check mode.
+     */
+    bool preload = false;
+};
+
 /** Detector geometry of an experiment. */
 struct DetectorSpec
 {
@@ -123,6 +153,7 @@ struct ExperimentSpec
     std::string name = "experiment";
     std::string task = "classification"; ///< classification|segmentation|rgb
     std::string dataset = "digits";      ///< digits|fashion|city|scenes
+    DatasetSourceSpec source;            ///< synth (default) or sharded
     DataSpec data;
     SystemSpec system;      ///< distance <= 0 resolves to half-cone ideal
     Real wavelength = 532e-9;
@@ -175,6 +206,17 @@ struct ExperimentResult
     std::size_t workers_requested = 0;
     bool pipeline = false;
     std::size_t hw_threads = 0;
+
+    /**
+     * Resolved data source the run trained from ("memory" covers synth
+     * and preloaded manifests; "sharded" streamed off disk), with its
+     * shard layout, prefetch depth, and total shard payload bytes
+     * decoded during training.
+     */
+    std::string data_source = "memory";
+    std::size_t data_shards = 1;
+    std::size_t data_prefetch = 0;
+    std::uint64_t data_bytes_read = 0;
 
     /**
      * Post-training accuracy-vs-error sweep (when requested); empty

@@ -20,7 +20,11 @@
  * adds them to the report's "robustness" block (classification only).
  *
  * The spec format is documented in api/experiment.hpp (see
- * examples/specs/ for runnable samples). Exit codes: 0 success,
+ * examples/specs/ for runnable samples). A spec's "dataset" key may be
+ * an object ({"kind": "sharded", "manifest": ...}) to train out of core
+ * from a sharded on-disk dataset written by lightridge_data; manifest
+ * validation failures (missing shard, checksum mismatch, future format
+ * version) exit 2 naming the offending shard. Exit codes: 0 success,
  * 1 usage error, 2 spec/parse/run error.
  */
 #include <cstdio>

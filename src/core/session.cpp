@@ -7,6 +7,7 @@
 #include <memory>
 #include <numeric>
 
+#include "data/source.hpp"
 #include "utils/log.hpp"
 #include "utils/sync.hpp"
 #include "utils/thread_pool.hpp"
@@ -16,7 +17,7 @@ namespace lightridge {
 
 namespace {
 
-/** Shuffled index order for one epoch. */
+/** Shuffled index order for one epoch (null-stream tasks). */
 std::vector<std::size_t>
 epochOrder(std::size_t n, bool shuffle, Rng *rng)
 {
@@ -26,6 +27,28 @@ epochOrder(std::size_t n, bool shuffle, Rng *rng)
         std::shuffle(order.begin(), order.end(), rng->engine());
     return order;
 }
+
+/** Scoped source epoch: beginEpoch now, endEpoch on every exit path. */
+struct StreamEpochGuard
+{
+    DataSource *stream;
+
+    StreamEpochGuard(DataSource *s, const std::vector<std::size_t> *order)
+        : stream(s)
+    {
+        if (stream != nullptr)
+            stream->beginEpoch(order);
+    }
+
+    ~StreamEpochGuard()
+    {
+        if (stream != nullptr)
+            stream->endEpoch();
+    }
+
+    StreamEpochGuard(const StreamEpochGuard &) = delete;
+    StreamEpochGuard &operator=(const StreamEpochGuard &) = delete;
+};
 
 } // namespace
 
@@ -77,10 +100,20 @@ EpochStats
 Session::trainEpoch()
 {
     ++epoch_counter_;
+    mid_history_.clear();
     const std::size_t workers =
         resolveWorkers(config_, task_.trainSize());
+    // Two-level order (shard permutation, then intra-shard permutations)
+    // drawn from the session rng: a single-shard layout — every in-memory
+    // task — consumes the rng exactly like the historical flat shuffle,
+    // and any two sources with the same shard layout get the same order.
+    DataSource *stream = task_.trainStream();
     std::vector<std::size_t> order =
-        epochOrder(task_.trainSize(), config_.shuffle, &rng_);
+        stream != nullptr ? twoLevelEpochOrder(stream->shardSizes(),
+                                               config_.shuffle, &rng_)
+                          : epochOrder(task_.trainSize(), config_.shuffle,
+                                       &rng_);
+    StreamEpochGuard epoch_guard(stream, &order);
     if (workers >= 2 && config_.pipeline)
         return trainEpochPipelined(order, workers);
     if (workers >= 2)
@@ -117,20 +150,62 @@ Session::replicaSeeds(std::size_t workers) const
     return seeds;
 }
 
+bool
+Session::devEvalDue(std::size_t batch_index) const
+{
+    return config_.dev_eval_every_batches > 0 && task_.hasTest() &&
+           (batch_index + 1) % config_.dev_eval_every_batches == 0;
+}
+
+void
+Session::midEpochEval(Real loss_sum, std::size_t correct, std::size_t seen,
+                      std::size_t batch_index, double seconds)
+{
+    EpochStats stats;
+    stats.epoch = epoch_counter_ - 1;
+    stats.mid_epoch = true;
+    stats.batch = batch_index + 1;
+    const std::size_t n = std::max<std::size_t>(seen, 1);
+    stats.train_loss = loss_sum / n;
+    stats.train_acc = static_cast<Real>(correct) / n;
+    stats.seconds = seconds;
+    // Evaluation runs clean; the next batch redraws its own realization.
+    if (task_.perturbationActive())
+        task_.clearPerturbation();
+    TaskMetrics metrics = task_.evaluate();
+    stats.test_acc = metrics.primary;
+    stats.test_top3 = metrics.top3;
+    if (config_.verbose) {
+        LR_LOG(Info) << task_.kind() << " epoch " << stats.epoch
+                     << " batch " << stats.batch
+                     << " loss=" << stats.train_loss
+                     << " dev=" << stats.test_acc;
+    }
+    mid_history_.push_back(stats);
+    for (Callback &callback : callbacks_)
+        callback(stats, *this);
+}
+
 EpochStats
 Session::trainEpochSerial(const std::vector<std::size_t> &order)
 {
     EpochStats stats;
     WallTimer timer;
 
+    DataSource *stream = task_.trainStream();
     const bool perturbed = task_.perturbationActive();
     std::size_t correct = 0;
     std::size_t in_batch = 0;
     task_.zeroGrad();
     for (std::size_t i = 0; i < order.size(); ++i) {
-        if (perturbed && in_batch == 0)
-            task_.samplePerturbation(
-                perturbationSeed(i / config_.batch));
+        if (in_batch == 0) {
+            if (stream != nullptr)
+                stream->stageRange(
+                    i, std::min(i + config_.batch, order.size()));
+            if (perturbed)
+                task_.samplePerturbation(
+                    perturbationSeed(i / config_.batch));
+        }
         SampleResult sample = task_.trainSample(order[i]);
         stats.train_loss += sample.loss;
         if (sample.hit)
@@ -139,6 +214,9 @@ Session::trainEpochSerial(const std::vector<std::size_t> &order)
             optimizer_.step();
             task_.zeroGrad();
             in_batch = 0;
+            if (devEvalDue(i / config_.batch))
+                midEpochEval(stats.train_loss, correct, i + 1,
+                             i / config_.batch, timer.seconds());
         }
     }
     if (in_batch > 0) {
@@ -166,6 +244,7 @@ Session::trainEpochParallel(const std::vector<std::size_t> &order,
     std::vector<ParamView> main_params = task_.params();
     ThreadPool &pool = ThreadPool::global();
 
+    DataSource *stream = task_.trainStream();
     const bool perturbed = task_.perturbationActive();
     std::size_t correct = 0;
     std::vector<Real> loss_part(workers);
@@ -178,8 +257,11 @@ Session::trainEpochParallel(const std::vector<std::size_t> &order,
             std::min(config_.batch, order.size() - start);
         const std::size_t active = std::min(workers, batch);
 
-        // The pool is idle here, so rewriting the shared misalignment
-        // realization is race-free; workers read it concurrently below.
+        // The pool is idle here, so staging the batch's shards and
+        // rewriting the shared misalignment realization are race-free;
+        // workers read both concurrently below.
+        if (stream != nullptr)
+            stream->stageRange(start, start + batch);
         if (perturbed)
             task_.samplePerturbation(
                 perturbationSeed(start / config_.batch));
@@ -217,6 +299,9 @@ Session::trainEpochParallel(const std::vector<std::size_t> &order,
         optimizer_.step();
         task_.zeroGrad();
         task_.syncReplicas();
+        if (devEvalDue(start / config_.batch))
+            midEpochEval(stats.train_loss, correct, start + batch,
+                         start / config_.batch, timer.seconds());
     }
     if (perturbed)
         task_.clearPerturbation();
@@ -374,6 +459,7 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
         latch.complete(slot, 1);
     };
 
+    DataSource *stream = task_.trainStream();
     const bool perturbed = task_.perturbationActive();
 
     auto launch = [&](std::size_t t) {
@@ -382,8 +468,13 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
         const std::size_t slot = t % 2;
         // launch(t) runs on the main thread with no replica jobs in
         // flight for either slot (batch t-1 was just waited on, batch
-        // t-2 one iteration earlier), so the shared misalignment
-        // realization can be rewritten before batch t's jobs read it.
+        // t-2 one iteration earlier), so staging batch t's shards and
+        // rewriting the shared misalignment realization are race-free
+        // before batch t's jobs read them. The prefetcher decoded the
+        // staged shards while the previous batch computed, so the stage
+        // call normally just retires already-resident slots.
+        if (stream != nullptr)
+            stream->stageRange(start, start + batch);
         if (perturbed)
             task_.samplePerturbation(perturbationSeed(t));
         latch.arm(slot, active);
@@ -421,9 +512,14 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
         latch.waitSlot(t % 2);
         // The pool is idle between batches: publish the parameters from
         // the last optimizer step, then put it back to work on batch t+1
-        // while this thread merges batch t and steps.
+        // while this thread merges batch t and steps. On a dev-eval
+        // batch the launch is deferred until after the evaluation — the
+        // pool must be free to run it — which stalls the pipeline for
+        // one batch but cannot change the numbers: replicas were synced
+        // above with the pre-step parameters either way.
         task_.syncReplicas();
-        if (t + 1 < num_batches)
+        const bool eval_here = devEvalDue(t);
+        if (!eval_here && t + 1 < num_batches)
             launch(t + 1);
 
         std::size_t start = 0, batch = 0, active = 0;
@@ -441,6 +537,12 @@ Session::trainEpochPipelined(const std::vector<std::size_t> &order,
         }
         optimizer_.step();
         task_.zeroGrad();
+        if (eval_here) {
+            midEpochEval(stats.train_loss, correct, start + batch, t,
+                         timer.seconds());
+            if (t + 1 < num_batches)
+                launch(t + 1);
+        }
     }
     task_.syncReplicas();
     if (perturbed)
@@ -463,6 +565,10 @@ Session::fit()
         annealTau(epoch);
         EpochStats stats = trainEpoch();
         stats.epoch = epoch;
+        // Mid-epoch dev-eval snapshots precede their epoch's entry.
+        history.insert(history.end(), mid_history_.begin(),
+                       mid_history_.end());
+        mid_history_.clear();
         if (task_.hasTest()) {
             TaskMetrics metrics = task_.evaluate();
             stats.test_acc = metrics.primary;

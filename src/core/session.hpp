@@ -63,7 +63,10 @@ class Session
 
     /**
      * Full run: calibration (once), tau annealing, epoch loop, per-epoch
-     * evaluation when the task has a test set, callbacks.
+     * evaluation when the task has a test set, callbacks. With
+     * TrainConfig::dev_eval_every_batches set, mid-epoch dev-eval
+     * snapshots (EpochStats::mid_epoch) are interleaved into the history
+     * before their epoch's end-of-epoch entry.
      */
     std::vector<EpochStats> fit();
 
@@ -95,6 +98,20 @@ class Session
         return perturbationDrawSeed(config_.seed, epoch_counter_,
                                     batch_index);
     }
+
+    /** True when the mid-epoch dev-eval cadence fires after this batch. */
+    bool devEvalDue(std::size_t batch_index) const;
+
+    /**
+     * Take a mid-epoch dev-eval snapshot: clear any attached
+     * perturbation, evaluate, record the stats (running train loss /
+     * accuracy over `seen` samples), and invoke the callbacks (their
+     * return value is ignored mid-epoch — only end-of-epoch callbacks
+     * stop training). Called between batches with no worker in flight.
+     */
+    void midEpochEval(Real loss_sum, std::size_t correct, std::size_t seen,
+                      std::size_t batch_index, double seconds);
+
     EpochStats trainEpochSerial(const std::vector<std::size_t> &order);
     EpochStats trainEpochParallel(const std::vector<std::size_t> &order,
                                   std::size_t workers);
@@ -108,6 +125,7 @@ class Session
     bool calibrated_ = false;
     int epoch_counter_ = 0;
     std::vector<Callback> callbacks_;
+    std::vector<EpochStats> mid_history_; ///< current epoch's snapshots
 };
 
 /**

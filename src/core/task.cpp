@@ -166,7 +166,14 @@ DonnTaskBase::clearPerturbation()
 ClassificationTask::ClassificationTask(DonnModel &model,
                                        const ClassDataset &train,
                                        const ClassDataset *test)
-    : DonnTaskBase(model), train_(train), test_(test)
+    : DonnTaskBase(model),
+      own_source_(std::make_unique<InMemoryClassSource>(train)),
+      source_(own_source_.get()), test_(test)
+{}
+
+ClassificationTask::ClassificationTask(DonnModel &model, ClassSource &train,
+                                       const ClassDataset *test)
+    : DonnTaskBase(model), source_(&train), test_(test)
 {}
 
 void
@@ -176,13 +183,14 @@ ClassificationTask::calibrate()
         applyModelGamma(model_, config_.gamma);
 
     std::size_t probe = config_.calib_probe > 0 ? config_.calib_probe : 16;
-    probe = std::min(probe, train_.size());
+    probe = std::min(probe, source_->size());
     if (probe == 0)
         return;
+    source_->stageIndices(0, probe);
     Real mean_top = 0;
     model_.detector().setAmpFactor(1.0);
     for (std::size_t i = 0; i < probe; ++i) {
-        Field input = model_.encode(train_.images[i]);
+        Field input = model_.encode(source_->image(i));
         std::vector<Real> logits = model_.forwardLogits(input, false);
         mean_top += *std::max_element(logits.begin(), logits.end());
     }
@@ -203,15 +211,15 @@ ClassificationTask::sampleStep(DonnModel &model, std::size_t index)
     PropagationWorkspace &workspace = PropagationWorkspace::threadLocal();
     const Grid grid = model.spec().grid();
     WorkspaceField u(workspace, grid.n, grid.n);
-    model.encodeInto(train_.images[index], u.get());
+    const int label = source_->label(index);
+    model.encodeInto(source_->image(index), u.get());
     std::vector<Real> logits = model.forwardLogitsInPlace(u.get(), true,
                                                           workspace);
-    LossResult loss =
-        classificationLoss(config_.loss, logits, train_.labels[index]);
+    LossResult loss = classificationLoss(config_.loss, logits, label);
     result.loss = loss.value;
     int pred = static_cast<int>(
         std::max_element(logits.begin(), logits.end()) - logits.begin());
-    result.hit = pred == train_.labels[index];
+    result.hit = pred == label;
     model.backwardFromLogitsInPlace(loss.dlogits, u.get(), workspace);
     return result;
 }
@@ -250,24 +258,33 @@ ClassificationTask::evaluate()
 
 SegmentationTask::SegmentationTask(DonnModel &model, const SegDataset &train,
                                    const SegDataset *test)
-    : DonnTaskBase(model), train_(train), test_(test)
+    : DonnTaskBase(model),
+      own_source_(std::make_unique<InMemorySegSource>(train)),
+      source_(own_source_.get()), test_(test)
+{}
+
+SegmentationTask::SegmentationTask(DonnModel &model, SegSource &train,
+                                   const SegDataset *test)
+    : DonnTaskBase(model), source_(&train), test_(test)
 {}
 
 void
 SegmentationTask::calibrate()
 {
     std::size_t probe = config_.calib_probe > 0 ? config_.calib_probe : 8;
-    probe = std::min(probe, train_.size());
+    probe = std::min(probe, source_->size());
     if (probe == 0)
         return;
+    source_->stageIndices(0, probe);
     Real mean_intensity = 0;
     Real mean_mask = 0;
     for (std::size_t i = 0; i < probe; ++i) {
         // Training-path statistics (LayerNorm active) so the loss scale
         // matches what the optimizer will actually see.
-        Field u = model_.forwardField(model_.encode(train_.images[i]), true);
+        Field u =
+            model_.forwardField(model_.encode(source_->image(i)), true);
         mean_intensity += u.intensity().mean();
-        mean_mask += train_.masks[i].mean();
+        mean_mask += source_->mask(i).mean();
     }
     mean_intensity /= static_cast<Real>(probe);
     mean_mask /= static_cast<Real>(probe);
@@ -285,9 +302,9 @@ SegmentationTask::sampleStep(DonnModel &model, std::size_t index)
     PropagationWorkspace &workspace = PropagationWorkspace::threadLocal();
     const Grid grid = model.spec().grid();
     WorkspaceField u(workspace, grid.n, grid.n);
-    model.encodeInto(train_.images[index], u.get());
+    model.encodeInto(source_->image(index), u.get());
     model.forwardFieldInPlace(u.get(), true, workspace);
-    const RealMap *target = &train_.masks[index];
+    const RealMap *target = &source_->mask(index);
     RealMap resized;
     if (target->rows() != grid.n) {
         resized = resizeBilinear(*target, grid.n, grid.n);
@@ -396,22 +413,30 @@ RgbTask::Replica::Replica(const MultiChannelDonn &source, uint64_t seed)
 
 RgbTask::RgbTask(MultiChannelDonn &model, const RgbDataset &train,
                  const RgbDataset *test)
-    : model_(model), train_(train), test_(test)
+    : model_(model),
+      own_source_(std::make_unique<InMemoryRgbSource>(train)),
+      source_(own_source_.get()), test_(test)
+{}
+
+RgbTask::RgbTask(MultiChannelDonn &model, RgbSource &train,
+                 const RgbDataset *test)
+    : model_(model), source_(&train), test_(test)
 {}
 
 void
 RgbTask::calibrate()
 {
     std::size_t probe = config_.calib_probe > 0 ? config_.calib_probe : 8;
-    probe = std::min(probe, train_.size());
+    probe = std::min(probe, source_->size());
     if (probe == 0)
         return;
+    source_->stageIndices(0, probe);
     Real mean_top = 0;
     for (std::size_t ch = 0; ch < model_.numChannels(); ++ch)
         model_.channel(ch).detector().setAmpFactor(1.0);
     for (std::size_t i = 0; i < probe; ++i) {
         std::vector<Real> logits =
-            model_.forwardLogits(model_.encode(train_.images[i]), false);
+            model_.forwardLogits(model_.encode(source_->image(i)), false);
         mean_top += *std::max_element(logits.begin(), logits.end());
     }
     mean_top /= static_cast<Real>(probe);
@@ -427,14 +452,14 @@ RgbTask::sampleStep(MultiChannelDonn &model, std::size_t index)
 {
     SampleResult result;
     PropagationWorkspace &workspace = PropagationWorkspace::threadLocal();
+    const int label = source_->label(index);
     std::vector<Real> logits =
-        model.trainForwardLogitsInPlace(train_.images[index], workspace);
-    LossResult loss =
-        classificationLoss(config_.loss, logits, train_.labels[index]);
+        model.trainForwardLogitsInPlace(source_->image(index), workspace);
+    LossResult loss = classificationLoss(config_.loss, logits, label);
     result.loss = loss.value;
     int pred = static_cast<int>(
         std::max_element(logits.begin(), logits.end()) - logits.begin());
-    result.hit = pred == train_.labels[index];
+    result.hit = pred == label;
     model.backwardFromLogitsInPlace(loss.dlogits, workspace);
     return result;
 }

@@ -22,6 +22,7 @@
 #include "core/loss.hpp"
 #include "core/model.hpp"
 #include "core/multichannel.hpp"
+#include "data/source.hpp"
 #include "optics/perturbation.hpp"
 
 namespace lightridge {
@@ -85,6 +86,17 @@ struct TrainConfig
      */
     bool pipeline = false;
 
+    /**
+     * Evaluate on the dev (test) set every N batches inside an epoch, on
+     * top of the end-of-epoch evaluation. Mid-epoch stats flow through
+     * the same epoch-callback machinery tagged mid_epoch (their return
+     * value does not stop training; only end-of-epoch callbacks do). 0
+     * (the default) disables the cadence and is bitwise identical to not
+     * having the feature: evaluation allocates no training state and the
+     * optimizer path is untouched.
+     */
+    std::size_t dev_eval_every_batches = 0;
+
     /** Print per-epoch progress lines. */
     bool verbose = false;
 };
@@ -98,6 +110,15 @@ struct EpochStats
     Real test_acc = 0;  ///< primary test metric (top-1 accuracy or IoU)
     Real test_top3 = 0; ///< top-3 accuracy (classification tasks only)
     double seconds = 0;
+
+    /**
+     * True for a dev-eval snapshot taken mid-epoch (see
+     * TrainConfig::dev_eval_every_batches); `batch` is then the number of
+     * batches consumed when the snapshot was taken, and the train
+     * loss/accuracy cover only the batches seen so far this epoch.
+     */
+    bool mid_epoch = false;
+    std::size_t batch = 0;
 };
 
 /** Outcome of one training sample's forward/backward pass. */
@@ -134,6 +155,16 @@ class Task
 
     /** Number of training samples. */
     virtual std::size_t trainSize() const = 0;
+
+    /**
+     * The training-data source behind this task. The Session drives its
+     * epoch/staging lifecycle (two-level shuffle layout, batch staging,
+     * prefetch) on the main thread between batches; in-memory sources
+     * make every lifecycle call a no-op, so tasks over synthesized
+     * datasets train exactly as before. A null stream (the default for
+     * task stubs) trains over the flat index order with no staging.
+     */
+    virtual DataSource *trainStream() { return nullptr; }
 
     /** True when a held-out test set is bound. */
     virtual bool hasTest() const = 0;
@@ -319,11 +350,17 @@ class DonnTaskBase : public Task
 class ClassificationTask : public DonnTaskBase
 {
   public:
+    /** Train from an in-memory dataset (borrowed; wrapped in a source). */
     ClassificationTask(DonnModel &model, const ClassDataset &train,
                        const ClassDataset *test = nullptr);
 
+    /** Train from any classification source (borrowed; e.g. sharded). */
+    ClassificationTask(DonnModel &model, ClassSource &train,
+                       const ClassDataset *test = nullptr);
+
     std::string kind() const override { return "classification"; }
-    std::size_t trainSize() const override { return train_.size(); }
+    std::size_t trainSize() const override { return source_->size(); }
+    DataSource *trainStream() override { return source_; }
     bool hasTest() const override { return test_ != nullptr; }
 
     /**
@@ -343,7 +380,8 @@ class ClassificationTask : public DonnTaskBase
     SampleResult sampleStep(DonnModel &model, std::size_t index) override;
 
   private:
-    const ClassDataset &train_;
+    std::unique_ptr<InMemoryClassSource> own_source_; ///< legacy ctor only
+    ClassSource *source_;
     const ClassDataset *test_;
 };
 
@@ -351,11 +389,17 @@ class ClassificationTask : public DonnTaskBase
 class SegmentationTask : public DonnTaskBase
 {
   public:
+    /** Train from an in-memory dataset (borrowed; wrapped in a source). */
     SegmentationTask(DonnModel &model, const SegDataset &train,
                      const SegDataset *test = nullptr);
 
+    /** Train from any segmentation source (borrowed; e.g. sharded). */
+    SegmentationTask(DonnModel &model, SegSource &train,
+                     const SegDataset *test = nullptr);
+
     std::string kind() const override { return "segmentation"; }
-    std::size_t trainSize() const override { return train_.size(); }
+    std::size_t trainSize() const override { return source_->size(); }
+    DataSource *trainStream() override { return source_; }
     bool hasTest() const override { return test_ != nullptr; }
 
     /** Calibrate the intensity scale so outputs can reach mask range. */
@@ -400,7 +444,8 @@ class SegmentationTask : public DonnTaskBase
     SampleResult sampleStep(DonnModel &model, std::size_t index) override;
 
   private:
-    const SegDataset &train_;
+    std::unique_ptr<InMemorySegSource> own_source_; ///< legacy ctor only
+    SegSource *source_;
     const SegDataset *test_;
     Real intensity_scale_ = 1.0;
     Real mask_mean_ = 0.25; ///< expected mask brightness (auto-exposure)
@@ -410,11 +455,17 @@ class SegmentationTask : public DonnTaskBase
 class RgbTask : public Task
 {
   public:
+    /** Train from an in-memory dataset (borrowed; wrapped in a source). */
     RgbTask(MultiChannelDonn &model, const RgbDataset &train,
             const RgbDataset *test = nullptr);
 
+    /** Train from any RGB source (borrowed; e.g. sharded). */
+    RgbTask(MultiChannelDonn &model, RgbSource &train,
+            const RgbDataset *test = nullptr);
+
     std::string kind() const override { return "rgb"; }
-    std::size_t trainSize() const override { return train_.size(); }
+    std::size_t trainSize() const override { return source_->size(); }
+    DataSource *trainStream() override { return source_; }
     bool hasTest() const override { return test_ != nullptr; }
 
     void calibrate() override;
@@ -454,7 +505,8 @@ class RgbTask : public Task
     };
 
     MultiChannelDonn &model_;
-    const RgbDataset &train_;
+    std::unique_ptr<InMemoryRgbSource> own_source_; ///< legacy ctor only
+    RgbSource *source_;
     const RgbDataset *test_;
     std::vector<std::unique_ptr<Replica>> replicas_;
 };

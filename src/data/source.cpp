@@ -1,0 +1,43 @@
+#include "data/source.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lightridge {
+
+DataSource::~DataSource() = default;
+
+std::vector<std::size_t>
+twoLevelEpochOrder(const std::vector<std::size_t> &shard_sizes, bool shuffle,
+                   Rng *rng)
+{
+    // Shard start offsets in global index space.
+    std::vector<std::size_t> offsets(shard_sizes.size(), 0);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < shard_sizes.size(); ++s) {
+        offsets[s] = total;
+        total += shard_sizes[s];
+    }
+
+    std::vector<std::size_t> shard_order(shard_sizes.size());
+    std::iota(shard_order.begin(), shard_order.end(), std::size_t{0});
+    if (shuffle)
+        std::shuffle(shard_order.begin(), shard_order.end(), rng->engine());
+
+    // Intra-shard permutations are drawn in permuted shard order: for a
+    // single shard, the shard-order shuffle above consumes no rng draws
+    // (std::shuffle of one element is a no-op), so the sequence below is
+    // exactly the historical flat std::shuffle over all indices.
+    std::vector<std::size_t> order;
+    order.reserve(total);
+    for (std::size_t s : shard_order) {
+        const std::size_t begin = order.size();
+        for (std::size_t i = 0; i < shard_sizes[s]; ++i)
+            order.push_back(offsets[s] + i);
+        if (shuffle)
+            std::shuffle(order.begin() + begin, order.end(), rng->engine());
+    }
+    return order;
+}
+
+} // namespace lightridge

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Sharded on-disk training sources with a double-buffered async
+ * prefetcher.
+ *
+ * ShardStream drives residency for one manifest: the Session stages each
+ * batch between batches (main thread, no trainer jobs in flight), and
+ * the stream decodes the shards the batch spans — plus `prefetch` shards
+ * of lookahead — into a ring of reusable slot buffers. Decode jobs ride
+ * the global ThreadPool (ThreadPool::enqueue degrades to inline decode
+ * on a 0-worker pool), so while the trainer consumes shard t the pool is
+ * already decoding shard t+1. Slot buffers are recycled arena-style
+ * across shards and epochs: after the first epoch warms the ring, a
+ * steady-state streamed train step performs zero Field allocations (the
+ * decode path is RealMap-only by construction, and the lint rule
+ * zero-alloc-hot-path watches it).
+ *
+ * Concurrency contract: all lifecycle calls (beginEpoch / stageRange /
+ * stageIndices / endEpoch) are main-thread-only; the shard-to-slot map
+ * mutates only there. Decode jobs touch only their own slot's buffer and
+ * the mutex-guarded state word. Sample accessors are lock-free reads of
+ * slots staged Ready before the batch launched.
+ */
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "data/shard.hpp"
+#include "data/source.hpp"
+#include "utils/sync.hpp"
+
+namespace lightridge {
+
+/** Residency engine shared by the three sharded source kinds. */
+class ShardStream
+{
+  public:
+    /**
+     * @param manifest loaded manifest (shard headers are verified now,
+     *        so missing/mismatched shard files fail at construction)
+     * @param prefetch shards decoded ahead of the consumer (0 =
+     *        synchronous loads, 1 = classic double buffering)
+     */
+    explicit ShardStream(DatasetManifest manifest, std::size_t prefetch = 1);
+    ~ShardStream();
+
+    ShardStream(const ShardStream &) = delete;
+    ShardStream &operator=(const ShardStream &) = delete;
+
+    const DatasetManifest &manifest() const { return manifest_; }
+    std::size_t size() const { return manifest_.samples; }
+    std::vector<std::size_t> shardSizes() const
+    {
+        return manifest_.shardSizes();
+    }
+    std::size_t prefetchDepth() const { return prefetch_; }
+
+    /** Shard payload bytes decoded so far (re-decodes count). */
+    std::uint64_t bytesRead() const LIGHTRIDGE_EXCLUDES(mutex_);
+
+    void beginEpoch(const std::vector<std::size_t> *order)
+        LIGHTRIDGE_EXCLUDES(mutex_);
+    void stageRange(std::size_t lo, std::size_t hi)
+        LIGHTRIDGE_EXCLUDES(mutex_);
+    void stageIndices(std::size_t lo, std::size_t hi)
+        LIGHTRIDGE_EXCLUDES(mutex_);
+    void endEpoch() LIGHTRIDGE_EXCLUDES(mutex_);
+
+    /**
+     * Buffer holding global sample `i` (must be staged), with its local
+     * index within the buffer written to `local`. Lock-free.
+     */
+    const ShardBuffer &locate(std::size_t i, std::size_t &local) const;
+
+  private:
+    enum class SlotState { Free, Loading, Ready, Failed };
+
+    /** One ring slot: a decoded shard (storage reused across loads). */
+    struct Slot
+    {
+        std::size_t shard = SIZE_MAX;
+        std::size_t run = SIZE_MAX;
+        ShardBuffer buffer;
+    };
+
+    /** One maximal span of consecutive order positions in one shard. */
+    struct Run
+    {
+        std::size_t shard = 0;
+        std::size_t begin = 0; ///< first order position
+        std::size_t end = 0;   ///< one past the last order position
+        std::size_t slot = SIZE_MAX;
+    };
+
+    std::size_t shardOf(std::size_t global) const;
+    std::size_t acquireSlot() LIGHTRIDGE_EXCLUDES(mutex_);
+    void scheduleRun(std::size_t r) LIGHTRIDGE_EXCLUDES(mutex_);
+    void waitRun(std::size_t r) LIGHTRIDGE_EXCLUDES(mutex_);
+    void releaseRun(std::size_t r) LIGHTRIDGE_EXCLUDES(mutex_);
+    void drainLoading() LIGHTRIDGE_EXCLUDES(mutex_);
+    void releaseAllSlots() LIGHTRIDGE_EXCLUDES(mutex_);
+    void decodeInline(std::size_t slot_index) LIGHTRIDGE_EXCLUDES(mutex_);
+
+    DatasetManifest manifest_;
+    std::size_t prefetch_;
+    std::vector<std::size_t> prefix_; ///< shard start offsets (size k+1)
+
+    // Main-thread state (lifecycle calls only).
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::vector<std::size_t> shard_slot_; ///< shard -> slot (SIZE_MAX none)
+    std::vector<Run> runs_;
+    std::size_t first_live_run_ = 0;
+    std::size_t next_run_ = 0;
+    const std::vector<std::size_t> *order_ = nullptr;
+
+    // Shared with decode jobs.
+    mutable Mutex mutex_;
+    CondVar cv_;
+    std::vector<SlotState> slot_state_ LIGHTRIDGE_GUARDED_BY(mutex_);
+    std::size_t loading_ LIGHTRIDGE_GUARDED_BY(mutex_) = 0;
+    std::exception_ptr error_ LIGHTRIDGE_GUARDED_BY(mutex_);
+    std::uint64_t bytes_read_ LIGHTRIDGE_GUARDED_BY(mutex_) = 0;
+};
+
+/** Streaming classification source over a packed class dataset. */
+class ShardedClassSource : public ClassSource
+{
+  public:
+    explicit ShardedClassSource(DatasetManifest manifest,
+                                std::size_t prefetch = 1);
+
+    std::size_t size() const override { return stream_.size(); }
+    std::vector<std::size_t> shardSizes() const override
+    {
+        return stream_.shardSizes();
+    }
+    const char *sourceKind() const override { return "sharded"; }
+    std::size_t prefetchDepth() const override
+    {
+        return stream_.prefetchDepth();
+    }
+    std::uint64_t bytesRead() const override { return stream_.bytesRead(); }
+
+    void beginEpoch(const std::vector<std::size_t> *order) override
+    {
+        stream_.beginEpoch(order);
+    }
+    void stageRange(std::size_t lo, std::size_t hi) override
+    {
+        stream_.stageRange(lo, hi);
+    }
+    void stageIndices(std::size_t lo, std::size_t hi) override
+    {
+        stream_.stageIndices(lo, hi);
+    }
+    void endEpoch() override { stream_.endEpoch(); }
+
+    const RealMap &image(std::size_t i) const override
+    {
+        std::size_t local = 0;
+        return stream_.locate(i, local).images[local];
+    }
+    int label(std::size_t i) const override
+    {
+        std::size_t local = 0;
+        return stream_.locate(i, local).labels[local];
+    }
+    std::size_t numClasses() const override
+    {
+        return stream_.manifest().num_classes;
+    }
+
+  private:
+    ShardStream stream_;
+};
+
+/** Streaming segmentation source over a packed seg dataset. */
+class ShardedSegSource : public SegSource
+{
+  public:
+    explicit ShardedSegSource(DatasetManifest manifest,
+                              std::size_t prefetch = 1);
+
+    std::size_t size() const override { return stream_.size(); }
+    std::vector<std::size_t> shardSizes() const override
+    {
+        return stream_.shardSizes();
+    }
+    const char *sourceKind() const override { return "sharded"; }
+    std::size_t prefetchDepth() const override
+    {
+        return stream_.prefetchDepth();
+    }
+    std::uint64_t bytesRead() const override { return stream_.bytesRead(); }
+
+    void beginEpoch(const std::vector<std::size_t> *order) override
+    {
+        stream_.beginEpoch(order);
+    }
+    void stageRange(std::size_t lo, std::size_t hi) override
+    {
+        stream_.stageRange(lo, hi);
+    }
+    void stageIndices(std::size_t lo, std::size_t hi) override
+    {
+        stream_.stageIndices(lo, hi);
+    }
+    void endEpoch() override { stream_.endEpoch(); }
+
+    const RealMap &image(std::size_t i) const override
+    {
+        std::size_t local = 0;
+        return stream_.locate(i, local).images[local];
+    }
+    const RealMap &mask(std::size_t i) const override
+    {
+        std::size_t local = 0;
+        return stream_.locate(i, local).masks[local];
+    }
+
+  private:
+    ShardStream stream_;
+};
+
+/** Streaming RGB source over a packed rgb dataset. */
+class ShardedRgbSource : public RgbSource
+{
+  public:
+    explicit ShardedRgbSource(DatasetManifest manifest,
+                              std::size_t prefetch = 1);
+
+    std::size_t size() const override { return stream_.size(); }
+    std::vector<std::size_t> shardSizes() const override
+    {
+        return stream_.shardSizes();
+    }
+    const char *sourceKind() const override { return "sharded"; }
+    std::size_t prefetchDepth() const override
+    {
+        return stream_.prefetchDepth();
+    }
+    std::uint64_t bytesRead() const override { return stream_.bytesRead(); }
+
+    void beginEpoch(const std::vector<std::size_t> *order) override
+    {
+        stream_.beginEpoch(order);
+    }
+    void stageRange(std::size_t lo, std::size_t hi) override
+    {
+        stream_.stageRange(lo, hi);
+    }
+    void stageIndices(std::size_t lo, std::size_t hi) override
+    {
+        stream_.stageIndices(lo, hi);
+    }
+    void endEpoch() override { stream_.endEpoch(); }
+
+    const std::array<RealMap, 3> &image(std::size_t i) const override
+    {
+        std::size_t local = 0;
+        return stream_.locate(i, local).rgb[local];
+    }
+    int label(std::size_t i) const override
+    {
+        std::size_t local = 0;
+        return stream_.locate(i, local).labels[local];
+    }
+    std::size_t numClasses() const override
+    {
+        return stream_.manifest().num_classes;
+    }
+
+  private:
+    ShardStream stream_;
+};
+
+} // namespace lightridge

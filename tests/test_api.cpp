@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include "api/experiment.hpp"
+#include "data/shard.hpp"
+#include "data/synth_digits.hpp"
 
 namespace lightridge {
 namespace {
@@ -328,6 +332,138 @@ TEST(RunExperiment, ReportRecordsExecutionMode)
     EXPECT_EQ(execution.at("workers_requested").asInt(), 1);
     EXPECT_TRUE(execution.at("pipeline").asBool());
     EXPECT_TRUE(execution.has("hw_threads"));
+}
+
+TEST(ExperimentSpec, DatasetObjectParsesShardedSource)
+{
+    Json j = tinySpec().toJson();
+    Json ds;
+    ds["kind"] = Json("sharded");
+    ds["manifest"] = Json(std::string("packed/train/manifest.json"));
+    ds["test_manifest"] = Json(std::string("packed/test/manifest.json"));
+    ds["prefetch"] = Json(std::size_t{2});
+    j["dataset"] = ds;
+
+    ExperimentSpec spec = ExperimentSpec::fromJson(j);
+    EXPECT_EQ(spec.source.kind, "sharded");
+    EXPECT_EQ(spec.source.manifest, "packed/train/manifest.json");
+    EXPECT_EQ(spec.source.test_manifest, "packed/test/manifest.json");
+    EXPECT_EQ(spec.source.prefetch, 2u);
+    EXPECT_FALSE(spec.source.preload);
+
+    // Sharded specs round-trip through the object form.
+    ExperimentSpec back = ExperimentSpec::fromJson(spec.toJson());
+    EXPECT_EQ(back.toJson().dump(), spec.toJson().dump());
+}
+
+TEST(ExperimentSpec, DatasetObjectValidationErrors)
+{
+    // kind "sharded" without a manifest.
+    Json j = tinySpec().toJson();
+    Json ds;
+    ds["kind"] = Json("sharded");
+    j["dataset"] = ds;
+    EXPECT_THROW(ExperimentSpec::fromJson(j), JsonError);
+
+    // "name" on a sharded block.
+    ds["manifest"] = Json(std::string("m.json"));
+    ds["name"] = Json(std::string("digits"));
+    j["dataset"] = ds;
+    EXPECT_THROW(ExperimentSpec::fromJson(j), JsonError);
+
+    // Unknown dataset kind.
+    Json bad;
+    bad["kind"] = Json(std::string("tape"));
+    j["dataset"] = bad;
+    EXPECT_THROW(ExperimentSpec::fromJson(j), JsonError);
+
+    // Sharded keys on a synth block.
+    Json synth;
+    synth["kind"] = Json(std::string("synth"));
+    synth["prefetch"] = Json(std::size_t{1});
+    j["dataset"] = synth;
+    EXPECT_THROW(ExperimentSpec::fromJson(j), JsonError);
+
+    // Unknown key inside the block.
+    Json unknown;
+    unknown["kind"] = Json(std::string("sharded"));
+    unknown["manifest"] = Json(std::string("m.json"));
+    unknown["surprise"] = Json(true);
+    j["dataset"] = unknown;
+    EXPECT_THROW(ExperimentSpec::fromJson(j), JsonError);
+}
+
+TEST(ExperimentSpec, DatasetObjectSynthNameStillWorks)
+{
+    Json j = tinySpec().toJson();
+    Json ds;
+    ds["kind"] = Json(std::string("synth"));
+    ds["name"] = Json(std::string("fashion"));
+    j["dataset"] = ds;
+    ExperimentSpec spec = ExperimentSpec::fromJson(j);
+    EXPECT_EQ(spec.source.kind, "synth");
+    EXPECT_EQ(spec.dataset, "fashion");
+    // Synth specs keep emitting the historical string form.
+    EXPECT_EQ(spec.toJson().at("dataset").asString(), "fashion");
+}
+
+TEST(RunExperiment, ShardedDatasetEndToEndRecordsSource)
+{
+    char tmpl[] = "/tmp/lightridge_api_XXXXXX";
+    char *dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+    const std::string base = dir;
+
+    ClassDataset train = makeSynthDigits(24, 7);
+    ClassDataset test = makeSynthDigits(8, 8);
+    PackOptions options;
+    options.shard_samples = 8;
+    writeShards(train, base + "/train", options);
+    writeShards(test, base + "/test");
+
+    ExperimentSpec spec = tinySpec();
+    spec.source.kind = "sharded";
+    spec.source.manifest = base + "/train/manifest.json";
+    spec.source.test_manifest = base + "/test/manifest.json";
+    spec.source.prefetch = 1;
+    spec.data.train_samples = 0; // unused by sharded sources
+
+    ExperimentResult streamed = runExperiment(spec);
+    EXPECT_EQ(streamed.data_source, "sharded");
+    EXPECT_EQ(streamed.data_shards, 3u);
+    EXPECT_EQ(streamed.data_prefetch, 1u);
+    EXPECT_GT(streamed.data_bytes_read, 0u);
+    EXPECT_EQ(streamed.num_classes, 10u);
+    ASSERT_EQ(streamed.history.size(), 1u);
+
+    // Preload mode keeps the shard layout: bitwise-identical training.
+    spec.source.preload = true;
+    ExperimentResult preloaded = runExperiment(spec);
+    EXPECT_EQ(preloaded.data_source, "memory");
+    EXPECT_EQ(preloaded.data_shards, 3u);
+    EXPECT_EQ(preloaded.data_bytes_read, 0u);
+    ASSERT_EQ(preloaded.history.size(), 1u);
+    EXPECT_EQ(preloaded.history[0].train_loss,
+              streamed.history[0].train_loss);
+    EXPECT_EQ(preloaded.final_metrics.primary,
+              streamed.final_metrics.primary);
+
+    Json report = streamed.report(spec);
+    const Json &execution = report.at("execution");
+    EXPECT_EQ(execution.at("data_source").asString(), "sharded");
+    EXPECT_EQ(execution.at("data_shards").asInt(), 3);
+    EXPECT_EQ(execution.at("data_prefetch").asInt(), 1);
+    EXPECT_TRUE(execution.has("data_bytes_read"));
+
+    std::filesystem::remove_all(base);
+}
+
+TEST(RunExperiment, MissingManifestExitsWithDataError)
+{
+    ExperimentSpec spec = tinySpec();
+    spec.source.kind = "sharded";
+    spec.source.manifest = "/nonexistent/manifest.json";
+    EXPECT_THROW(runExperiment(spec), DataError);
 }
 
 TEST(RunExperiment, SaveModelWritesServableCheckpoint)

@@ -1,0 +1,29 @@
+#include "data/stream.hpp"
+
+using lightridge::Field;
+
+// Seeded violation: naked Field construction in the streaming-prefetcher
+// staging path (called between every training batch).
+void stageRange(std::size_t lo, std::size_t hi)
+{
+    Field scratch(8, 8);
+    (void)lo;
+    (void)hi;
+    (void)scratch;
+}
+
+// Clean: staging that leases decode buffers arena-style allocates no
+// Fields in steady state.
+void stageIndices(std::size_t lo, std::size_t hi)
+{
+    (void)lo;
+    (void)hi;
+}
+
+// Clean: shard packing is a one-time tool path, not a staging entry
+// point, so it may build Fields freely.
+Field packShard()
+{
+    Field ok(8, 8);
+    return ok;
+}

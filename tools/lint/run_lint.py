@@ -15,10 +15,13 @@ checks, with file/line diagnostics:
                        the zero-allocation *Into / *InPlace APIs (PR 4) and
                        the v2 submit() API.
   zero-alloc-hot-path  naked `Field` construction inside *Into / *InPlace
-                       function bodies, or inside the perturbation-sampler
+                       function bodies, inside the perturbation-sampler
                        hot path (fillHopPerturbation, samplePerturbation,
                        PerturbationSampler::sample/sampleHop, redrawn every
-                       training batch) - these are the zero-allocation
+                       training batch), or inside the streaming-prefetcher
+                       decode path (stageRange, stageIndices; decodeShardInto
+                       is covered by the *Into convention, runs once per
+                       shard per epoch) - these are the zero-allocation
                        steady-state paths; buffers must come from the
                        PropagationWorkspace, ensureFieldShape, or member
                        caches.
@@ -207,6 +210,7 @@ BANNED_FUNCTIONS = [
 BANNED_FUNCTION_EXEMPT_FILES = {
     "src/api/run_main.cpp",
     "src/serve/serve_main.cpp",
+    "src/data/data_main.cpp",
 }
 
 
@@ -269,11 +273,13 @@ def rule_deprecated_api(ctx):
 
 # Function definitions whose body is a zero-allocation steady-state path:
 # the *Into/*InPlace naming convention, plus the perturbation-sampler
-# functions (redrawn once per training batch, so they are steady-state
-# even though their names predate the convention).
+# functions (redrawn once per training batch) and the streaming-prefetcher
+# staging entry points (called between every training batch) - steady-state
+# even though their names predate the convention.
 HOT_PATH_NAME_RE = re.compile(
     r"\b(?:[A-Za-z_][A-Za-z0-9_]*(?:Into|InPlace)|fillHopPerturbation|"
-    r"samplePerturbation|PerturbationSampler::sample|sampleHop)\s*\(")
+    r"samplePerturbation|PerturbationSampler::sample|sampleHop|"
+    r"stageRange|stageIndices)\s*\(")
 NAKED_FIELD_RE = re.compile(
     r"(?<![A-Za-z0-9_:])Field\s+[A-Za-z_][A-Za-z0-9_]*\s*[({=]|"
     r"(?<![A-Za-z0-9_:])Field\s*\(")

@@ -47,6 +47,7 @@ class FixtureCorpusTest(unittest.TestCase):
             ("include-guard", "src/utils/guard.hpp", 1),
             ("include-guard", "src/utils/late_guard.hpp", 4),
             ("serve-steady-clock", "src/serve/clock.cpp", 6),
+            ("zero-alloc-hot-path", "src/data/stream.cpp", 9),
             ("zero-alloc-hot-path", "src/optics/hot.cpp", 8),
             ("zero-alloc-hot-path", "src/optics/perturb.cpp", 10),
         ]
@@ -78,7 +79,7 @@ class JsonReportTest(unittest.TestCase):
         self.assertEqual(data["counts"]["deprecated-api"], 3)
         self.assertEqual(data["counts"]["include-guard"], 2)
         self.assertEqual(data["counts"]["serve-steady-clock"], 1)
-        self.assertEqual(data["counts"]["zero-alloc-hot-path"], 2)
+        self.assertEqual(data["counts"]["zero-alloc-hot-path"], 3)
         entry = [v for v in data["violations"]
                  if v["rule"] == "serve-steady-clock"][0]
         self.assertEqual(entry["file"].replace(os.sep, "/"),
